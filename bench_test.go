@@ -1,0 +1,206 @@
+package overlay
+
+// Benchmark harness: one bench target per experiment in DESIGN.md §3.
+// Each bench regenerates its experiment's table (printed once per run
+// via b.Logf at -v) and times the underlying workload so -benchmem
+// reports the cost profile. EXPERIMENTS.md records the measured
+// outputs against the paper's claims; cmd/benchharness prints the same
+// tables standalone.
+
+import (
+	"testing"
+
+	"overlay/internal/experiments"
+)
+
+const benchSeed = 2021 // PODC year; fixed for reproducibility
+
+func logTable(b *testing.B, t *experiments.Table, err error) {
+	b.Helper()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("\n%s", t)
+}
+
+func BenchmarkE1_RoundsVsN(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.E1RoundsVsN([]int{64, 256, 1024}, benchSeed)
+		if i == 0 {
+			logTable(b, t, err)
+		}
+	}
+}
+
+func BenchmarkE2_MessageComplexity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.E2Messages([]int{64, 256, 1024}, benchSeed)
+		if i == 0 {
+			logTable(b, t, err)
+		}
+	}
+}
+
+func BenchmarkE3_ConductanceGrowth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.E3Conductance(512, benchSeed)
+		if i == 0 {
+			logTable(b, t, err)
+		}
+	}
+}
+
+func BenchmarkE4_TokenLoad(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.E4TokenLoad(512, benchSeed)
+		if i == 0 {
+			logTable(b, t, err)
+		}
+	}
+}
+
+func BenchmarkE5_TreeQuality(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.E5TreeQuality([]int{64, 256, 1024}, benchSeed)
+		if i == 0 {
+			logTable(b, t, err)
+		}
+	}
+}
+
+func BenchmarkE6_VsSupernodeBaseline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.E6Baseline([]int{64, 256, 1024}, benchSeed)
+		if i == 0 {
+			logTable(b, t, err)
+		}
+	}
+}
+
+func BenchmarkE7_ConnectedComponents(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.E7CC(512, []int{16, 32, 64, 128, 256}, benchSeed)
+		if i == 0 {
+			logTable(b, t, err)
+		}
+	}
+}
+
+func BenchmarkE8_SpanningTree(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.E8SpanningTree([]int{64, 256, 1024}, benchSeed)
+		if i == 0 {
+			logTable(b, t, err)
+		}
+	}
+}
+
+func BenchmarkE9_Biconnectivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.E9Biconnectivity(benchSeed)
+		if i == 0 {
+			logTable(b, t, err)
+		}
+	}
+}
+
+func BenchmarkE10_MIS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.E10MIS(400, []int{2, 4, 8, 16, 32}, benchSeed)
+		if i == 0 {
+			logTable(b, t, err)
+		}
+	}
+}
+
+func BenchmarkE11_Spanner(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.E11Spanner([]int{128, 256, 512}, benchSeed)
+		if i == 0 {
+			logTable(b, t, err)
+		}
+	}
+}
+
+// Micro-benchmarks of the core operations, for profiling the library
+// itself rather than regenerating experiment tables.
+
+func BenchmarkBuildTreeFast_1k(b *testing.B) {
+	g := lineInput(1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildTree(g, &Options{Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildTreeMessageLevel_256(b *testing.B) {
+	g := lineInput(256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildTree(g, &Options{Seed: uint64(i), MessageLevel: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSpanningTree_grid(b *testing.B) {
+	g := NewGraph(256)
+	for r := 0; r < 16; r++ {
+		for c := 0; c < 16; c++ {
+			if c+1 < 16 {
+				g.AddEdge(r*16+c, r*16+c+1)
+			}
+			if r+1 < 16 {
+				g.AddEdge(r*16+c, (r+1)*16+c)
+			}
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := SpanningTree(g, &Options{Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMIS_grid(b *testing.B) {
+	g := NewGraph(400)
+	for r := 0; r < 20; r++ {
+		for c := 0; c < 20; c++ {
+			if c+1 < 20 {
+				g.AddEdge(r*20+c, r*20+c+1)
+			}
+			if r+1 < 20 {
+				g.AddEdge(r*20+c, (r+1)*20+c)
+			}
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := MIS(g, &Options{Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablation benches for the calibrated design choices (DESIGN.md §4).
+
+func BenchmarkA1_WalkLengthAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.AblationWalkLength(256, []int{2, 4, 8, 16, 32}, 5, benchSeed)
+		if i == 0 {
+			logTable(b, t, err)
+		}
+	}
+}
+
+func BenchmarkA2_DeltaAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.AblationDelta(256, []int{2, 4, 8, 16}, 5, benchSeed)
+		if i == 0 {
+			logTable(b, t, err)
+		}
+	}
+}

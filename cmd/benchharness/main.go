@@ -1,0 +1,78 @@
+// Command benchharness regenerates every experiment table of
+// DESIGN.md §3 (E1–E11) and prints them in EXPERIMENTS.md format.
+//
+// Usage:
+//
+//	benchharness [-seed 2021] [-quick] [-only E3]
+//
+// -quick shrinks the size sweeps for a fast smoke run; -only selects a
+// single experiment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"overlay/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		seed  = flag.Uint64("seed", 2021, "experiment seed")
+		quick = flag.Bool("quick", false, "shrink sweeps for a fast run")
+		only  = flag.String("only", "", "run a single experiment (e.g. E3)")
+	)
+	flag.Parse()
+
+	ns := []int{64, 256, 1024}
+	e3n, e4n := 512, 512
+	ccTotal, ccMs := 512, []int{16, 32, 64, 128, 256}
+	misN, misDs := 400, []int{2, 4, 8, 16, 32}
+	spanNs := []int{128, 256, 512}
+	if *quick {
+		ns = []int{64, 256}
+		e3n, e4n = 128, 128
+		ccTotal, ccMs = 256, []int{16, 64}
+		misN, misDs = 200, []int{2, 8}
+		spanNs = []int{128, 256}
+	}
+
+	type runner struct {
+		name string
+		fn   func() (*experiments.Table, error)
+	}
+	runs := []runner{
+		{"E1", func() (*experiments.Table, error) { return experiments.E1RoundsVsN(ns, *seed) }},
+		{"E2", func() (*experiments.Table, error) { return experiments.E2Messages(ns, *seed) }},
+		{"E3", func() (*experiments.Table, error) { return experiments.E3Conductance(e3n, *seed) }},
+		{"E4", func() (*experiments.Table, error) { return experiments.E4TokenLoad(e4n, *seed) }},
+		{"E5", func() (*experiments.Table, error) { return experiments.E5TreeQuality(ns, *seed) }},
+		{"E6", func() (*experiments.Table, error) { return experiments.E6Baseline(ns, *seed) }},
+		{"E7", func() (*experiments.Table, error) { return experiments.E7CC(ccTotal, ccMs, *seed) }},
+		{"E8", func() (*experiments.Table, error) { return experiments.E8SpanningTree(ns, *seed) }},
+		{"E9", func() (*experiments.Table, error) { return experiments.E9Biconnectivity(*seed) }},
+		{"E10", func() (*experiments.Table, error) { return experiments.E10MIS(misN, misDs, *seed) }},
+		{"E11", func() (*experiments.Table, error) { return experiments.E11Spanner(spanNs, *seed) }},
+		{"A1", func() (*experiments.Table, error) {
+			return experiments.AblationWalkLength(256, []int{2, 4, 8, 16, 32}, 5, *seed)
+		}},
+		{"A2", func() (*experiments.Table, error) {
+			return experiments.AblationDelta(256, []int{2, 4, 8, 16}, 5, *seed)
+		}},
+	}
+
+	for _, r := range runs {
+		if *only != "" && r.name != *only {
+			continue
+		}
+		start := time.Now()
+		tab, err := r.fn()
+		if err != nil {
+			log.Fatalf("%s failed: %v", r.name, err)
+		}
+		fmt.Printf("%s(%.1fs)\n\n", tab, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,111 @@
+// Command overlaycli runs the overlay construction on a generated
+// topology and prints the resulting tree and cost statistics.
+//
+// Usage:
+//
+//	overlaycli -topology line -n 1024 -seed 7 [-message-level] [-cap 10]
+//
+// Topologies: line, ring, tree, grid, star (star implies the hybrid
+// algorithms; the NCC0 build requires bounded degree).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"overlay"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		topo    = flag.String("topology", "line", "input topology: line|ring|tree|grid")
+		n       = flag.Int("n", 1024, "number of nodes")
+		seed    = flag.Uint64("seed", 1, "run seed")
+		msgLvl  = flag.Bool("message-level", false, "run the real distributed protocol on the NCC0 engine")
+		capFac  = flag.Int("cap", 0, "NCC0 capacity factor κ (per-round cap κ·log n; 0 = uncapped)")
+		derived = flag.Bool("derived", false, "also print derived overlay sizes")
+	)
+	flag.Parse()
+	if *n < 1 {
+		log.Fatal("-n must be >= 1")
+	}
+
+	g, err := makeTopology(*topo, *n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := overlay.BuildTree(g, &overlay.Options{
+		Seed:         *seed,
+		MessageLevel: *msgLvl,
+		CapFactor:    *capFac,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	mode := "fast (in-memory, rounds charged)"
+	if *msgLvl {
+		mode = "message-level (NCC0 engine, rounds measured)"
+	}
+	fmt.Printf("topology        %s, n=%d\n", *topo, g.N)
+	fmt.Printf("mode            %s\n", mode)
+	fmt.Printf("tree            root=%d depth=%d degree<=3\n", res.Tree.Root, res.Tree.Depth())
+	fmt.Printf("rounds          %d\n", res.Stats.Rounds)
+	fmt.Printf("expander        diameter=%d spectral gap=%.4f\n",
+		res.Stats.ExpanderDiameter, res.Stats.SpectralGap)
+	if *msgLvl {
+		fmt.Printf("messages        max/node/round=%d max/node total=%d drops=%d\n",
+			res.Stats.MaxMessagesPerRound, res.Stats.MaxMessagesTotal, res.Stats.CapacityDrops)
+	}
+	if *derived {
+		fmt.Printf("derived         ring=%d chord=%d hypercube=%d debruijn=%d edges\n",
+			len(res.Ring()), len(res.Chord()), len(res.Hypercube()), len(res.DeBruijn()))
+	}
+}
+
+func makeTopology(name string, n int) (*overlay.Graph, error) {
+	g := overlay.NewGraph(n)
+	switch name {
+	case "line":
+		for i := 0; i+1 < n; i++ {
+			g.AddEdge(i, i+1)
+		}
+	case "ring":
+		for i := 0; i < n && n > 1; i++ {
+			g.AddEdge(i, (i+1)%n)
+		}
+	case "tree":
+		for i := 0; i < n; i++ {
+			if l := 2*i + 1; l < n {
+				g.AddEdge(i, l)
+			}
+			if r := 2*i + 2; r < n {
+				g.AddEdge(i, r)
+			}
+		}
+	case "grid":
+		side := 1
+		for side*side < n {
+			side++
+		}
+		g = overlay.NewGraph(side * side)
+		for r := 0; r < side; r++ {
+			for c := 0; c < side; c++ {
+				if c+1 < side {
+					g.AddEdge(r*side+c, r*side+c+1)
+				}
+				if r+1 < side {
+					g.AddEdge(r*side+c, (r+1)*side+c)
+				}
+			}
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown topology %q\n", name)
+		flag.Usage()
+		os.Exit(2)
+	}
+	return g, nil
+}

@@ -1,0 +1,58 @@
+package overlay
+
+import (
+	"overlay/internal/graphx"
+	"overlay/internal/overlays"
+)
+
+// Derived overlays (Section 1.4 corollary): once the well-formed tree
+// has assigned every node a unique rank, any overlay whose neighbor
+// sets are rank arithmetic can be established in O(log n) additional
+// rounds. These methods return the derived overlay's undirected edges
+// as (u, v) node-index pairs.
+
+// Ring returns the rank ring: rank r ↔ r+1 (mod n). Degree 2.
+func (r *BuildResult) Ring() [][2]int {
+	return edgePairs(overlays.Ring(r.Tree.NodeAt))
+}
+
+// Chord returns the finger ring (rank r to ranks r+2^k mod n): degree
+// and diameter O(log n), the routing substrate used by RouteLookup.
+func (r *BuildResult) Chord() [][2]int {
+	return edgePairs(overlays.Chord(r.Tree.NodeAt))
+}
+
+// Hypercube returns the (possibly incomplete) hypercube over ranks.
+func (r *BuildResult) Hypercube() [][2]int {
+	return edgePairs(overlays.Hypercube(r.Tree.NodeAt))
+}
+
+// DeBruijn returns the binary De Bruijn overlay over ranks: constant
+// degree, O(log n) diameter.
+func (r *BuildResult) DeBruijn() [][2]int {
+	return edgePairs(overlays.DeBruijn(r.Tree.NodeAt))
+}
+
+// RouteLookup returns the greedy Chord routing path between two nodes
+// as a node-index sequence of length O(log n).
+func (r *BuildResult) RouteLookup(from, to int) []int {
+	ranks := overlays.RouteChord(len(r.Tree.Rank), r.Tree.Rank[from], r.Tree.Rank[to])
+	path := make([]int, len(ranks))
+	for i, rk := range ranks {
+		path[i] = r.Tree.NodeAt[rk]
+	}
+	return path
+}
+
+// ExpanderEdges returns the evolved low-diameter graph's edges, for
+// callers that want the expander itself rather than the tree.
+func (r *BuildResult) ExpanderEdges() [][2]int {
+	return edgePairs(r.expander)
+}
+
+func edgePairs(g *graphx.Graph) [][2]int {
+	if g == nil {
+		return nil
+	}
+	return g.Edges()
+}

@@ -1,0 +1,124 @@
+// Churn robustness (Section 5's outlook): the paper argues the evolved
+// expander should survive random node failures far better than the
+// input topology, because every cut grows to Θ(log n) edges over
+// distinct neighbors. This example measures that: kill a random
+// p-fraction of nodes in (a) the input line and (b) the constructed
+// expander, and compare how the survivors fragment.
+//
+//	go run ./examples/churn [n] [failpercent]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+
+	"overlay"
+)
+
+func main() {
+	log.SetFlags(0)
+	n, failPct := 1024, 20
+	if len(os.Args) > 1 {
+		v, err := strconv.Atoi(os.Args[1])
+		if err != nil || v < 16 {
+			log.Fatalf("usage: churn [n>=16] [failpercent], got %q", os.Args[1])
+		}
+		n = v
+	}
+	if len(os.Args) > 2 {
+		v, err := strconv.Atoi(os.Args[2])
+		if err != nil || v < 0 || v > 90 {
+			log.Fatalf("failpercent must be 0..90, got %q", os.Args[2])
+		}
+		failPct = v
+	}
+
+	g := overlay.NewGraph(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	res, err := overlay.BuildTree(g, &overlay.Options{Seed: 99})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Deterministic failure set.
+	state := uint64(0xdeadbeefcafef00d)
+	next := func(m int) int {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return int(state % uint64(m))
+	}
+	dead := make([]bool, n)
+	for k := 0; k < n*failPct/100; k++ {
+		dead[next(n)] = true
+	}
+	alive := 0
+	for _, d := range dead {
+		if !d {
+			alive++
+		}
+	}
+
+	lineEdges := make([][2]int, 0, n-1)
+	for i := 0; i+1 < n; i++ {
+		lineEdges = append(lineEdges, [2]int{i, i + 1})
+	}
+	lineComp, lineLargest := survivors(n, lineEdges, dead)
+	expComp, expLargest := survivors(n, res.ExpanderEdges(), dead)
+
+	fmt.Printf("n=%d, %d%% random failures -> %d survivors\n", n, failPct, alive)
+	fmt.Printf("%-18s %12s %18s\n", "topology", "fragments", "largest fragment")
+	fmt.Printf("%-18s %12d %17d%%\n", "input line", lineComp, 100*lineLargest/max(alive, 1))
+	fmt.Printf("%-18s %12d %17d%%\n", "built expander", expComp, 100*expLargest/max(alive, 1))
+	if expComp <= lineComp && expLargest >= lineLargest {
+		fmt.Println("expander dominates the line under churn, as §5 predicts")
+	}
+}
+
+// survivors computes the fragment count and largest fragment size of
+// the surviving subgraph.
+func survivors(n int, edges [][2]int, dead []bool) (components, largest int) {
+	adj := make([][]int, n)
+	for _, e := range edges {
+		if !dead[e[0]] && !dead[e[1]] {
+			adj[e[0]] = append(adj[e[0]], e[1])
+			adj[e[1]] = append(adj[e[1]], e[0])
+		}
+	}
+	seen := make([]bool, n)
+	for v := 0; v < n; v++ {
+		if dead[v] || seen[v] {
+			continue
+		}
+		components++
+		size := 0
+		queue := []int{v}
+		seen[v] = true
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			size++
+			for _, w := range adj[u] {
+				if !seen[w] {
+					seen[w] = true
+					queue = append(queue, w)
+				}
+			}
+		}
+		if size > largest {
+			largest = size
+		}
+	}
+	return components, largest
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

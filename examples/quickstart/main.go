@@ -1,0 +1,63 @@
+// Quickstart: build a well-formed tree from the paper's lower-bound
+// instance — a line of n nodes — and print what the construction cost.
+//
+//	go run ./examples/quickstart [n]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+
+	"overlay"
+)
+
+func main() {
+	log.SetFlags(0)
+	n := 1024
+	if len(os.Args) > 1 {
+		v, err := strconv.Atoi(os.Args[1])
+		if err != nil || v < 1 {
+			log.Fatalf("usage: quickstart [n>=1], got %q", os.Args[1])
+		}
+		n = v
+	}
+
+	// The line: node i knows node i+1. This is the worst case for
+	// overlay construction — the endpoints are n-1 hops apart.
+	g := overlay.NewGraph(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+
+	res, err := overlay.BuildTree(g, &overlay.Options{Seed: 42})
+	if err != nil {
+		log.Fatalf("build failed: %v", err)
+	}
+
+	t := res.Tree
+	fmt.Printf("input: line of %d nodes (diameter %d)\n", n, n-1)
+	fmt.Printf("well-formed tree: root=%d depth=%d (⌈log₂ n⌉ = %d)\n",
+		t.Root, t.Depth(), logCeil(n))
+	fmt.Printf("construction rounds (charged): %d\n", res.Stats.Rounds)
+	fmt.Printf("final expander: diameter=%d spectral gap=%.3f\n",
+		res.Stats.ExpanderDiameter, res.Stats.SpectralGap)
+
+	// Walk from the deepest-ranked node to the root: at most depth hops.
+	v := t.NodeAt[n-1]
+	hops := 0
+	for v != t.Root {
+		v = t.Parent[v]
+		hops++
+	}
+	fmt.Printf("deepest node reaches root in %d hops\n", hops)
+}
+
+func logCeil(n int) int {
+	l := 1
+	for (1 << l) < n {
+		l++
+	}
+	return l
+}

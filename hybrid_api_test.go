@@ -1,0 +1,114 @@
+package overlay
+
+import "testing"
+
+func multiComponentInput() *Graph {
+	// Three rings of sizes 20, 25, 30.
+	g := NewGraph(75)
+	base := 0
+	for _, size := range []int{20, 25, 30} {
+		for i := 0; i < size; i++ {
+			g.AddEdge(base+i, base+(i+1)%size)
+		}
+		base += size
+	}
+	return g
+}
+
+func TestConnectedComponentsAPI(t *testing.T) {
+	res, err := ConnectedComponents(multiComponentInput(), 0, &Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumComponents != 3 {
+		t.Fatalf("components = %d, want 3", res.NumComponents)
+	}
+	total := 0
+	for _, ct := range res.Trees {
+		total += len(ct.Nodes)
+		if len(ct.Tree.Rank) != len(ct.Nodes) {
+			t.Error("tree size mismatch")
+		}
+	}
+	if total != 75 {
+		t.Errorf("trees cover %d nodes, want 75", total)
+	}
+	if res.Bill.Rounds <= 0 || res.Bill.Itemized == "" {
+		t.Error("bill not populated")
+	}
+}
+
+func TestSpanningTreeAPI(t *testing.T) {
+	g := lineInput(120)
+	res, err := SpanningTree(g, &Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Edges) != 119 {
+		t.Fatalf("tree has %d edges, want 119", len(res.Edges))
+	}
+	// Every tree edge must be a line edge (|u-v| == 1).
+	for _, e := range res.Edges {
+		if e[1]-e[0] != 1 {
+			t.Errorf("edge %v is not an input edge", e)
+		}
+	}
+}
+
+func TestBiconnectivityAPI(t *testing.T) {
+	// Two triangles joined at node 2.
+	g := NewGraph(5)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 4}, {2, 4}} {
+		g.AddEdge(e[0], e[1])
+	}
+	res, err := Biconnectivity(g, &Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumComponents != 2 {
+		t.Errorf("components = %d, want 2", res.NumComponents)
+	}
+	if len(res.CutVertices) != 1 || res.CutVertices[0] != 2 {
+		t.Errorf("cut vertices = %v, want [2]", res.CutVertices)
+	}
+	if res.IsBiconnected {
+		t.Error("graph with a cut vertex reported biconnected")
+	}
+	if len(res.EdgeComponent) != len(res.UndirectedEdges) {
+		t.Error("edge labels misaligned")
+	}
+}
+
+func TestMISAPI(t *testing.T) {
+	g := multiComponentInput()
+	res, err := MIS(g, &Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Check independence directly against the input edges.
+	for _, e := range g.Edges {
+		if res.InMIS[e[0]] && res.InMIS[e[1]] {
+			t.Fatalf("adjacent nodes %v both in MIS", e)
+		}
+	}
+	if res.ShatterRounds <= 0 {
+		t.Error("shatter rounds not reported")
+	}
+}
+
+func TestHybridAPIBadInput(t *testing.T) {
+	bad := NewGraph(2)
+	bad.AddEdge(0, 9)
+	if _, err := ConnectedComponents(bad, 0, nil); err == nil {
+		t.Error("CC accepted bad edge")
+	}
+	if _, err := SpanningTree(bad, nil); err == nil {
+		t.Error("ST accepted bad edge")
+	}
+	if _, err := Biconnectivity(bad, nil); err == nil {
+		t.Error("BCC accepted bad edge")
+	}
+	if _, err := MIS(bad, nil); err == nil {
+		t.Error("MIS accepted bad edge")
+	}
+}

@@ -1,0 +1,53 @@
+package baseline
+
+import (
+	"testing"
+
+	"overlay/internal/rng"
+	"overlay/internal/topology"
+)
+
+func TestRunMergesToOne(t *testing.T) {
+	for _, n := range []int{2, 10, 64, 200} {
+		g := topology.Ring(n).Undirected()
+		res := Run(g, rng.New(uint64(n)), 200)
+		if res.FinalSupernodes != 1 {
+			t.Errorf("n=%d: %d supernodes remain after %d phases", n, res.FinalSupernodes, res.Phases)
+		}
+		if res.Rounds <= 0 {
+			t.Errorf("n=%d: non-positive round count %d", n, res.Rounds)
+		}
+	}
+}
+
+func TestRunSingleton(t *testing.T) {
+	g := topology.Line(1).Undirected()
+	res := Run(g, rng.New(1), 10)
+	if res.FinalSupernodes != 1 || res.Rounds != 0 {
+		t.Errorf("singleton: supernodes=%d rounds=%d", res.FinalSupernodes, res.Rounds)
+	}
+}
+
+func TestRoundsGrowSuperlinearlyInLogN(t *testing.T) {
+	// The baseline costs Θ(log² n) rounds; check that rounds/log n
+	// grows with n (i.e., it is ω(log n)), the shape E6 relies on.
+	avg := func(n int) float64 {
+		total := 0
+		const seeds = 5
+		for s := uint64(0); s < seeds; s++ {
+			g := topology.Line(n).Undirected()
+			res := Run(g, rng.New(s), 500)
+			if res.FinalSupernodes != 1 {
+				t.Fatalf("n=%d seed=%d did not converge", n, s)
+			}
+			total += res.Rounds
+		}
+		return float64(total) / seeds
+	}
+	small, large := avg(32), avg(512)
+	// log n grows 5 -> 9 (1.8x); log² n grows 3.24x. Require growth
+	// strictly beyond linear-in-log to confirm the superlinear shape.
+	if ratio := large / small; ratio < 2.2 {
+		t.Errorf("rounds grew only %.2fx from n=32 to n=512; expected ≈ log² scaling (>2.2x)", ratio)
+	}
+}

@@ -1,0 +1,110 @@
+// Package benign prepares input graphs for CreateExpander and verifies
+// the benign-graph invariant of Definition 2.1.
+//
+// A graph is benign for parameters ∆, Λ = Ω(log n) when it is
+// ∆-regular (self-loops included), lazy (at least ∆/2 self-loops per
+// node), and every cut has at least Λ edges. The paper's preparation
+// for a constant-degree input (Section 2.1) copies every initial edge
+// Λ times (creating the Λ-sized minimum cut) and pads each node with
+// self-loops up to degree ∆, which requires 2dΛ ≤ ∆.
+//
+// Preparation is a one-round local operation in the model (each node
+// introduces itself to its neighbors to bidirect the knowledge graph,
+// then duplicates and pads locally), so it is implemented as a direct
+// graph transformation; the introduction round is charged by callers.
+package benign
+
+import (
+	"errors"
+	"fmt"
+
+	"overlay/internal/graphx"
+	"overlay/internal/sim"
+)
+
+// Params are the benign-graph parameters. All are Θ(log n) in the
+// paper; Defaults derives practical values from n.
+type Params struct {
+	// Delta is the regular degree ∆ every node ends with.
+	Delta int
+	// Lambda is the minimum-cut size Λ the preparation installs.
+	Lambda int
+}
+
+// Defaults returns practical parameters for an n-node input of maximum
+// degree d: Λ = ⌈log₂ n⌉ and ∆ = max(2dΛ, 8Λ, 16) rounded up to a
+// multiple of 8 (so the token counts ∆/8 and 3∆/8 are integral). The
+// 2dΛ term is the paper's requirement for Prepare; the 8Λ floor is the
+// empirically calibrated constant at which CreateExpander's evolutions
+// keep every run connected at laptop scales (the paper's own constants
+// are hidden in Ω-notation and explicitly "big enough").
+func Defaults(n, d int) Params {
+	lambda := sim.LogBound(n)
+	delta := 2 * d * lambda
+	if min := 8 * lambda; delta < min {
+		delta = min
+	}
+	if delta < 16 {
+		delta = 16
+	}
+	if r := delta % 8; r != 0 {
+		delta += 8 - r
+	}
+	return Params{Delta: delta, Lambda: lambda}
+}
+
+// Prepare turns the weakly connected knowledge graph g into a benign
+// multigraph: the undirected version of g with every edge copied
+// Lambda times, padded with self-loops to Delta. It returns an error
+// if the parameters cannot accommodate g's degree (the paper requires
+// 2dΛ ≤ ∆ for constant-degree inputs).
+func Prepare(g *graphx.Digraph, p Params) (*graphx.Multi, error) {
+	if p.Delta <= 0 || p.Lambda <= 0 {
+		return nil, fmt.Errorf("benign: non-positive parameters %+v", p)
+	}
+	und := g.Undirected()
+	m := graphx.NewMulti(g.N)
+	for _, e := range und.Edges() {
+		for c := 0; c < p.Lambda; c++ {
+			m.AddCrossEdge(e[0], e[1])
+		}
+	}
+	for u := 0; u < m.N; u++ {
+		cross := m.Degree(u)
+		if cross > p.Delta/2 {
+			return nil, fmt.Errorf(
+				"benign: node %d has %d edge slots after copying, exceeding ∆/2 = %d (degree too high for ∆=%d, Λ=%d)",
+				u, cross, p.Delta/2, p.Delta, p.Lambda)
+		}
+		for m.Degree(u) < p.Delta {
+			m.AddSelfLoop(u)
+		}
+	}
+	return m, nil
+}
+
+// ErrNotBenign is wrapped by Check failures.
+var ErrNotBenign = errors.New("graph is not benign")
+
+// Check verifies Definition 2.1 on m: ∆-regularity, laziness, and —
+// when checkCut is set — the Λ-sized minimum cut (Stoer–Wagner, O(N³);
+// skip on large graphs). A nil return means the graph is benign.
+func Check(m *graphx.Multi, p Params, checkCut bool) error {
+	for u := 0; u < m.N; u++ {
+		if d := m.Degree(u); d != p.Delta {
+			return fmt.Errorf("%w: node %d degree %d != ∆ %d", ErrNotBenign, u, d, p.Delta)
+		}
+		if l := m.SelfLoops(u); l < p.Delta/2 {
+			return fmt.Errorf("%w: node %d has %d self-loops < ∆/2 = %d", ErrNotBenign, u, l, p.Delta/2)
+		}
+	}
+	if !m.IsSymmetric() {
+		return fmt.Errorf("%w: cross edges not symmetric", ErrNotBenign)
+	}
+	if checkCut && m.N >= 2 {
+		if cut := m.MinCut(); cut < p.Lambda {
+			return fmt.Errorf("%w: minimum cut %d < Λ %d", ErrNotBenign, cut, p.Lambda)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+package benign
+
+import (
+	"errors"
+	"testing"
+
+	"overlay/internal/graphx"
+	"overlay/internal/topology"
+)
+
+func TestDefaults(t *testing.T) {
+	p := Defaults(1024, 2)
+	if p.Lambda != 10 {
+		t.Errorf("Lambda = %d, want 10", p.Lambda)
+	}
+	if p.Delta < 2*2*10 || p.Delta%8 != 0 {
+		t.Errorf("Delta = %d: must be >= 2dΛ and a multiple of 8", p.Delta)
+	}
+	small := Defaults(4, 1)
+	if small.Delta < 16 {
+		t.Errorf("small Delta = %d, want >= 16", small.Delta)
+	}
+}
+
+func TestPrepareProducesBenign(t *testing.T) {
+	g := topology.Ring(12)
+	p := Defaults(12, 2)
+	m, err := Prepare(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(m, p, true); err != nil {
+		t.Fatalf("prepared graph not benign: %v", err)
+	}
+	// The simple projection must be the ring again.
+	s := m.Simple()
+	if !s.IsConnected() || s.NumEdges() != 12 {
+		t.Errorf("simple projection wrong: connected=%v edges=%d", s.IsConnected(), s.NumEdges())
+	}
+}
+
+func TestPrepareLine(t *testing.T) {
+	g := topology.Line(9)
+	p := Defaults(9, 2)
+	m, err := Prepare(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(m, p, true); err != nil {
+		t.Fatalf("not benign: %v", err)
+	}
+	// Minimum cut must be exactly Λ on a line (single edge copied Λx).
+	if cut := m.MinCut(); cut != p.Lambda {
+		t.Errorf("line min cut = %d, want Λ = %d", cut, p.Lambda)
+	}
+}
+
+func TestPrepareRejectsHighDegree(t *testing.T) {
+	g := topology.Star(40) // hub degree 39
+	if _, err := Prepare(g, Params{Delta: 16, Lambda: 2}); err == nil {
+		t.Error("Prepare accepted a degree-39 node with ∆=16")
+	}
+}
+
+func TestPrepareRejectsBadParams(t *testing.T) {
+	if _, err := Prepare(topology.Ring(4), Params{}); err == nil {
+		t.Error("Prepare accepted zero parameters")
+	}
+}
+
+func TestCheckFailures(t *testing.T) {
+	p := Params{Delta: 4, Lambda: 2}
+	// Not regular.
+	m := graphx.NewMulti(2)
+	m.AddCrossEdge(0, 1)
+	if err := Check(m, p, false); !errors.Is(err, ErrNotBenign) {
+		t.Errorf("irregular graph passed Check: %v", err)
+	}
+	// Regular but not lazy.
+	m2 := graphx.NewMulti(2)
+	for i := 0; i < 4; i++ {
+		m2.AddCrossEdge(0, 1)
+	}
+	if err := Check(m2, p, false); !errors.Is(err, ErrNotBenign) {
+		t.Errorf("non-lazy graph passed Check: %v", err)
+	}
+	// Lazy and regular but cut too small.
+	m3 := graphx.NewMulti(2)
+	m3.AddCrossEdge(0, 1)
+	for u := 0; u < 2; u++ {
+		for m3.Degree(u) < 4 {
+			m3.AddSelfLoop(u)
+		}
+	}
+	if err := Check(m3, p, true); !errors.Is(err, ErrNotBenign) {
+		t.Errorf("cut-1 graph passed Check with Λ=2: %v", err)
+	}
+	if err := Check(m3, Params{Delta: 4, Lambda: 1}, true); err != nil {
+		t.Errorf("valid benign graph failed Check: %v", err)
+	}
+}
+
+func TestPrepareAllTopologies(t *testing.T) {
+	gens := map[string]*graphx.Digraph{
+		"line": topology.Line(16),
+		"ring": topology.Ring(16),
+		"tree": topology.BinaryTree(15),
+		"grid": topology.Grid(4, 4),
+	}
+	for name, g := range gens {
+		p := Defaults(g.N, g.MaxDegree())
+		m, err := Prepare(g, p)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if err := Check(m, p, true); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package expander
+
+import (
+	"fmt"
+
+	"overlay/internal/graphx"
+	"overlay/internal/ids"
+	"overlay/internal/sim"
+)
+
+// Message-level CreateExpander. Each evolution occupies ℓ+2 rounds on
+// the engine clock:
+//
+//	offset 0:        every node emits ∆/8 fresh tokens (hop 1)
+//	offsets 1..ℓ-1:  every node forwards the tokens it received
+//	offset ℓ:        arrived tokens are accepted (≤ 3∆/8) and each
+//	                 acceptor replies with its own identifier
+//	offset ℓ+1:      origins receive replies; both sides install the
+//	                 new edges and pad with self-loops to ∆
+//
+// The protocol sends only unit messages (a token is one identifier
+// plus a hop counter, a reply is one identifier), so the engine's
+// capacity accounting measures exactly the quantities of Theorem 1.1
+// and Lemma 3.2.
+
+// tokenMsg is a random-walk token: the origin's identifier.
+type tokenMsg struct {
+	origin ids.ID
+}
+
+// replyMsg is the acceptance reply carrying the endpoint's identifier
+// implicitly as the sender.
+type replyMsg struct{}
+
+// Protocol runs CreateExpander as a sim.Node. Construct the node set
+// with NewProtocolNodes, run the engine, then read the result with
+// FinalGraph.
+type Protocol struct {
+	params Params
+
+	slots     []ids.ID // current incident slots (self-loops = own ID)
+	nextEdges []ids.ID // cross edges collected for G_{i+1}
+	evolution int
+	offset    int
+	done      bool
+
+	// maxTokenLoad tracks Lemma 3.2's per-round token load.
+	maxTokenLoad int
+	dropped      int
+}
+
+var _ sim.Node = (*Protocol)(nil)
+var _ sim.Halter = (*Protocol)(nil)
+
+// NewProtocolNodes builds one Protocol node per graph node, with
+// initial slots taken from the benign multigraph m translated to the
+// engine's identifier space. Call after sim.New so identifiers exist:
+// typical use is BuildEngine.
+func newProtocolNode(p Params) *Protocol {
+	return &Protocol{params: p}
+}
+
+// BuildEngine wires a benign multigraph into an engine running the
+// message-level CreateExpander with the given seed and capacity
+// configuration. It returns the engine and the protocol nodes.
+func BuildEngine(m *graphx.Multi, p Params, cfg sim.Config) (*sim.Engine, []*Protocol) {
+	if !m.IsRegular(p.Delta) {
+		panic(fmt.Sprintf("expander: BuildEngine on non-%d-regular graph", p.Delta))
+	}
+	cfg.N = m.N
+	nodes := make([]sim.Node, m.N)
+	protos := make([]*Protocol, m.N)
+	for i := range nodes {
+		protos[i] = newProtocolNode(p)
+		nodes[i] = protos[i]
+	}
+	eng := sim.New(cfg, nodes)
+	idOf := eng.IDs()
+	for i, proto := range protos {
+		proto.slots = make([]ids.ID, len(m.Slots[i]))
+		for k, v := range m.Slots[i] {
+			proto.slots[k] = idOf[v]
+		}
+	}
+	return eng, protos
+}
+
+// Halted reports protocol completion.
+func (p *Protocol) Halted() bool { return p.done }
+
+// MaxTokenLoad returns the maximum tokens held in any single walk
+// round across the whole run (Lemma 3.2's quantity).
+func (p *Protocol) MaxTokenLoad() int { return p.maxTokenLoad }
+
+// DroppedTokens returns tokens rejected by the acceptance cap.
+func (p *Protocol) DroppedTokens() int { return p.dropped }
+
+// Slots exposes the node's current slot list (for FinalGraph).
+func (p *Protocol) Slots() []ids.ID { return p.slots }
+
+// Init emits the first evolution's tokens.
+func (p *Protocol) Init(ctx *sim.Ctx) {
+	p.emitTokens(ctx)
+}
+
+// Round advances the evolution state machine.
+func (p *Protocol) Round(ctx *sim.Ctx, inbox []sim.Message) {
+	if p.done {
+		return
+	}
+	ell := p.params.Ell
+	p.offset++
+	switch {
+	case p.offset < ell:
+		// Forward every token one more uniform step.
+		load := 0
+		for _, m := range inbox {
+			if tok, ok := m.Payload.(tokenMsg); ok {
+				load++
+				ctx.Send(p.slots[ctx.Rand.Intn(len(p.slots))], tok)
+			}
+		}
+		if load > p.maxTokenLoad {
+			p.maxTokenLoad = load
+		}
+	case p.offset == ell:
+		// Acceptance: keep at most 3∆/8 arrived tokens, reply to each
+		// origin, and install the endpoint side of the edge.
+		tokens := make([]tokenMsg, 0, len(inbox))
+		for _, m := range inbox {
+			if tok, ok := m.Payload.(tokenMsg); ok {
+				tokens = append(tokens, tok)
+			}
+		}
+		if len(tokens) > p.maxTokenLoad {
+			p.maxTokenLoad = len(tokens)
+		}
+		acceptCap := 3 * p.params.Delta / 8
+		if len(tokens) > acceptCap {
+			picked := ctx.Rand.SampleWithoutReplacement(len(tokens), acceptCap)
+			p.dropped += len(tokens) - acceptCap
+			sel := make([]tokenMsg, 0, acceptCap)
+			for _, i := range picked {
+				sel = append(sel, tokens[i])
+			}
+			tokens = sel
+		}
+		for _, tok := range tokens {
+			if tok.origin == ctx.ID {
+				continue // a walk that returned home creates no edge
+			}
+			p.nextEdges = append(p.nextEdges, tok.origin)
+			ctx.Send(tok.origin, replyMsg{})
+		}
+	case p.offset == ell+1:
+		// Replies complete the origin side; rebuild slots for G_{i+1}.
+		for _, m := range inbox {
+			if _, ok := m.Payload.(replyMsg); ok {
+				p.nextEdges = append(p.nextEdges, m.From)
+			}
+		}
+		p.slots = p.nextEdges
+		p.nextEdges = nil
+		for len(p.slots) < p.params.Delta {
+			p.slots = append(p.slots, ctx.ID)
+		}
+		p.evolution++
+		if p.evolution >= p.params.Evolutions {
+			p.done = true
+			return
+		}
+		p.emitTokens(ctx)
+		p.offset = 0
+	}
+}
+
+// emitTokens starts ∆/8 fresh walks (first hop happens immediately).
+func (p *Protocol) emitTokens(ctx *sim.Ctx) {
+	for k := 0; k < p.params.Delta/8; k++ {
+		ctx.Send(p.slots[ctx.Rand.Intn(len(p.slots))], tokenMsg{origin: ctx.ID})
+	}
+}
+
+// FinalGraph reconstructs the final multigraph from the protocol
+// nodes' slot lists, translating identifiers back to node indices.
+func FinalGraph(eng *sim.Engine, protos []*Protocol) *graphx.Multi {
+	m := graphx.NewMulti(len(protos))
+	for i, proto := range protos {
+		for _, id := range proto.Slots() {
+			j, ok := eng.IndexOf(id)
+			if !ok {
+				panic(fmt.Sprintf("expander: unknown identifier %v in slots", id))
+			}
+			if j == i {
+				m.AddSelfLoop(i)
+			} else if j > i {
+				// Cross edges appear in both endpoint slot lists; add
+				// once from the lower index. Asymmetries (possible only
+				// under capacity drops) are repaired toward symmetry.
+				m.AddCrossEdge(i, j)
+			}
+		}
+	}
+	return m
+}
+
+// RunMessageLevel is a convenience wrapper: prepare, run, extract. It
+// returns the final graph, the engine (for metrics), and the protocol
+// nodes (for token statistics). Caps follow the NCC0 regime: κ·⌈log₂ n⌉
+// units per node per round.
+func RunMessageLevel(m *graphx.Multi, p Params, seed uint64, capFactor int) (*graphx.Multi, *sim.Engine, []*Protocol) {
+	cap := 0
+	if capFactor > 0 {
+		cap = capFactor * sim.LogBound(m.N)
+	}
+	eng, protos := BuildEngine(m, p, sim.Config{Seed: seed, SendCap: cap, RecvCap: cap})
+	rounds := p.Evolutions*(p.Ell+2) + 1
+	eng.Run(rounds + 4)
+	return FinalGraph(eng, protos), eng, protos
+}

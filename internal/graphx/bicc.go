@@ -1,0 +1,175 @@
+package graphx
+
+import "sort"
+
+// Biconnectivity is the result of the sequential Hopcroft-Tarjan
+// computation, used as the ground-truth oracle for the distributed
+// Tarjan-Vishkin implementation (Theorem 1.4).
+type Biconnectivity struct {
+	// EdgeComponent[i] is the biconnected-component label of the i-th
+	// edge of g.Edges() (same ordering).
+	EdgeComponent []int
+	// NumComponents is the number of biconnected components.
+	NumComponents int
+	// CutVertices lists the articulation points in ascending order.
+	CutVertices []int
+	// Bridges lists bridge edges as ordered pairs (u < v), sorted.
+	Bridges [][2]int
+}
+
+// BiconnectedComponents computes the biconnected components of g with
+// an iterative Hopcroft-Tarjan DFS: O(N + E).
+func (g *Graph) BiconnectedComponents() *Biconnectivity {
+	edges := g.Edges()
+	edgeIndex := make(map[[2]int]int, len(edges))
+	for i, e := range edges {
+		edgeIndex[e] = i
+	}
+	key := func(u, v int) [2]int {
+		if u > v {
+			u, v = v, u
+		}
+		return [2]int{u, v}
+	}
+
+	res := &Biconnectivity{EdgeComponent: make([]int, len(edges))}
+	for i := range res.EdgeComponent {
+		res.EdgeComponent[i] = -1
+	}
+
+	disc := make([]int, g.N)
+	low := make([]int, g.N)
+	parent := make([]int, g.N)
+	childCount := make([]int, g.N)
+	isCut := make([]bool, g.N)
+	for i := range disc {
+		disc[i] = -1
+		parent[i] = -1
+	}
+	var edgeStack [][2]int // stack of undirected edges (DFS discovery order)
+	timer := 0
+
+	// popComponent pops edges up to and including {u,v} and labels them.
+	popComponent := func(u, v int) {
+		label := res.NumComponents
+		res.NumComponents++
+		target := key(u, v)
+		for len(edgeStack) > 0 {
+			e := edgeStack[len(edgeStack)-1]
+			edgeStack = edgeStack[:len(edgeStack)-1]
+			res.EdgeComponent[edgeIndex[e]] = label
+			if e == target {
+				return
+			}
+		}
+	}
+
+	type frame struct {
+		u, ai int // node and next adjacency index to visit
+	}
+	for root := 0; root < g.N; root++ {
+		if disc[root] >= 0 {
+			continue
+		}
+		stack := []frame{{root, 0}}
+		disc[root] = timer
+		low[root] = timer
+		timer++
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			u := f.u
+			if f.ai < len(g.Adj[u]) {
+				v := g.Adj[u][f.ai]
+				f.ai++
+				if disc[v] < 0 {
+					parent[v] = u
+					childCount[u]++
+					edgeStack = append(edgeStack, key(u, v))
+					disc[v] = timer
+					low[v] = timer
+					timer++
+					stack = append(stack, frame{v, 0})
+				} else if v != parent[u] && disc[v] < disc[u] {
+					// Back edge, recorded once on first sight.
+					edgeStack = append(edgeStack, key(u, v))
+					if disc[v] < low[u] {
+						low[u] = disc[v]
+					}
+				}
+				continue
+			}
+			// Post-visit of u: fold into parent.
+			stack = stack[:len(stack)-1]
+			p := parent[u]
+			if p < 0 {
+				continue
+			}
+			if low[u] < low[p] {
+				low[p] = low[u]
+			}
+			if low[u] >= disc[p] {
+				// p separates u's subtree: one biconnected component
+				// ends at edge {p,u}.
+				if parent[p] >= 0 || childCount[p] > 1 {
+					isCut[p] = true
+				}
+				popComponent(p, u)
+				if low[u] > disc[p] {
+					res.Bridges = append(res.Bridges, key(p, u))
+				}
+			}
+		}
+	}
+
+	for v := 0; v < g.N; v++ {
+		if isCut[v] {
+			res.CutVertices = append(res.CutVertices, v)
+		}
+	}
+	sort.Slice(res.Bridges, func(i, j int) bool {
+		if res.Bridges[i][0] != res.Bridges[j][0] {
+			return res.Bridges[i][0] < res.Bridges[j][0]
+		}
+		return res.Bridges[i][1] < res.Bridges[j][1]
+	})
+	return res
+}
+
+// IsBiconnected reports whether g is biconnected: connected, at least
+// 3 nodes (or a single edge), and free of cut vertices.
+func (g *Graph) IsBiconnected() bool {
+	if g.N == 0 {
+		return false
+	}
+	if !g.IsConnected() {
+		return false
+	}
+	if g.N <= 2 {
+		return g.N == 1 || g.NumEdges() >= 1
+	}
+	return len(g.BiconnectedComponents().CutVertices) == 0
+}
+
+// SameBiconnectedPartition reports whether two edge labelings induce
+// the same partition of the edge set (labels may be permuted).
+func SameBiconnectedPartition(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	fwd := map[int]int{}
+	rev := map[int]int{}
+	for i := range a {
+		if a[i] < 0 || b[i] < 0 {
+			return false
+		}
+		if la, ok := fwd[a[i]]; ok && la != b[i] {
+			return false
+		}
+		if lb, ok := rev[b[i]]; ok && lb != a[i] {
+			return false
+		}
+		fwd[a[i]] = b[i]
+		rev[b[i]] = a[i]
+	}
+	return true
+}

@@ -1,0 +1,189 @@
+// Package graphx is a static graph toolkit used by the simulator for
+// input topologies and by tests and benchmarks as a verification oracle.
+//
+// The overlay model of the paper represents the network as a directed
+// knowledge graph: an edge (u,v) exists when u knows v's identifier.
+// Digraph captures that view. The protocols themselves operate on the
+// undirected version, so most algorithms here (BFS, components,
+// conductance, biconnectivity, min cut) work on the undirected view
+// obtained via Undirected.
+//
+// All algorithms are sequential and exact; they are the ground truth the
+// distributed implementations are checked against.
+package graphx
+
+import "fmt"
+
+// Digraph is a directed multigraph over nodes 0..N-1.
+type Digraph struct {
+	// N is the number of nodes.
+	N int
+	// Out[u] lists the targets of u's outgoing edges (u "knows" each).
+	// Parallel edges and self-loops are permitted.
+	Out [][]int
+}
+
+// NewDigraph returns an empty directed graph on n nodes.
+func NewDigraph(n int) *Digraph {
+	return &Digraph{N: n, Out: make([][]int, n)}
+}
+
+// AddEdge inserts the directed edge (u, v). It panics on out-of-range
+// endpoints: topology generators are the only writers and a bad index is
+// a programming error.
+func (g *Digraph) AddEdge(u, v int) {
+	if u < 0 || u >= g.N || v < 0 || v >= g.N {
+		panic(fmt.Sprintf("graphx: edge (%d,%d) out of range [0,%d)", u, v, g.N))
+	}
+	g.Out[u] = append(g.Out[u], v)
+}
+
+// NumEdges returns the number of directed edges.
+func (g *Digraph) NumEdges() int {
+	total := 0
+	for _, out := range g.Out {
+		total += len(out)
+	}
+	return total
+}
+
+// OutDegree returns the outdegree of u.
+func (g *Digraph) OutDegree(u int) int { return len(g.Out[u]) }
+
+// MaxDegree returns the maximum total degree (in + out) over all nodes,
+// the quantity the paper calls the graph's degree d.
+func (g *Digraph) MaxDegree() int {
+	deg := make([]int, g.N)
+	for u, out := range g.Out {
+		deg[u] += len(out)
+		for _, v := range out {
+			if v != u {
+				deg[v]++
+			}
+		}
+	}
+	m := 0
+	for _, d := range deg {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Undirected returns the simple undirected version of g: direction is
+// dropped, and parallel edges and self-loops are removed. This is the
+// graph the paper's problem statements refer to.
+func (g *Digraph) Undirected() *Graph {
+	u := NewGraph(g.N)
+	seen := make(map[[2]int]bool)
+	for a, out := range g.Out {
+		for _, b := range out {
+			if a == b {
+				continue
+			}
+			lo, hi := a, b
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			key := [2]int{lo, hi}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			u.AddEdge(lo, hi)
+		}
+	}
+	return u
+}
+
+// Clone returns a deep copy of g.
+func (g *Digraph) Clone() *Digraph {
+	c := NewDigraph(g.N)
+	for u, out := range g.Out {
+		c.Out[u] = append([]int(nil), out...)
+	}
+	return c
+}
+
+// Graph is a simple undirected graph over nodes 0..N-1, stored as
+// adjacency lists (each edge appears in both endpoint lists).
+type Graph struct {
+	// N is the number of nodes.
+	N int
+	// Adj[u] lists the neighbors of u.
+	Adj [][]int
+}
+
+// NewGraph returns an empty undirected graph on n nodes.
+func NewGraph(n int) *Graph {
+	return &Graph{N: n, Adj: make([][]int, n)}
+}
+
+// AddEdge inserts the undirected edge {u, v}. Self-loops are rejected
+// with a panic; simple graphs are an invariant of this type.
+func (g *Graph) AddEdge(u, v int) {
+	if u < 0 || u >= g.N || v < 0 || v >= g.N {
+		panic(fmt.Sprintf("graphx: edge {%d,%d} out of range [0,%d)", u, v, g.N))
+	}
+	if u == v {
+		panic(fmt.Sprintf("graphx: self-loop {%d,%d} on simple graph", u, v))
+	}
+	g.Adj[u] = append(g.Adj[u], v)
+	g.Adj[v] = append(g.Adj[v], u)
+}
+
+// HasEdge reports whether {u, v} is an edge. O(deg(u)).
+func (g *Graph) HasEdge(u, v int) bool {
+	for _, w := range g.Adj[u] {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int {
+	total := 0
+	for _, adj := range g.Adj {
+		total += len(adj)
+	}
+	return total / 2
+}
+
+// Degree returns the degree of u.
+func (g *Graph) Degree(u int) int { return len(g.Adj[u]) }
+
+// MaxDegree returns the maximum degree.
+func (g *Graph) MaxDegree() int {
+	m := 0
+	for _, adj := range g.Adj {
+		if len(adj) > m {
+			m = len(adj)
+		}
+	}
+	return m
+}
+
+// Edges returns every edge once as an ordered pair (u < v).
+func (g *Graph) Edges() [][2]int {
+	out := make([][2]int, 0, g.NumEdges())
+	for u, adj := range g.Adj {
+		for _, v := range adj {
+			if u < v {
+				out = append(out, [2]int{u, v})
+			}
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := NewGraph(g.N)
+	for u, adj := range g.Adj {
+		c.Adj[u] = append([]int(nil), adj...)
+	}
+	return c
+}

@@ -1,0 +1,501 @@
+package graphx
+
+import (
+	"testing"
+	"testing/quick"
+
+	"overlay/internal/rng"
+)
+
+func pathGraph(n int) *Graph {
+	g := NewGraph(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+func cycleGraph(n int) *Graph {
+	g := pathGraph(n)
+	if n > 2 {
+		g.AddEdge(n-1, 0)
+	}
+	return g
+}
+
+func completeGraph(n int) *Graph {
+	g := NewGraph(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+func TestDigraphBasics(t *testing.T) {
+	g := NewDigraph(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(1, 2) // parallel
+	g.AddEdge(3, 3) // self-loop
+	if g.NumEdges() != 4 {
+		t.Errorf("NumEdges = %d, want 4", g.NumEdges())
+	}
+	if g.OutDegree(1) != 2 {
+		t.Errorf("OutDegree(1) = %d, want 2", g.OutDegree(1))
+	}
+	u := g.Undirected()
+	if u.NumEdges() != 2 { // parallel collapsed, self-loop dropped
+		t.Errorf("Undirected NumEdges = %d, want 2", u.NumEdges())
+	}
+	if !u.HasEdge(0, 1) || !u.HasEdge(1, 2) || u.HasEdge(0, 2) {
+		t.Error("Undirected adjacency wrong")
+	}
+}
+
+func TestDigraphMaxDegree(t *testing.T) {
+	g := NewDigraph(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 1)
+	// Node 1 has indegree 2, outdegree 0 -> degree 2.
+	if got := g.MaxDegree(); got != 2 {
+		t.Errorf("MaxDegree = %d, want 2", got)
+	}
+}
+
+func TestDigraphAddEdgePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range AddEdge did not panic")
+		}
+	}()
+	NewDigraph(2).AddEdge(0, 5)
+}
+
+func TestGraphSelfLoopPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("self-loop AddEdge did not panic")
+		}
+	}()
+	NewGraph(2).AddEdge(1, 1)
+}
+
+func TestBFSDistances(t *testing.T) {
+	g := pathGraph(5)
+	d := g.BFS(0)
+	for i, want := range []int{0, 1, 2, 3, 4} {
+		if d[i] != want {
+			t.Errorf("dist[%d] = %d, want %d", i, d[i], want)
+		}
+	}
+	// Disconnected node.
+	g2 := NewGraph(3)
+	g2.AddEdge(0, 1)
+	d2 := g2.BFS(0)
+	if d2[2] != -1 {
+		t.Errorf("unreachable dist = %d, want -1", d2[2])
+	}
+}
+
+func TestBFSTree(t *testing.T) {
+	g := cycleGraph(6)
+	parent := g.BFSTree(0)
+	if parent[0] != 0 {
+		t.Error("root parent should be itself")
+	}
+	for v := 1; v < 6; v++ {
+		if parent[v] < 0 {
+			t.Errorf("node %d unreached", v)
+		}
+		if !g.HasEdge(v, parent[v]) {
+			t.Errorf("parent edge (%d,%d) not in graph", v, parent[v])
+		}
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g := NewGraph(6)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 4)
+	labels, k := g.ConnectedComponents()
+	if k != 3 {
+		t.Fatalf("k = %d, want 3", k)
+	}
+	if labels[0] != labels[1] || labels[2] != labels[3] || labels[3] != labels[4] {
+		t.Error("component labels wrong within components")
+	}
+	if labels[0] == labels[2] || labels[0] == labels[5] || labels[2] == labels[5] {
+		t.Error("distinct components share labels")
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	cases := []struct {
+		g    *Graph
+		want int
+	}{
+		{pathGraph(5), 4},
+		{cycleGraph(6), 3},
+		{completeGraph(5), 1},
+		{NewGraph(1), 0},
+	}
+	for i, c := range cases {
+		if got := c.g.Diameter(); got != c.want {
+			t.Errorf("case %d: Diameter = %d, want %d", i, got, c.want)
+		}
+	}
+	g := NewGraph(3)
+	g.AddEdge(0, 1)
+	if got := g.Diameter(); got != -1 {
+		t.Errorf("disconnected Diameter = %d, want -1", got)
+	}
+}
+
+func TestDiameterEstimateOnTrees(t *testing.T) {
+	// Double sweep is exact on trees.
+	g := NewGraph(7)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(1, 3)
+	g.AddEdge(3, 4)
+	g.AddEdge(4, 5)
+	g.AddEdge(0, 6)
+	if got, want := g.DiameterEstimate(), g.Diameter(); got != want {
+		t.Errorf("DiameterEstimate = %d, want %d", got, want)
+	}
+}
+
+func TestDiameterEstimateBounds(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		n := 5 + src.Intn(20)
+		g := cycleGraph(n)
+		for i := 0; i < n/2; i++ {
+			u, v := src.Intn(n), src.Intn(n)
+			if u != v && !g.HasEdge(u, v) {
+				g.AddEdge(u, v)
+			}
+		}
+		est := g.DiameterEstimate()
+		exact := g.Diameter()
+		return est <= exact && est*2 >= exact
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsSpanningTree(t *testing.T) {
+	g := cycleGraph(4)
+	if !g.IsSpanningTree([][2]int{{0, 1}, {1, 2}, {2, 3}}) {
+		t.Error("valid spanning tree rejected")
+	}
+	if g.IsSpanningTree([][2]int{{0, 1}, {1, 2}}) {
+		t.Error("too few edges accepted")
+	}
+	if g.IsSpanningTree([][2]int{{0, 1}, {1, 2}, {0, 2}}) {
+		t.Error("non-edge {0,2} accepted")
+	}
+	if g.IsSpanningTree([][2]int{{0, 1}, {0, 1}, {2, 3}}) {
+		t.Error("disconnected edge set accepted")
+	}
+}
+
+func TestMultiBasics(t *testing.T) {
+	m := NewMulti(3)
+	m.AddCrossEdge(0, 1)
+	m.AddCrossEdge(0, 1)
+	m.AddSelfLoop(2)
+	m.AddSelfLoop(0)
+	if m.Degree(0) != 3 || m.Degree(1) != 2 || m.Degree(2) != 1 {
+		t.Errorf("degrees = %d,%d,%d", m.Degree(0), m.Degree(1), m.Degree(2))
+	}
+	if m.SelfLoops(0) != 1 || m.SelfLoops(2) != 1 || m.SelfLoops(1) != 0 {
+		t.Error("self-loop counts wrong")
+	}
+	if !m.IsSymmetric() {
+		t.Error("symmetric multigraph reported asymmetric")
+	}
+	s := m.Simple()
+	if s.NumEdges() != 1 || !s.HasEdge(0, 1) {
+		t.Error("Simple() wrong")
+	}
+}
+
+func TestMultiCutAndConductance(t *testing.T) {
+	// Two triangles joined by one edge, padded to 4-regular with loops.
+	m := NewMulti(6)
+	tri := func(a, b, c int) {
+		m.AddCrossEdge(a, b)
+		m.AddCrossEdge(b, c)
+		m.AddCrossEdge(a, c)
+	}
+	tri(0, 1, 2)
+	tri(3, 4, 5)
+	m.AddCrossEdge(2, 3)
+	for u := 0; u < 6; u++ {
+		for m.Degree(u) < 4 {
+			m.AddSelfLoop(u)
+		}
+	}
+	if !m.IsRegular(4) {
+		t.Fatal("not regular after padding")
+	}
+	inSet := []bool{true, true, true, false, false, false}
+	if got := m.CutSize(inSet); got != 1 {
+		t.Errorf("CutSize = %d, want 1", got)
+	}
+	if got, want := m.Conductance(inSet, 4), 1.0/12.0; got != want {
+		t.Errorf("Conductance = %f, want %f", got, want)
+	}
+	// Exact conductance is achieved by that cut.
+	if got := m.ExactConductance(4); got != 1.0/12.0 {
+		t.Errorf("ExactConductance = %f, want %f", got, 1.0/12.0)
+	}
+}
+
+func TestMinCut(t *testing.T) {
+	// Barbell: min cut is the single bridge.
+	m := NewMulti(6)
+	tri := func(a, b, c int) {
+		m.AddCrossEdge(a, b)
+		m.AddCrossEdge(b, c)
+		m.AddCrossEdge(a, c)
+	}
+	tri(0, 1, 2)
+	tri(3, 4, 5)
+	m.AddCrossEdge(2, 3)
+	if got := m.MinCut(); got != 1 {
+		t.Errorf("MinCut = %d, want 1", got)
+	}
+	// Double the bridge: min cut 2.
+	m.AddCrossEdge(2, 3)
+	if got := m.MinCut(); got != 2 {
+		t.Errorf("MinCut after doubling = %d, want 2", got)
+	}
+}
+
+func TestMinCutCycle(t *testing.T) {
+	m := NewMulti(5)
+	for i := 0; i < 5; i++ {
+		m.AddCrossEdge(i, (i+1)%5)
+	}
+	if got := m.MinCut(); got != 2 {
+		t.Errorf("cycle MinCut = %d, want 2", got)
+	}
+}
+
+func TestMinCutDisconnected(t *testing.T) {
+	m := NewMulti(4)
+	m.AddCrossEdge(0, 1)
+	m.AddCrossEdge(2, 3)
+	if got := m.MinCut(); got != 0 {
+		t.Errorf("disconnected MinCut = %d, want 0", got)
+	}
+}
+
+func TestSpectralGapOrdering(t *testing.T) {
+	src := rng.New(1)
+	// Complete graph mixes fast; cycle mixes slowly.
+	complete := NewMulti(16)
+	for u := 0; u < 16; u++ {
+		for v := u + 1; v < 16; v++ {
+			complete.AddCrossEdge(u, v)
+		}
+	}
+	cyc := NewMulti(16)
+	for i := 0; i < 16; i++ {
+		cyc.AddCrossEdge(i, (i+1)%16)
+	}
+	gc := complete.SpectralGap(300, src.Split(1))
+	gy := cyc.SpectralGap(300, src.Split(2))
+	if gc <= gy {
+		t.Errorf("complete gap %f should exceed cycle gap %f", gc, gy)
+	}
+	if gy <= 0 {
+		t.Errorf("cycle gap should be positive, got %f", gy)
+	}
+}
+
+func TestSweepConductanceBrackets(t *testing.T) {
+	// On the two-triangle barbell the sweep must find the bridge cut.
+	m := NewMulti(6)
+	tri := func(a, b, c int) {
+		m.AddCrossEdge(a, b)
+		m.AddCrossEdge(b, c)
+		m.AddCrossEdge(a, c)
+	}
+	tri(0, 1, 2)
+	tri(3, 4, 5)
+	m.AddCrossEdge(2, 3)
+	for u := 0; u < 6; u++ {
+		for m.Degree(u) < 4 {
+			m.AddSelfLoop(u)
+		}
+	}
+	src := rng.New(7)
+	sweep := m.SweepConductance(4, 300, src)
+	exact := m.ExactConductance(4)
+	if sweep < exact-1e-12 {
+		t.Errorf("sweep %f below exact minimum %f", sweep, exact)
+	}
+	if sweep > exact+1e-9 {
+		t.Errorf("sweep %f failed to find the bridge cut (exact %f)", sweep, exact)
+	}
+}
+
+func TestBiconnectedComponentsChain(t *testing.T) {
+	// Two triangles sharing vertex 2: vertex 2 is the cut vertex and
+	// there are two biconnected components.
+	g := NewGraph(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 4)
+	g.AddEdge(2, 4)
+	b := g.BiconnectedComponents()
+	if b.NumComponents != 2 {
+		t.Errorf("NumComponents = %d, want 2", b.NumComponents)
+	}
+	if len(b.CutVertices) != 1 || b.CutVertices[0] != 2 {
+		t.Errorf("CutVertices = %v, want [2]", b.CutVertices)
+	}
+	if len(b.Bridges) != 0 {
+		t.Errorf("Bridges = %v, want none", b.Bridges)
+	}
+}
+
+func TestBiconnectedComponentsBridges(t *testing.T) {
+	g := pathGraph(4)
+	b := g.BiconnectedComponents()
+	if b.NumComponents != 3 {
+		t.Errorf("NumComponents = %d, want 3", b.NumComponents)
+	}
+	if len(b.Bridges) != 3 {
+		t.Errorf("Bridges = %v, want 3 bridges", b.Bridges)
+	}
+	if len(b.CutVertices) != 2 {
+		t.Errorf("CutVertices = %v, want [1 2]", b.CutVertices)
+	}
+}
+
+func TestBiconnectedCycle(t *testing.T) {
+	g := cycleGraph(5)
+	b := g.BiconnectedComponents()
+	if b.NumComponents != 1 {
+		t.Errorf("cycle NumComponents = %d, want 1", b.NumComponents)
+	}
+	if len(b.CutVertices) != 0 || len(b.Bridges) != 0 {
+		t.Errorf("cycle has cuts %v bridges %v", b.CutVertices, b.Bridges)
+	}
+	if !g.IsBiconnected() {
+		t.Error("cycle should be biconnected")
+	}
+	if pathGraph(4).IsBiconnected() {
+		t.Error("path should not be biconnected")
+	}
+}
+
+func TestBiconnectedEveryEdgeLabeled(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		n := 4 + src.Intn(20)
+		g := pathGraph(n)
+		for i := 0; i < n; i++ {
+			u, v := src.Intn(n), src.Intn(n)
+			if u != v && !g.HasEdge(u, v) {
+				g.AddEdge(u, v)
+			}
+		}
+		b := g.BiconnectedComponents()
+		for _, l := range b.EdgeComponent {
+			if l < 0 || l >= b.NumComponents {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSameBiconnectedPartition(t *testing.T) {
+	if !SameBiconnectedPartition([]int{0, 0, 1}, []int{5, 5, 3}) {
+		t.Error("relabeled partition rejected")
+	}
+	if SameBiconnectedPartition([]int{0, 0, 1}, []int{5, 3, 3}) {
+		t.Error("different partition accepted")
+	}
+	if SameBiconnectedPartition([]int{0}, []int{0, 1}) {
+		t.Error("length mismatch accepted")
+	}
+	if SameBiconnectedPartition([]int{0, 1}, []int{0, 0}) {
+		t.Error("merged labels accepted")
+	}
+}
+
+func TestGreedyMISAndVerify(t *testing.T) {
+	g := pathGraph(5)
+	mis := g.GreedyMIS(nil)
+	ind, max := g.VerifyMIS(mis)
+	if !ind || !max {
+		t.Errorf("greedy MIS invalid: independent=%v maximal=%v", ind, max)
+	}
+	// {0,2,4} expected from identity order.
+	want := []bool{true, false, true, false, true}
+	for i := range want {
+		if mis[i] != want[i] {
+			t.Errorf("mis[%d] = %v, want %v", i, mis[i], want[i])
+		}
+	}
+	// Broken sets must be detected.
+	ind, _ = g.VerifyMIS([]bool{true, true, false, false, false})
+	if ind {
+		t.Error("adjacent pair accepted as independent")
+	}
+	_, max = g.VerifyMIS([]bool{true, false, false, false, true})
+	if max {
+		t.Error("non-maximal set accepted as maximal")
+	}
+}
+
+func TestGreedyMISProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		n := 1 + src.Intn(30)
+		g := NewGraph(n)
+		for i := 0; i < n*2; i++ {
+			u, v := src.Intn(n), src.Intn(n)
+			if u != v && !g.HasEdge(u, v) {
+				g.AddEdge(u, v)
+			}
+		}
+		mis := g.GreedyMIS(src.Perm(n))
+		ind, max := g.VerifyMIS(mis)
+		return ind && max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := pathGraph(3)
+	c := g.Clone()
+	c.AddEdge(0, 2)
+	if g.HasEdge(0, 2) {
+		t.Error("Clone shares storage with original")
+	}
+	d := NewDigraph(3)
+	d.AddEdge(0, 1)
+	dc := d.Clone()
+	dc.AddEdge(1, 2)
+	if len(d.Out[1]) != 0 {
+		t.Error("Digraph Clone shares storage")
+	}
+}

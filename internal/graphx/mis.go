@@ -1,0 +1,65 @@
+package graphx
+
+// GreedyMIS returns the lexicographically-first maximal independent set
+// with respect to the given visiting order (identity order if nil).
+// It is the sequential oracle the distributed MIS is validated against
+// via VerifyMIS (any valid MIS passes; greedy supplies one witness).
+func (g *Graph) GreedyMIS(order []int) []bool {
+	if order == nil {
+		order = make([]int, g.N)
+		for i := range order {
+			order[i] = i
+		}
+	}
+	inMIS := make([]bool, g.N)
+	blocked := make([]bool, g.N)
+	for _, u := range order {
+		if blocked[u] {
+			continue
+		}
+		inMIS[u] = true
+		blocked[u] = true
+		for _, v := range g.Adj[u] {
+			blocked[v] = true
+		}
+	}
+	return inMIS
+}
+
+// VerifyMIS checks independence (no two set members adjacent) and
+// maximality (every non-member has a member neighbor) of the claimed
+// set, returning which property failed first.
+func (g *Graph) VerifyMIS(inMIS []bool) (independent, maximal bool) {
+	if len(inMIS) != g.N {
+		return false, false
+	}
+	independent = true
+	for u := 0; u < g.N && independent; u++ {
+		if !inMIS[u] {
+			continue
+		}
+		for _, v := range g.Adj[u] {
+			if inMIS[v] {
+				independent = false
+				break
+			}
+		}
+	}
+	maximal = true
+	for u := 0; u < g.N && maximal; u++ {
+		if inMIS[u] {
+			continue
+		}
+		covered := false
+		for _, v := range g.Adj[u] {
+			if inMIS[v] {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			maximal = false
+		}
+	}
+	return independent, maximal
+}

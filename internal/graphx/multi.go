@@ -1,0 +1,232 @@
+package graphx
+
+import "fmt"
+
+// Multi is an undirected multigraph with self-loops, stored as per-node
+// slot lists: Slots[u] is the multiset of u's edge endpoints, with a
+// self-loop represented by u's own index occupying one slot.
+//
+// This is the representation the paper's benign graphs (Definition 2.1)
+// live in: each node owns exactly ∆ slots, at least ∆/2 of which are
+// self-loops, and a random-walk step picks a slot uniformly. Cross edges
+// appear in both endpoints' slot lists.
+type Multi struct {
+	// N is the number of nodes.
+	N int
+	// Slots[u] is the multiset of neighbors of u (self-loops included
+	// as u itself).
+	Slots [][]int
+}
+
+// NewMulti returns an empty multigraph on n nodes.
+func NewMulti(n int) *Multi {
+	return &Multi{N: n, Slots: make([][]int, n)}
+}
+
+// AddCrossEdge inserts an undirected edge {u,v}, u != v, occupying one
+// slot at each endpoint.
+func (m *Multi) AddCrossEdge(u, v int) {
+	if u == v {
+		panic("graphx: AddCrossEdge with u == v; use AddSelfLoop")
+	}
+	m.checkRange(u)
+	m.checkRange(v)
+	m.Slots[u] = append(m.Slots[u], v)
+	m.Slots[v] = append(m.Slots[v], u)
+}
+
+// AddSelfLoop inserts a self-loop at u, occupying one slot.
+func (m *Multi) AddSelfLoop(u int) {
+	m.checkRange(u)
+	m.Slots[u] = append(m.Slots[u], u)
+}
+
+func (m *Multi) checkRange(u int) {
+	if u < 0 || u >= m.N {
+		panic(fmt.Sprintf("graphx: node %d out of range [0,%d)", u, m.N))
+	}
+}
+
+// Degree returns the slot count of u (self-loops count once).
+func (m *Multi) Degree(u int) int { return len(m.Slots[u]) }
+
+// IsRegular reports whether every node has exactly delta slots.
+func (m *Multi) IsRegular(delta int) bool {
+	for _, s := range m.Slots {
+		if len(s) != delta {
+			return false
+		}
+	}
+	return true
+}
+
+// SelfLoops returns the number of self-loop slots at u.
+func (m *Multi) SelfLoops(u int) int {
+	c := 0
+	for _, v := range m.Slots[u] {
+		if v == u {
+			c++
+		}
+	}
+	return c
+}
+
+// IsSymmetric verifies the cross-edge invariant: for u != v, v appears
+// in u's slots exactly as often as u appears in v's.
+func (m *Multi) IsSymmetric() bool {
+	counts := make(map[[2]int]int)
+	for u, slots := range m.Slots {
+		for _, v := range slots {
+			if v == u {
+				continue
+			}
+			counts[[2]int{u, v}]++
+		}
+	}
+	for key, c := range counts {
+		if counts[[2]int{key[1], key[0]}] != c {
+			return false
+		}
+	}
+	return true
+}
+
+// Simple collapses the multigraph to its simple undirected version
+// (self-loops and multiplicities dropped), the graph whose diameter and
+// connectivity the theorems speak about.
+func (m *Multi) Simple() *Graph {
+	g := NewGraph(m.N)
+	seen := make(map[[2]int]bool)
+	for u, slots := range m.Slots {
+		for _, v := range slots {
+			if v == u {
+				continue
+			}
+			lo, hi := u, v
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			key := [2]int{lo, hi}
+			if !seen[key] {
+				seen[key] = true
+				g.AddEdge(lo, hi)
+			}
+		}
+	}
+	return g
+}
+
+// CutSize returns the number of cross edges with exactly one endpoint
+// in the set marked true. Self-loops never cross.
+func (m *Multi) CutSize(inSet []bool) int {
+	cut := 0
+	for u, slots := range m.Slots {
+		if !inSet[u] {
+			continue
+		}
+		for _, v := range slots {
+			if v != u && !inSet[v] {
+				cut++
+			}
+		}
+	}
+	return cut
+}
+
+// Conductance returns Φ(S) for a ∆-regular multigraph per Definition
+// 1.7: cut(S) / (∆·|S|), computed with the set's own size (the caller
+// chooses S with |S| ≤ N/2). delta is the regular degree.
+func (m *Multi) Conductance(inSet []bool, delta int) float64 {
+	size := 0
+	for _, in := range inSet {
+		if in {
+			size++
+		}
+	}
+	if size == 0 {
+		return 1
+	}
+	return float64(m.CutSize(inSet)) / float64(delta*size)
+}
+
+// MinCut computes the global minimum cut weight of the multigraph's
+// cross edges via Stoer-Wagner. Self-loops are ignored. Returns 0 for
+// disconnected graphs and -1 when N < 2.
+func (m *Multi) MinCut() int {
+	if m.N < 2 {
+		return -1
+	}
+	// Dense weight matrix of cross-edge multiplicities.
+	w := make([][]int64, m.N)
+	for i := range w {
+		w[i] = make([]int64, m.N)
+	}
+	// Each cross edge of multiplicity k appears k times in u's slots
+	// (filling w[u][v]) and k times in v's (filling w[v][u]), so the
+	// matrix comes out symmetric with the right multiplicities.
+	for u, slots := range m.Slots {
+		for _, v := range slots {
+			if v != u {
+				w[u][v]++
+			}
+		}
+	}
+	return int(stoerWagner(w))
+}
+
+// stoerWagner runs the Stoer-Wagner minimum-cut algorithm on a
+// symmetric weight matrix, contracting in place. O(V^3).
+func stoerWagner(w [][]int64) int64 {
+	n := len(w)
+	active := make([]int, n)
+	for i := range active {
+		active[i] = i
+	}
+	const inf = int64(1) << 62
+	best := inf
+	for len(active) > 1 {
+		// Maximum-adjacency ordering over the active vertices.
+		a := make([]int64, n) // connectivity to the growing set A
+		order := make([]int, 0, len(active))
+		inA := make([]bool, n)
+		for len(order) < len(active) {
+			sel, selW := -1, int64(-1)
+			for _, v := range active {
+				if !inA[v] && a[v] > selW {
+					sel, selW = v, a[v]
+				}
+			}
+			inA[sel] = true
+			order = append(order, sel)
+			for _, v := range active {
+				if !inA[v] {
+					a[v] += w[sel][v]
+				}
+			}
+		}
+		t := order[len(order)-1]
+		cutOfPhase := a[t]
+		if cutOfPhase < best {
+			best = cutOfPhase
+		}
+		// Merge t into s (the second-to-last vertex of the ordering).
+		s := order[len(order)-2]
+		for _, v := range active {
+			if v != s && v != t {
+				w[s][v] += w[t][v]
+				w[v][s] = w[s][v]
+			}
+		}
+		// Remove t from the active list.
+		for i, v := range active {
+			if v == t {
+				active = append(active[:i], active[i+1:]...)
+				break
+			}
+		}
+	}
+	if best == inf {
+		return 0
+	}
+	return best
+}

@@ -1,0 +1,166 @@
+package graphx
+
+// BFS returns the hop distance from src to every node in the undirected
+// graph g; unreachable nodes get -1.
+func (g *Graph) BFS(src int) []int {
+	dist := make([]int, g.N)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := make([]int, 0, g.N)
+	queue = append(queue, src)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.Adj[u] {
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// BFSTree returns parent pointers of a BFS tree rooted at src
+// (parent[src] = src; unreachable nodes get -1).
+func (g *Graph) BFSTree(src int) []int {
+	parent := make([]int, g.N)
+	for i := range parent {
+		parent[i] = -1
+	}
+	parent[src] = src
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.Adj[u] {
+			if parent[v] < 0 {
+				parent[v] = u
+				queue = append(queue, v)
+			}
+		}
+	}
+	return parent
+}
+
+// ConnectedComponents labels every node with a component index in
+// [0, k) and returns the labels along with k.
+func (g *Graph) ConnectedComponents() (labels []int, k int) {
+	labels = make([]int, g.N)
+	for i := range labels {
+		labels[i] = -1
+	}
+	for src := 0; src < g.N; src++ {
+		if labels[src] >= 0 {
+			continue
+		}
+		labels[src] = k
+		queue := []int{src}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range g.Adj[u] {
+				if labels[v] < 0 {
+					labels[v] = k
+					queue = append(queue, v)
+				}
+			}
+		}
+		k++
+	}
+	return labels, k
+}
+
+// IsConnected reports whether g is connected. The empty graph counts as
+// connected.
+func (g *Graph) IsConnected() bool {
+	if g.N == 0 {
+		return true
+	}
+	_, k := g.ConnectedComponents()
+	return k == 1
+}
+
+// Eccentricity returns the maximum finite BFS distance from src, or -1
+// if some node is unreachable.
+func (g *Graph) Eccentricity(src int) int {
+	ecc := 0
+	for _, d := range g.BFS(src) {
+		if d < 0 {
+			return -1
+		}
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc
+}
+
+// Diameter returns the exact diameter by running BFS from every node.
+// Returns -1 for disconnected graphs. O(N·E): use DiameterEstimate for
+// large graphs.
+func (g *Graph) Diameter() int {
+	diam := 0
+	for u := 0; u < g.N; u++ {
+		e := g.Eccentricity(u)
+		if e < 0 {
+			return -1
+		}
+		if e > diam {
+			diam = e
+		}
+	}
+	return diam
+}
+
+// DiameterEstimate lower-bounds the diameter with a double BFS sweep
+// (exact on trees, never more than a factor 2 low in general). Returns
+// -1 for disconnected graphs.
+func (g *Graph) DiameterEstimate() int {
+	if g.N == 0 {
+		return 0
+	}
+	d0 := g.BFS(0)
+	far, fd := 0, 0
+	for v, d := range d0 {
+		if d < 0 {
+			return -1
+		}
+		if d > fd {
+			far, fd = v, d
+		}
+	}
+	est := 0
+	for _, d := range g.BFS(far) {
+		if d > est {
+			est = d
+		}
+	}
+	return est
+}
+
+// IsSpanningTree reports whether the edge set tree (pairs of endpoints)
+// forms a spanning tree of g: exactly N-1 edges, all of which are edges
+// of g, connecting all nodes.
+func (g *Graph) IsSpanningTree(tree [][2]int) bool {
+	if g.N == 0 {
+		return len(tree) == 0
+	}
+	if len(tree) != g.N-1 {
+		return false
+	}
+	t := NewGraph(g.N)
+	for _, e := range tree {
+		u, v := e[0], e[1]
+		if u < 0 || u >= g.N || v < 0 || v >= g.N || u == v {
+			return false
+		}
+		if !g.HasEdge(u, v) {
+			return false
+		}
+		t.AddEdge(u, v)
+	}
+	return t.IsConnected()
+}

@@ -1,0 +1,226 @@
+package hybrid
+
+import (
+	"fmt"
+
+	"overlay/internal/expander"
+	"overlay/internal/graphx"
+	"overlay/internal/rng"
+	"overlay/internal/sim"
+	"overlay/internal/wft"
+)
+
+// Connected components (Theorem 1.2): transform G into the
+// bounded-degree graph H via the spanner + delegation of Lemma 4.3,
+// make H benign without edge copying (the §4.1 adaptation), run
+// CreateExpander with long walks ℓ = Θ(Λ²) simulated by rapid sampling
+// (Lemma 4.2: length-ℓ walks in O(log ℓ) rounds at global capacity
+// O(∆ℓ/8) = O(log³ n)), and build a well-formed tree per component of
+// the evolved graph. Walks never leave a component, so the evolution
+// operates on every component independently and simultaneously; the
+// component structure is read off the evolved graph exactly as the
+// per-component floods would discover it.
+
+// CCParams tune ConnectedComponents.
+type CCParams struct {
+	// MBound is the known upper bound on component size (Theorem 1.2's
+	// m); 0 means n.
+	MBound int
+	// Seed drives all randomness.
+	Seed uint64
+	// RecordPaths retains walk histories (needed by SpanningTree).
+	RecordPaths bool
+}
+
+// CCResult is the outcome of ConnectedComponents.
+type CCResult struct {
+	// Labels[v] is v's component label in [0, NumComponents).
+	Labels []int
+	// NumComponents is the number of connected components found.
+	NumComponents int
+	// Trees[c] is the well-formed tree of component c, over the
+	// component's nodes in global indices.
+	Trees []*ComponentTree
+	// Ledger itemizes the round bill.
+	Ledger *Ledger
+
+	// Internals retained for the spanning-tree construction.
+	spanner  *SpannerResult
+	expander *expander.Result
+	benign   *graphx.Multi
+	delta    int
+}
+
+// ComponentTree is a well-formed tree over one component.
+type ComponentTree struct {
+	// Nodes lists the component's members (global indices); the tree's
+	// local indices refer to positions in this slice.
+	Nodes []int
+	// Tree is the well-formed tree over local indices.
+	Tree *wft.Tree
+}
+
+// hybridExpanderParams derives the §4.1 evolution parameters for a
+// balanced graph H: ∆ ≥ max(8·⌈log₂ n⌉, 2·deg_H) so self-loop padding
+// alone makes H benign, walks ℓ = Θ(log² n), and L' = Θ(log m / log ℓ)
+// evolutions (the conductance gains a Θ(√ℓ) factor per evolution).
+func hybridExpanderParams(h *graphx.Graph, mBound int) expander.Params {
+	n := h.N
+	lg := sim.LogBound(n)
+	delta := 8 * lg
+	if d := 2 * h.MaxDegree(); d > delta {
+		delta = d
+	}
+	if delta < 16 {
+		delta = 16
+	}
+	if r := delta % 8; r != 0 {
+		delta += 8 - r
+	}
+	ell := lg * lg
+	if ell < 64 {
+		ell = 64
+	}
+	logEll := sim.LogBound(ell)
+	lm := sim.LogBound(mBound)
+	evolutions := 2*lm/logEll + 2
+	return expander.Params{Delta: delta, Ell: ell, Evolutions: evolutions}
+}
+
+// makeBenignNoCopy pads H with self-loops to ∆-regularity, the §4.1
+// preparation. Instead of the NCC0 variant's uniform Λ-fold edge
+// copying (impossible at unbounded degree), each edge is copied as
+// often as both endpoints' ∆/2 cross-slot budgets allow: low-degree
+// nodes — exactly the ones whose small cuts make evolutions fragile —
+// regain Θ(∆) cross multiplicity, while high-degree nodes keep
+// multiplicity 1 and rely on their many distinct neighbors, matching
+// the paper's use of long walks for the cut guarantee (Lemma 3.12).
+func makeBenignNoCopy(h *graphx.Graph, delta int) (*graphx.Multi, error) {
+	m := graphx.NewMulti(h.N)
+	for _, e := range h.Edges() {
+		du, dv := h.Degree(e[0]), h.Degree(e[1])
+		hi := du
+		if dv > hi {
+			hi = dv
+		}
+		copies := delta / 2 / hi
+		if copies < 1 {
+			copies = 1
+		}
+		for c := 0; c < copies; c++ {
+			m.AddCrossEdge(e[0], e[1])
+		}
+	}
+	for v := 0; v < h.N; v++ {
+		if m.Degree(v) > delta/2 {
+			return nil, fmt.Errorf("hybrid: node %d degree %d exceeds ∆/2 = %d", v, m.Degree(v), delta/2)
+		}
+		for m.Degree(v) < delta {
+			m.AddSelfLoop(v)
+		}
+	}
+	return m, nil
+}
+
+// ConnectedComponents finds the components of (the undirected version
+// of) g and equips each with a well-formed tree.
+func ConnectedComponents(g *graphx.Digraph, p CCParams) (*CCResult, error) {
+	und := g.Undirected()
+	n := und.N
+	ledger := &Ledger{}
+	res := &CCResult{Ledger: ledger}
+	if n == 0 {
+		res.Labels = []int{}
+		return res, nil
+	}
+	mBound := p.MBound
+	if mBound <= 0 || mBound > n {
+		mBound = n
+	}
+	src := rng.New(p.Seed)
+
+	// Phase 1: spanner + degree balancing (Lemma 4.3).
+	sp := Spanner(und, mBound, 0, src.Split(1))
+	ledger.Append("", sp.Ledger)
+	res.spanner = sp
+
+	// Phase 2: benign preparation and evolutions with rapid sampling.
+	ep := hybridExpanderParams(sp.H, mBound)
+	ep.RecordPaths = p.RecordPaths
+	benignGraph, err := makeBenignNoCopy(sp.H, ep.Delta)
+	if err != nil {
+		return nil, err
+	}
+	res.benign = benignGraph
+	res.delta = ep.Delta
+	exp := expander.CreateExpander(benignGraph, ep, src.Split(2))
+	res.expander = exp
+	// Rapid sampling (Lemma 4.2): each evolution's length-ℓ walks cost
+	// O(log ℓ) rounds at global capacity O(∆/8·ℓ); plus 2 rounds for
+	// acceptance/replies.
+	logEll := sim.LogBound(ep.Ell)
+	ledger.Charge(
+		fmt.Sprintf("evolutions ×%d (rapid sampling)", ep.Evolutions),
+		ep.Evolutions*(2*logEll+2),
+		ep.Delta/8*ep.Ell,
+	)
+
+	// Phase 3: component discovery and per-component trees. The
+	// evolved graph has exactly G's components (walks cannot cross);
+	// the min-ID floods of the tree protocol operate per component.
+	finalSimple := exp.Final.Simple()
+	labels, k := finalSimple.ConnectedComponents()
+	res.Labels = labels
+	res.NumComponents = k
+
+	// Verify the evolution preserved components (it must; a violation
+	// is an implementation bug worth failing loudly on).
+	origLabels, origK := und.ConnectedComponents()
+	if origK != k {
+		return nil, fmt.Errorf("hybrid: evolution changed component count %d -> %d", origK, k)
+	}
+	_ = origLabels
+
+	members := make([][]int, k)
+	for v, c := range labels {
+		members[c] = append(members[c], v)
+	}
+	res.Trees = make([]*ComponentTree, k)
+	maxFlood := 0
+	maxSize := 0
+	for c, nodes := range members {
+		local := graphx.NewGraph(len(nodes))
+		index := make(map[int]int, len(nodes))
+		for i, v := range nodes {
+			index[v] = i
+		}
+		seen := map[[2]int]bool{}
+		for _, v := range nodes {
+			for _, w := range finalSimple.Adj[v] {
+				a, b := index[v], index[w]
+				if a > b {
+					a, b = b, a
+				}
+				if a != b && !seen[[2]int{a, b}] {
+					seen[[2]int{a, b}] = true
+					local.AddEdge(a, b)
+				}
+			}
+		}
+		tree, err := wft.FromGraph(local, nil)
+		if err != nil {
+			return nil, fmt.Errorf("hybrid: component %d tree: %w", c, err)
+		}
+		res.Trees[c] = &ComponentTree{Nodes: nodes, Tree: tree}
+		if d := local.DiameterEstimate(); d+2 > maxFlood {
+			maxFlood = d + 2
+		}
+		if len(nodes) > maxSize {
+			maxSize = len(nodes)
+		}
+	}
+	// All component trees are built simultaneously; the bill is the
+	// worst component's well-formed-tree schedule.
+	ledger.Charge("per-component trees", wft.Rounds(maxFlood, maxSize+1), sim.LogBound(n))
+	return res, nil
+}

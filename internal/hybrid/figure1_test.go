@@ -1,0 +1,99 @@
+package hybrid
+
+import (
+	"testing"
+
+	"overlay/internal/graphx"
+)
+
+// TestFigure1Rules reproduces Figure 1 of the paper: the three
+// Tarjan-Vishkin helper-graph rules on their canonical gadgets.
+// Experiment E12 in DESIGN.md.
+
+// TestFigure1Rule1 — left image: a non-tree edge {v,w} between two
+// different subtrees connects the two parent edges, merging the cycle
+// u-v-w-x-u into one biconnected component.
+func TestFigure1Rule1(t *testing.T) {
+	// u=0, x=1 siblings under root r=4; v=2 child of u, w=3 child of x.
+	g := graphx.NewDigraph(5)
+	g.AddEdge(4, 0) // r-u
+	g.AddEdge(4, 1) // r-x
+	g.AddEdge(0, 2) // u-v
+	g.AddEdge(1, 3) // x-w
+	g.AddEdge(2, 3) // the non-tree edge {v,w}
+	res, err := Biconnectivity(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := g.Undirected().BiconnectedComponents()
+	if !graphx.SameBiconnectedPartition(res.EdgeComponent, want.EdgeComponent) {
+		t.Error("rule 1 gadget mislabeled")
+	}
+	// The cycle edges u-v, x-w, v-w plus the two root edges that close
+	// the cycle r-u, r-x form one component: all 5 edges together.
+	if res.NumComponents != 1 {
+		t.Errorf("components = %d, want 1 (cycle through the root)", res.NumComponents)
+	}
+}
+
+// TestFigure1Rule2 — center image: a non-tree edge from a descendant
+// of w to a non-descendant of v connects the tree edges (w,v) and
+// (v,u) on the path toward the lowest common ancestor.
+func TestFigure1Rule2(t *testing.T) {
+	// Chain u=0 - v=1 - w=2 - d=3 plus back edge d-u.
+	g := graphx.NewDigraph(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 0) // back edge from w's descendant to u
+	res, err := Biconnectivity(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumComponents != 1 {
+		t.Errorf("components = %d, want 1 (single cycle)", res.NumComponents)
+	}
+	if len(res.CutVertices) != 0 {
+		t.Errorf("cycle has cut vertices %v", res.CutVertices)
+	}
+}
+
+// TestFigure1Rule3 — right image: a non-tree edge {v,w} itself joins
+// the component of w's parent edge, extending the component without
+// merging others.
+func TestFigure1Rule3(t *testing.T) {
+	// Triangle 0-1-2 with a pendant path 2-3: the triangle is one
+	// component (rule 3 attaches the non-tree closing edge), the
+	// pendant edge a second one, and 2 is the cut vertex.
+	g := graphx.NewDigraph(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 2)
+	g.AddEdge(2, 3)
+	res, err := Biconnectivity(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumComponents != 2 {
+		t.Errorf("components = %d, want 2", res.NumComponents)
+	}
+	if len(res.CutVertices) != 1 || res.CutVertices[0] != 2 {
+		t.Errorf("cut vertices = %v, want [2]", res.CutVertices)
+	}
+	if len(res.Bridges) != 1 || res.Bridges[0] != [2]int{2, 3} {
+		t.Errorf("bridges = %v, want [[2 3]]", res.Bridges)
+	}
+	// The three triangle edges share a label distinct from the bridge.
+	und := g.Undirected().Edges()
+	labels := map[[2]int]int{}
+	for i, e := range und {
+		labels[e] = res.EdgeComponent[i]
+	}
+	tri := labels[[2]int{0, 1}]
+	if labels[[2]int{1, 2}] != tri || labels[[2]int{0, 2}] != tri {
+		t.Error("triangle edges not in one component")
+	}
+	if labels[[2]int{2, 3}] == tri {
+		t.Error("bridge shares the triangle's component")
+	}
+}

@@ -1,0 +1,94 @@
+// Package hybrid implements the applications of Section 4 in the
+// paper's hybrid network model: the local network is the input graph G
+// under CONGEST (one O(log n)-bit message per edge per round), and
+// nodes may additionally exchange a polylogarithmic number of messages
+// per round over global edges established during execution.
+//
+// Execution model of this package: phases whose data movement is local
+// and synchronous (spanner broadcasts, Ghaffari/Métivier MIS rounds,
+// token walks) are simulated round-by-round with their communication
+// counted; phases that the paper itself invokes as black-box
+// primitives with known costs (rapid sampling of Lemma 4.2, the
+// Euler-tour/pointer-jumping toolbox of [19], multicast trees of [6])
+// are computed directly and charged their cited round and
+// global-capacity costs on a Ledger. Every algorithm returns its
+// Ledger, so experiments report the full, itemized round bill; the
+// correctness of each phase's *output* is always real and is checked
+// against sequential oracles in tests.
+package hybrid
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Phase is one ledger entry.
+type Phase struct {
+	// Name identifies the phase.
+	Name string
+	// Rounds is the synchronous round cost (measured for simulated
+	// phases, the cited bound for charged primitives).
+	Rounds int
+	// GlobalPerRound is the peak per-node per-round global-message
+	// load of the phase (the γ the theorems bound).
+	GlobalPerRound int
+	// Charged marks analytically charged (vs. measured) entries.
+	Charged bool
+}
+
+// Ledger itemizes an algorithm's round bill.
+type Ledger struct {
+	Phases []Phase
+}
+
+// Measure records a simulated phase with measured costs.
+func (l *Ledger) Measure(name string, rounds, globalPerRound int) {
+	l.Phases = append(l.Phases, Phase{Name: name, Rounds: rounds, GlobalPerRound: globalPerRound})
+}
+
+// Charge records an analytically charged primitive invocation.
+func (l *Ledger) Charge(name string, rounds, globalPerRound int) {
+	l.Phases = append(l.Phases, Phase{Name: name, Rounds: rounds, GlobalPerRound: globalPerRound, Charged: true})
+}
+
+// Rounds sums the round costs.
+func (l *Ledger) Rounds() int {
+	total := 0
+	for _, p := range l.Phases {
+		total += p.Rounds
+	}
+	return total
+}
+
+// MaxGlobalPerRound returns the peak global load over all phases.
+func (l *Ledger) MaxGlobalPerRound() int {
+	max := 0
+	for _, p := range l.Phases {
+		if p.GlobalPerRound > max {
+			max = p.GlobalPerRound
+		}
+	}
+	return max
+}
+
+// Append merges another ledger's phases (prefixing their names).
+func (l *Ledger) Append(prefix string, other *Ledger) {
+	for _, p := range other.Phases {
+		p.Name = prefix + p.Name
+		l.Phases = append(l.Phases, p)
+	}
+}
+
+// String renders the itemized bill.
+func (l *Ledger) String() string {
+	var b strings.Builder
+	for _, p := range l.Phases {
+		kind := "measured"
+		if p.Charged {
+			kind = "charged"
+		}
+		fmt.Fprintf(&b, "%-28s %5d rounds  γ≤%-6d (%s)\n", p.Name, p.Rounds, p.GlobalPerRound, kind)
+	}
+	fmt.Fprintf(&b, "%-28s %5d rounds  γ≤%d\n", "TOTAL", l.Rounds(), l.MaxGlobalPerRound())
+	return b.String()
+}

@@ -1,0 +1,258 @@
+package hybrid
+
+import (
+	"fmt"
+
+	"overlay/internal/graphx"
+	"overlay/internal/rng"
+	"overlay/internal/sim"
+)
+
+// Maximal independent set (Theorem 1.5): Ghaffari's weak-MIS shatters
+// the graph in O(log d) CONGEST rounds — afterwards the undecided
+// nodes form small isolated components w.h.p. Each component gets a
+// well-formed tree via Theorem 1.2 (O(log m + log log n) rounds), then
+// Θ(log n) independent executions of Métivier et al.'s bit-exchange
+// MIS run in parallel (one bit per execution per round fits one
+// CONGEST message); the tree root aggregates which execution finished
+// first and broadcasts its index, and the component adopts that
+// execution's result.
+
+// MISResult is the outcome of MIS.
+type MISResult struct {
+	// InMIS[v] reports membership of node v.
+	InMIS []bool
+	// ShatterRounds is the measured length of the Ghaffari stage.
+	ShatterRounds int
+	// UndecidedAfterShatter counts nodes left for stage 2.
+	UndecidedAfterShatter int
+	// Components is the number of undecided components shattered into.
+	Components int
+	// MaxComponent is the largest undecided component's size.
+	MaxComponent int
+	// AdoptedFinishRound is the max over components of the finishing
+	// round of the adopted Métivier execution.
+	AdoptedFinishRound int
+	// Ledger itemizes the round bill.
+	Ledger *Ledger
+}
+
+// MIS computes a maximal independent set of (the undirected version
+// of) g.
+func MIS(g *graphx.Digraph, seed uint64) (*MISResult, error) {
+	und := g.Undirected()
+	n := und.N
+	ledger := &Ledger{}
+	res := &MISResult{InMIS: make([]bool, n), Ledger: ledger}
+	if n == 0 {
+		return res, nil
+	}
+	src := rng.New(seed)
+
+	// Stage 1: Ghaffari's weak MIS for Θ(log d) rounds. Every node
+	// keeps a desire level p_v; marked nodes with no marked neighbor
+	// join, neighbors of joiners leave, and p_v halves when the
+	// neighborhood is crowded (Σ p_u ≥ 2) and doubles otherwise.
+	d := und.MaxDegree()
+	stage1 := 6 * sim.LogBound(d+2)
+	undecided := make([]bool, n)
+	for i := range undecided {
+		undecided[i] = true
+	}
+	p := make([]float64, n)
+	for i := range p {
+		p[i] = 0.5
+	}
+	gh := src.Split(1)
+	for round := 0; round < stage1; round++ {
+		marked := make([]bool, n)
+		for v := 0; v < n; v++ {
+			if undecided[v] && gh.Float64() < p[v] {
+				marked[v] = true
+			}
+		}
+		for v := 0; v < n; v++ {
+			if !marked[v] {
+				continue
+			}
+			lone := true
+			for _, w := range und.Adj[v] {
+				if undecided[w] && marked[w] {
+					lone = false
+					break
+				}
+			}
+			if lone {
+				res.InMIS[v] = true
+				undecided[v] = false
+			}
+		}
+		for v := 0; v < n; v++ {
+			if !undecided[v] {
+				continue
+			}
+			for _, w := range und.Adj[v] {
+				if res.InMIS[w] {
+					undecided[v] = false
+					break
+				}
+			}
+		}
+		for v := 0; v < n; v++ {
+			if !undecided[v] {
+				continue
+			}
+			sum := 0.0
+			for _, w := range und.Adj[v] {
+				if undecided[w] {
+					sum += p[w]
+				}
+			}
+			if sum >= 2 {
+				p[v] /= 2
+			} else if p[v] < 0.5 {
+				p[v] *= 2
+			}
+		}
+	}
+	res.ShatterRounds = stage1
+	ledger.Measure("Ghaffari weak-MIS", stage1, 0)
+
+	// Stage 2 input: components of the undecided subgraph.
+	sub := graphx.NewGraph(n)
+	for _, e := range und.Edges() {
+		if undecided[e[0]] && undecided[e[1]] {
+			sub.AddEdge(e[0], e[1])
+		}
+	}
+	undecidedCount := 0
+	for _, u := range undecided {
+		if u {
+			undecidedCount++
+		}
+	}
+	res.UndecidedAfterShatter = undecidedCount
+	if undecidedCount == 0 {
+		return res, validateMIS(und, res.InMIS)
+	}
+	labels, _ := sub.ConnectedComponents()
+	members := map[int][]int{}
+	for v := 0; v < n; v++ {
+		if undecided[v] {
+			members[labels[v]] = append(members[labels[v]], v)
+		}
+	}
+	res.Components = len(members)
+	for _, nodes := range members {
+		if len(nodes) > res.MaxComponent {
+			res.MaxComponent = len(nodes)
+		}
+	}
+	// Component overlays: one Theorem 1.2 invocation over the
+	// undecided subgraph; m is the largest component.
+	ledger.Charge("component overlays (Thm 1.2)", chargedCCRounds(res.MaxComponent+1)+2*sim.LogBound(n), sim.LogBound(n)*sim.LogBound(n)*sim.LogBound(n))
+
+	// Θ(log n) parallel Métivier executions per component: all bits of
+	// a round fit one O(log n)-bit CONGEST message. The component
+	// adopts the first-finishing execution (lowest index on ties).
+	k := sim.LogBound(n)
+	if k < 1 {
+		k = 1
+	}
+	maxFinish := 0
+	for _, nodes := range members {
+		adopted, finish := metivierBest(sub, nodes, k, src.Split(uint64(0xa11c+nodes[0])))
+		for v, in := range adopted {
+			if in {
+				res.InMIS[v] = true
+			}
+		}
+		if finish > maxFinish {
+			maxFinish = finish
+		}
+	}
+	res.AdoptedFinishRound = maxFinish
+	ledger.Measure("parallel Métivier executions", maxFinish, 0)
+	ledger.Charge("finish aggregation + broadcast", 4*sim.LogBound(res.MaxComponent+1)+4, sim.LogBound(n))
+
+	return res, validateMIS(und, res.InMIS)
+}
+
+// metivierBest runs k independent Métivier executions on the nodes of
+// one component of sub, returning the result and finishing round of
+// the earliest-finishing execution (ties: lowest index).
+func metivierBest(sub *graphx.Graph, nodes []int, k int, src *rng.Source) (map[int]bool, int) {
+	bestFinish := -1
+	var bestResult map[int]bool
+	for exec := 0; exec < k; exec++ {
+		es := src.Split(uint64(exec))
+		inMIS := map[int]bool{}
+		alive := map[int]bool{}
+		remaining := len(nodes)
+		for _, v := range nodes {
+			alive[v] = true
+		}
+		rounds := 0
+		// Iterate the fixed nodes order throughout so the per-node
+		// random ranks are deterministic.
+		for remaining > 0 {
+			rounds++
+			rank := map[int]uint64{}
+			for _, v := range nodes {
+				if alive[v] {
+					rank[v] = es.Uint64()
+				}
+			}
+			var joiners []int
+			for _, v := range nodes {
+				if !alive[v] {
+					continue
+				}
+				minLocal := true
+				for _, w := range sub.Adj[v] {
+					if alive[w] && (rank[w] < rank[v] || (rank[w] == rank[v] && w < v)) {
+						minLocal = false
+						break
+					}
+				}
+				if minLocal {
+					joiners = append(joiners, v)
+				}
+			}
+			for _, v := range joiners {
+				inMIS[v] = true
+				if alive[v] {
+					alive[v] = false
+					remaining--
+				}
+				for _, w := range sub.Adj[v] {
+					if alive[w] {
+						alive[w] = false
+						remaining--
+					}
+				}
+			}
+			if bestFinish >= 0 && rounds >= bestFinish {
+				break // cannot beat the incumbent
+			}
+		}
+		if remaining == 0 && (bestFinish < 0 || rounds < bestFinish) {
+			bestFinish = rounds
+			bestResult = inMIS
+		}
+	}
+	return bestResult, bestFinish
+}
+
+// validateMIS confirms independence and maximality, turning violations
+// into errors (they would indicate implementation bugs).
+func validateMIS(g *graphx.Graph, inMIS []bool) error {
+	ind, max := g.VerifyMIS(inMIS)
+	if !ind {
+		return fmt.Errorf("hybrid: MIS result not independent")
+	}
+	if !max {
+		return fmt.Errorf("hybrid: MIS result not maximal")
+	}
+	return nil
+}

@@ -1,0 +1,201 @@
+package hybrid
+
+import (
+	"sort"
+
+	"overlay/internal/graphx"
+	"overlay/internal/rng"
+	"overlay/internal/sim"
+)
+
+// Spanner construction (Section 4.2, after Elkin–Neiman and Miller et
+// al.): every node draws an exponential shift r_v, truncated values are
+// broadcast for 2·log m + 1 rounds, and each node keeps an edge to the
+// predecessor of every source whose shifted distance is within 1 of
+// its maximum. Inactive nodes (reached by no positive value — low
+// degree w.h.p. by Lemma 4.5) add all their incident edges, preserving
+// connectivity (Lemma 4.8) while the out-degree stays O(log n) w.h.p.
+// (Lemma 4.10).
+//
+// The broadcast is simulated synchronously: per round every node
+// offers its current best (source, shift, distance) candidate to each
+// neighbor — exactly one message per edge per round, the CONGEST
+// discipline the model prescribes (Elkin–Neiman's observation that the
+// best candidate suffices).
+
+// SpannerResult carries the balanced bounded-degree graph H of
+// Lemma 4.3 plus the delegation records the spanning-tree repair needs.
+type SpannerResult struct {
+	// Spanner is S(G): the directed spanner edge set (v -> chosen
+	// neighbor), before degree balancing.
+	Spanner *graphx.Digraph
+	// H is the degree-balanced undirected graph of Lemma 4.3: same
+	// components as G, degree O(log n).
+	H *graphx.Graph
+	// DelegationCenter maps a delegated edge {u,w} (canonical u < w)
+	// to the original common neighbor v with (u,v), (w,v) ∈ S(G)'s
+	// undirected closure; used to repair tree edges back into G.
+	DelegationCenter map[[2]int]int
+	// Inactive counts nodes never reached by a positive shifted value.
+	Inactive int
+	// Ledger itemizes the (local-only) round cost.
+	Ledger *Ledger
+}
+
+// Spanner builds the bounded-degree connectivity-preserving graph H
+// from the undirected input graph g. mBound is the known upper bound
+// on component size (use g.N when unknown); lowDeg is the "add all
+// edges" threshold c·log n (0 = default 2⌈log₂ n⌉+2).
+func Spanner(g *graphx.Graph, mBound, lowDeg int, src *rng.Source) *SpannerResult {
+	n := g.N
+	ledger := &Ledger{}
+	if lowDeg <= 0 {
+		lowDeg = 2*sim.LogBound(n) + 2
+	}
+	if mBound < 2 {
+		mBound = 2
+	}
+	logm := sim.LogBound(mBound)
+	horizon := 2*logm + 1
+
+	// Exponential shifts with β = 1/2, discarding values ≥ 2·log m.
+	shift := make([]float64, n)
+	hasShift := make([]bool, n)
+	for v := 0; v < n; v++ {
+		r := src.ExpFloat64(0.5)
+		if r < 2*float64(logm) {
+			shift[v] = r
+			hasShift[v] = true
+		}
+	}
+
+	// Synchronous truncated broadcast. Each node tracks, per source u
+	// it has heard, the best shifted value m_u(v) = r_u - d(u,v) and
+	// the predecessor p_u(v); per round it offers only its current
+	// best source to each neighbor.
+	type sourceInfo struct {
+		val  float64
+		pred int
+	}
+	best := make([]map[int]sourceInfo, n)
+	top := make([]int, n) // current best source per node, -1 if none
+	for v := range best {
+		best[v] = make(map[int]sourceInfo)
+		top[v] = -1
+		if hasShift[v] {
+			best[v][v] = sourceInfo{val: shift[v], pred: v}
+			top[v] = v
+		}
+	}
+	type offer struct {
+		to, source, pred int
+		val              float64
+	}
+	for round := 0; round < horizon; round++ {
+		var offers []offer
+		for v := 0; v < n; v++ {
+			if top[v] < 0 {
+				continue
+			}
+			b := best[v][top[v]]
+			for _, w := range g.Adj[v] {
+				offers = append(offers, offer{to: w, source: top[v], pred: v, val: b.val - 1})
+			}
+		}
+		for _, o := range offers {
+			cur, seen := best[o.to][o.source]
+			if !seen || o.val > cur.val {
+				best[o.to][o.source] = sourceInfo{val: o.val, pred: o.pred}
+				if top[o.to] < 0 || o.val > best[o.to][top[o.to]].val {
+					top[o.to] = o.source
+				}
+			}
+		}
+	}
+	ledger.Measure("spanner broadcast", horizon, 0)
+
+	res := &SpannerResult{
+		Spanner:          graphx.NewDigraph(n),
+		DelegationCenter: make(map[[2]int]int),
+		Ledger:           ledger,
+	}
+
+	// Edge selection: active nodes keep the predecessor edge of every
+	// source within 1 of their maximum; inactive or low-degree nodes
+	// add all incident edges (Lemmas 4.5/4.8).
+	outSet := make([]map[int]bool, n)
+	for v := range outSet {
+		outSet[v] = make(map[int]bool)
+	}
+	for v := 0; v < n; v++ {
+		active := top[v] >= 0 && best[v][top[v]].val >= 0
+		if !active {
+			res.Inactive++
+		}
+		if !active || g.Degree(v) < lowDeg {
+			for _, w := range g.Adj[v] {
+				if !outSet[v][w] {
+					outSet[v][w] = true
+					res.Spanner.AddEdge(v, w)
+				}
+			}
+			continue
+		}
+		mv := best[v][top[v]].val
+		for _, info := range best[v] {
+			if info.val >= mv-1 && info.pred != v && !outSet[v][info.pred] {
+				outSet[v][info.pred] = true
+				res.Spanner.AddEdge(v, info.pred)
+			}
+		}
+	}
+	ledger.Measure("spanner edge selection", 1, 0)
+
+	// Degree balancing (Section 4.2 step 2): every node v learns its
+	// incoming spanner edges (one local round) and delegates them: of
+	// in-neighbors w_1 < w_2 < ..., only w_1 keeps the edge to v and
+	// the rest chain sideways as {w_{i-1}, w_i}. Each node then holds
+	// at most one incoming edge plus ≤ 2 chain edges per edge it
+	// selected itself, so deg_H = O(outdeg_S) = O(log n) w.h.p.
+	incoming := make([][]int, n)
+	for v := 0; v < n; v++ {
+		for w := range outSet[v] {
+			incoming[w] = append(incoming[w], v)
+		}
+	}
+	h := graphx.NewGraph(n)
+	added := make(map[[2]int]bool)
+	addH := func(a, b int) {
+		if a == b {
+			return
+		}
+		if a > b {
+			a, b = b, a
+		}
+		if !added[[2]int{a, b}] {
+			added[[2]int{a, b}] = true
+			h.AddEdge(a, b)
+		}
+	}
+	for v := 0; v < n; v++ {
+		ws := incoming[v]
+		sort.Ints(ws)
+		for i, w := range ws {
+			if i == 0 {
+				addH(v, w)
+				continue
+			}
+			prev := ws[i-1]
+			addH(prev, w)
+			if prev != w && !g.HasEdge(prev, w) {
+				key := [2]int{prev, w}
+				if _, have := res.DelegationCenter[key]; !have {
+					res.DelegationCenter[key] = v
+				}
+			}
+		}
+	}
+	ledger.Measure("degree balancing", 2, 0)
+	res.H = h
+	return res
+}

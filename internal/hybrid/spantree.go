@@ -1,0 +1,165 @@
+package hybrid
+
+import (
+	"fmt"
+	"sort"
+
+	"overlay/internal/graphx"
+	"overlay/internal/sim"
+)
+
+// Spanning tree (Theorem 1.3): run the component algorithm with
+// edge-annotated tokens, take a BFS tree of the final expander, and
+// "unwind" its edges back through the evolutions — every edge of G_i
+// was created by a recorded walk in G_{i-1}, so tree edges expand level
+// by level into subgraphs of earlier graphs until only edges of the
+// benign graph G_0 (= edges of H) remain. Delegated H edges are then
+// repaired into the two original G edges through their delegation
+// center, leaving a connected spanning subgraph of G whose BFS tree is
+// the result.
+//
+// The paper expands the depth-first traversal *path* and loop-erases
+// it with pointer jumping; expanding the *edge set* computes the same
+// traversed subgraph without materializing the multiplicatively long
+// path, and the loop erasure (selecting each node's first-visit edge)
+// is exactly a tree of that subgraph. Rounds are charged per the
+// paper: O(1) replacement steps per evolution plus the Euler-tour and
+// pointer-jumping toolbox at O(log n), with the γ = O(log⁵ n) global
+// capacity coming from the ℓ-identifier walk annotations.
+
+// STResult is the outcome of SpanningTree.
+type STResult struct {
+	// Edges are the spanning tree's edges (undirected pairs, u < v),
+	// all of them edges of the input graph.
+	Edges [][2]int
+	// Root is the BFS root the tree hangs from.
+	Root int
+	// Ledger itemizes the round bill.
+	Ledger *Ledger
+}
+
+// SpanningTree computes a spanning tree of the weakly connected graph g.
+func SpanningTree(g *graphx.Digraph, seed uint64) (*STResult, error) {
+	und := g.Undirected()
+	n := und.N
+	if n == 0 {
+		return &STResult{Ledger: &Ledger{}}, nil
+	}
+	if !und.IsConnected() {
+		return nil, fmt.Errorf("hybrid: SpanningTree requires a connected graph")
+	}
+	if n == 1 {
+		return &STResult{Ledger: &Ledger{}}, nil
+	}
+
+	cc, err := ConnectedComponents(g, CCParams{Seed: seed, RecordPaths: true})
+	if err != nil {
+		return nil, err
+	}
+	ledger := &Ledger{}
+	ledger.Append("", cc.Ledger)
+
+	// BFS tree of the final expander (its edges are evolved edges).
+	final := cc.expander.Final.Simple()
+	parent := final.BFSTree(0)
+	need := make(map[[2]int]bool)
+	for v := 1; v < n; v++ {
+		if parent[v] < 0 {
+			return nil, fmt.Errorf("hybrid: expander unexpectedly disconnected at node %d", v)
+		}
+		need[canon(v, parent[v])] = true
+	}
+	ledger.Charge("expander BFS tree", final.DiameterEstimate()+2, sim.LogBound(n))
+
+	// Unwind evolutions from last to first: replace each needed edge
+	// by the cross steps of the walk that created it.
+	history := cc.expander.History
+	for i := len(history) - 1; i >= 0; i-- {
+		ev := history[i]
+		paths := make(map[[2]int][]int, len(ev.Edges))
+		for k, e := range ev.Edges {
+			key := canon(e[0], e[1])
+			if _, have := paths[key]; !have {
+				paths[key] = ev.Paths[k]
+			}
+		}
+		next := make(map[[2]int]bool, len(need)*2)
+		for key := range need {
+			path, ok := paths[key]
+			if !ok {
+				return nil, fmt.Errorf("hybrid: no recorded walk for evolved edge %v at level %d", key, i)
+			}
+			for s := 1; s < len(path); s++ {
+				if path[s-1] != path[s] {
+					next[canon(path[s-1], path[s])] = true
+				}
+			}
+		}
+		need = next
+	}
+	// One replacement round per evolution; γ = O(log⁵ n): O(log³ n)
+	// rapid-sampling messages annotated with ℓ = O(log² n) edge
+	// identifiers each (the paper's submessage accounting).
+	lg := sim.LogBound(n)
+	ledger.Charge(fmt.Sprintf("unwind ×%d evolutions", len(history)), len(history), cc.delta/8*lg*lg*lg*lg)
+
+	// Repair delegated edges back into G.
+	repaired := graphx.NewGraph(n)
+	seen := map[[2]int]bool{}
+	addEdge := func(a, b int) {
+		key := canon(a, b)
+		if key[0] != key[1] && !seen[key] {
+			seen[key] = true
+			repaired.AddEdge(key[0], key[1])
+		}
+	}
+	// Deterministic processing order: the repaired graph's adjacency
+	// order feeds BFS parent selection.
+	keys := make([][2]int, 0, len(need))
+	for key := range need {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, key := range keys {
+		if und.HasEdge(key[0], key[1]) {
+			addEdge(key[0], key[1])
+			continue
+		}
+		center, ok := cc.spanner.DelegationCenter[key]
+		if !ok {
+			return nil, fmt.Errorf("hybrid: traversed edge %v neither in G nor delegated", key)
+		}
+		if !und.HasEdge(key[0], center) || !und.HasEdge(key[1], center) {
+			return nil, fmt.Errorf("hybrid: delegation center %d of %v lacks G edges", center, key)
+		}
+		addEdge(key[0], center)
+		addEdge(key[1], center)
+	}
+	ledger.Charge("delegation repair", 1, lg)
+
+	// Loop erasure: the BFS tree of the traversed subgraph (pointer
+	// jumping + prefix sums in the paper, O(log n) rounds).
+	if !repaired.IsConnected() {
+		return nil, fmt.Errorf("hybrid: traversed subgraph disconnected after repair")
+	}
+	tparent := repaired.BFSTree(0)
+	res := &STResult{Root: 0, Ledger: ledger}
+	for v := 1; v < n; v++ {
+		e := canon(v, tparent[v])
+		res.Edges = append(res.Edges, e)
+	}
+	ledger.Charge("loop erasure (pointer jumping)", 2*lg, lg*lg*lg*lg)
+	return res, nil
+}
+
+func canon(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}

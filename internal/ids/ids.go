@@ -1,0 +1,95 @@
+// Package ids defines node identifiers for overlay networks.
+//
+// The model in the paper assigns every node a unique identifier of
+// O(log n) bits; knowing an identifier is what permits sending a message
+// to that node, and new connections are established by forwarding
+// identifiers. This package provides the identifier type and the small
+// set of operations protocols need: ordering (for minimum-ID elections),
+// set containment, and stable sorting.
+package ids
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ID is a node identifier: a unique O(log n)-bit string, represented as
+// an unsigned 64-bit integer. The zero value is a valid identifier.
+type ID uint64
+
+// Nil is a sentinel that protocols use for "no identifier". It is the
+// maximum representable ID so that minimum-ID elections ignore it.
+const Nil = ID(^uint64(0))
+
+// Less reports whether a orders before b.
+func (a ID) Less(b ID) bool { return a < b }
+
+// String renders the identifier in hexadecimal, the conventional
+// presentation for overlay node identifiers.
+func (a ID) String() string { return fmt.Sprintf("%016x", uint64(a)) }
+
+// Min returns the smaller of a and b.
+func Min(a, b ID) ID {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Max returns the larger of a and b.
+func Max(a, b ID) ID {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Set is an unordered collection of identifiers.
+type Set map[ID]struct{}
+
+// NewSet builds a Set from the given identifiers.
+func NewSet(members ...ID) Set {
+	s := make(Set, len(members))
+	for _, m := range members {
+		s[m] = struct{}{}
+	}
+	return s
+}
+
+// Add inserts id into the set.
+func (s Set) Add(id ID) { s[id] = struct{}{} }
+
+// Has reports whether id is in the set.
+func (s Set) Has(id ID) bool {
+	_, ok := s[id]
+	return ok
+}
+
+// Remove deletes id from the set if present.
+func (s Set) Remove(id ID) { delete(s, id) }
+
+// Sorted returns the members in ascending order.
+func (s Set) Sorted() []ID {
+	out := make([]ID, 0, len(s))
+	for id := range s {
+		out = append(out, id)
+	}
+	Sort(out)
+	return out
+}
+
+// Sort orders a slice of identifiers ascending in place.
+func Sort(s []ID) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}
+
+// MinOf returns the minimum identifier in s, or Nil if s is empty.
+func MinOf(s []ID) ID {
+	m := Nil
+	for _, id := range s {
+		if id < m {
+			m = id
+		}
+	}
+	return m
+}

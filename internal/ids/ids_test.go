@@ -1,0 +1,99 @@
+package ids
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMinMax(t *testing.T) {
+	cases := []struct {
+		a, b, min, max ID
+	}{
+		{0, 0, 0, 0},
+		{1, 2, 1, 2},
+		{2, 1, 1, 2},
+		{Nil, 5, 5, Nil},
+	}
+	for _, c := range cases {
+		if got := Min(c.a, c.b); got != c.min {
+			t.Errorf("Min(%v,%v) = %v, want %v", c.a, c.b, got, c.min)
+		}
+		if got := Max(c.a, c.b); got != c.max {
+			t.Errorf("Max(%v,%v) = %v, want %v", c.a, c.b, got, c.max)
+		}
+	}
+}
+
+func TestLess(t *testing.T) {
+	if !ID(1).Less(2) {
+		t.Error("1 should be less than 2")
+	}
+	if ID(2).Less(1) {
+		t.Error("2 should not be less than 1")
+	}
+	if ID(1).Less(1) {
+		t.Error("1 should not be less than itself")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := ID(0xabcd).String(); got != "000000000000abcd" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestSetBasics(t *testing.T) {
+	s := NewSet(3, 1, 2)
+	if !s.Has(1) || !s.Has(2) || !s.Has(3) {
+		t.Fatal("missing members")
+	}
+	if s.Has(4) {
+		t.Fatal("phantom member")
+	}
+	s.Add(4)
+	if !s.Has(4) {
+		t.Fatal("Add failed")
+	}
+	s.Remove(2)
+	if s.Has(2) {
+		t.Fatal("Remove failed")
+	}
+	got := s.Sorted()
+	want := []ID{1, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("Sorted = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Sorted = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMinOf(t *testing.T) {
+	if got := MinOf(nil); got != Nil {
+		t.Errorf("MinOf(nil) = %v, want Nil", got)
+	}
+	if got := MinOf([]ID{5, 2, 9}); got != 2 {
+		t.Errorf("MinOf = %v, want 2", got)
+	}
+}
+
+func TestSortProperty(t *testing.T) {
+	f := func(raw []uint64) bool {
+		s := make([]ID, len(raw))
+		for i, v := range raw {
+			s[i] = ID(v)
+		}
+		Sort(s)
+		for i := 1; i < len(s); i++ {
+			if s[i-1] > s[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,144 @@
+// Package rng provides a deterministic, splittable pseudo-random number
+// generator for simulations.
+//
+// Every node in a simulated network owns an independent stream derived
+// from a single run seed, so protocol executions are reproducible
+// bit-for-bit regardless of goroutine scheduling: the engine may execute
+// node handlers concurrently and the randomness each node observes never
+// changes. The core is splitmix64, whose output function is a strong
+// 64-bit mixer; Split derives statistically independent child streams,
+// which is the property per-node streams rely on.
+package rng
+
+import "math"
+
+// Source is a deterministic pseudo-random stream. It is not safe for
+// concurrent use; derive one Source per goroutine via Split.
+type Source struct {
+	state uint64
+}
+
+// golden is the splitmix64 increment (2^64 / phi, odd).
+const golden = 0x9e3779b97f4a7c15
+
+// New returns a Source seeded from seed.
+func New(seed uint64) *Source {
+	return &Source{state: mix(seed + golden)}
+}
+
+// Split derives an independent child stream labelled by label. Two
+// children of the same parent with different labels, and children of
+// different parents, produce unrelated streams.
+func (s *Source) Split(label uint64) *Source {
+	return &Source{state: mix(s.state ^ mix(label+golden))}
+}
+
+// mix is the splitmix64 output function: a bijective 64-bit finalizer.
+func mix(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Uint64 returns the next 64 uniform pseudo-random bits.
+func (s *Source) Uint64() uint64 {
+	s.state += golden
+	return mix(s.state)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire's nearly-divisionless unbiased bounded sampling.
+	bound := uint64(n)
+	for {
+		x := s.Uint64()
+		hi, lo := mul64(x, bound)
+		if lo >= bound || lo >= (-bound)%bound {
+			return int(hi)
+		}
+	}
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 0xffffffff
+	aLo, aHi := a&mask, a>>32
+	bLo, bHi := b&mask, b>>32
+	t := aHi*bLo + (aLo*bLo)>>32
+	lo = a * b
+	hi = aHi*bHi + (aLo*bHi+t&mask)>>32 + t>>32
+	return hi, lo
+}
+
+// Float64 returns a uniform float in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// ExpFloat64 returns an exponentially distributed float with rate beta
+// (mean 1/beta). It panics if beta <= 0.
+func (s *Source) ExpFloat64(beta float64) float64 {
+	if beta <= 0 {
+		panic("rng: ExpFloat64 with non-positive rate")
+	}
+	// Inverse transform; 1-U avoids log(0).
+	return -math.Log(1-s.Float64()) / beta
+}
+
+// Bool returns a uniform random boolean.
+func (s *Source) Bool() bool { return s.Uint64()&1 == 1 }
+
+// Perm returns a uniform random permutation of [0, n).
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	s.ShuffleInts(p)
+	return p
+}
+
+// ShuffleInts permutes p uniformly at random in place.
+func (s *Source) ShuffleInts(p []int) {
+	for i := len(p) - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+}
+
+// Shuffle permutes n elements using the swap callback, as rand.Shuffle.
+func (s *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// SampleWithoutReplacement returns k distinct uniform indices from
+// [0, n). If k >= n it returns all n indices in random order.
+func (s *Source) SampleWithoutReplacement(n, k int) []int {
+	if k >= n {
+		return s.Perm(n)
+	}
+	// Partial Fisher-Yates over an index map keeps this O(k) in memory
+	// touched for small k relative to n.
+	chosen := make([]int, 0, k)
+	remap := make(map[int]int, k*2)
+	for i := 0; i < k; i++ {
+		j := i + s.Intn(n-i)
+		vj, ok := remap[j]
+		if !ok {
+			vj = j
+		}
+		vi, ok := remap[i]
+		if !ok {
+			vi = i
+		}
+		remap[j] = vi
+		chosen = append(chosen, vj)
+	}
+	return chosen
+}

@@ -1,0 +1,419 @@
+// Package sim is a deterministic synchronous message-passing engine
+// implementing the overlay-network model of Section 1.1 of the paper.
+//
+// Time proceeds in synchronous rounds. Every node is a state machine:
+// each round it receives the messages sent to it in the previous round,
+// updates state, and sends new messages. A node can send to any node
+// whose identifier it knows, and connections are established by
+// forwarding identifiers; the engine routes purely by identifier, so
+// "knowing" is exactly possessing the ID, as in the paper.
+//
+// The NCC0 capacity restriction is enforced mechanically: messages are
+// unit-counted (an O(log n)-bit message carrying a constant number of
+// identifiers is one unit), a node may send at most SendCap units and
+// receive at most RecvCap units per round, and excess received messages
+// are dropped as "an arbitrary subset" — here a uniformly random subset
+// chosen by the receiver's private stream, which keeps runs
+// reproducible while not favoring any protocol ordering.
+//
+// Determinism: every node owns a private rng stream split from the run
+// seed; node handlers run concurrently across a worker pool but observe
+// only their own state, inbox, and stream, and outboxes are merged in
+// node-index order, so a run is a pure function of (protocol, seed).
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"overlay/internal/ids"
+	"overlay/internal/rng"
+)
+
+// Message is a delivered message. From is the sender's identifier
+// (self-identification is part of the payload contract in the paper:
+// messages are O(log n) bits and can carry a constant number of
+// identifiers, one of which is conventionally the sender's).
+type Message struct {
+	From    ids.ID
+	Payload any
+}
+
+// Sized lets a payload declare its size in message units (one unit =
+// one O(log n)-bit message). Payloads that do not implement Sized count
+// as one unit. The spanning-tree construction (Theorem 1.3) sends
+// walk-annotated tokens of O(ℓ) identifiers; those count ℓ units,
+// matching the paper's "submessages" accounting.
+type Sized interface {
+	MsgUnits() int
+}
+
+// Node is a per-node protocol state machine.
+type Node interface {
+	// Init runs once before the first round.
+	Init(ctx *Ctx)
+	// Round runs every round with the messages delivered this round.
+	Round(ctx *Ctx, inbox []Message)
+}
+
+// Halter is an optional Node extension: when every node reports Halted,
+// the engine stops early. Nodes without Halter are covered by Ctx.Halt.
+type Halter interface {
+	Halted() bool
+}
+
+// Config parameterizes an Engine.
+type Config struct {
+	// N is the number of nodes.
+	N int
+	// Seed is the run seed; equal seeds reproduce runs exactly.
+	Seed uint64
+	// SendCap and RecvCap are per-round unit capacities; 0 disables the
+	// respective cap. The NCC0 model sets both to Θ(log n).
+	SendCap, RecvCap int
+	// Sequential forces single-goroutine execution (useful under the
+	// race detector or when profiling protocol logic).
+	Sequential bool
+}
+
+// Engine drives a set of nodes through synchronous rounds.
+type Engine struct {
+	cfg     Config
+	nodes   []Node
+	ctxs    []*Ctx
+	inboxes [][]Message
+	index   map[ids.ID]int
+	idents  []ids.ID
+	metrics Metrics
+	round   int
+	inited  bool
+}
+
+// Ctx is a node's handle to the engine, valid for the duration of the
+// run. All methods must be called only from the owning node's Init or
+// Round.
+type Ctx struct {
+	engine *Engine
+	// Index is the node's position in [0, N): engine-level bookkeeping
+	// only; protocols must address peers by ID.
+	Index int
+	// ID is this node's identifier.
+	ID ids.ID
+	// Rand is the node's private random stream.
+	Rand *rng.Source
+
+	outbox    []routed
+	sentUnits int
+	halted    bool
+}
+
+type routed struct {
+	to    ids.ID
+	msg   Message
+	units int
+}
+
+type pending struct {
+	msg   Message
+	units int
+}
+
+// New builds an engine running the given nodes. Node identifiers are
+// assigned as random distinct 64-bit values so that minimum-ID
+// elections are non-trivial.
+func New(cfg Config, nodes []Node) *Engine {
+	if len(nodes) != cfg.N {
+		panic(fmt.Sprintf("sim: %d nodes for config N=%d", len(nodes), cfg.N))
+	}
+	e := &Engine{
+		cfg:     cfg,
+		nodes:   nodes,
+		ctxs:    make([]*Ctx, cfg.N),
+		inboxes: make([][]Message, cfg.N),
+		index:   make(map[ids.ID]int, cfg.N),
+		idents:  make([]ids.ID, cfg.N),
+	}
+	root := rng.New(cfg.Seed)
+	idStream := root.Split(0xed5)
+	for i := 0; i < cfg.N; i++ {
+		for {
+			id := ids.ID(idStream.Uint64())
+			if id == ids.Nil {
+				continue
+			}
+			if _, dup := e.index[id]; dup {
+				continue
+			}
+			e.idents[i] = id
+			e.index[id] = i
+			break
+		}
+	}
+	for i := 0; i < cfg.N; i++ {
+		e.ctxs[i] = &Ctx{
+			engine: e,
+			Index:  i,
+			ID:     e.idents[i],
+			Rand:   root.Split(uint64(i) + 1),
+		}
+	}
+	e.metrics.PerNodeSent = make([]int64, cfg.N)
+	e.metrics.PerNodeRecv = make([]int64, cfg.N)
+	return e
+}
+
+// IDs returns the identifier of every node by index. The slice is owned
+// by the engine; callers must not modify it.
+func (e *Engine) IDs() []ids.ID { return e.idents }
+
+// IndexOf resolves an identifier to a node index, for test inspection.
+func (e *Engine) IndexOf(id ids.ID) (int, bool) {
+	i, ok := e.index[id]
+	return i, ok
+}
+
+// NumNodes returns N.
+func (e *Engine) NumNodes() int { return e.cfg.N }
+
+// Round returns the number of rounds executed so far.
+func (e *Engine) Round() int { return e.round }
+
+// Metrics returns the accumulated communication metrics.
+func (e *Engine) Metrics() *Metrics { return &e.metrics }
+
+// Send queues a message to the node with identifier to, delivered at
+// the start of the next round. Sending to an unknown identifier is a
+// programming error in this closed-world simulation and panics.
+func (c *Ctx) Send(to ids.ID, payload any) {
+	units := 1
+	if s, ok := payload.(Sized); ok {
+		units = s.MsgUnits()
+		if units < 1 {
+			units = 1
+		}
+	}
+	c.sentUnits += units
+	c.outbox = append(c.outbox, routed{
+		to:    to,
+		msg:   Message{From: c.ID, Payload: payload},
+		units: units,
+	})
+}
+
+// Halt marks the node as locally terminated. The engine stops when all
+// nodes are halted.
+func (c *Ctx) Halt() { c.halted = true }
+
+// NumNodes exposes N. The paper only requires nodes to know an upper
+// bound L ≥ log n; protocols should prefer LogBound.
+func (c *Ctx) NumNodes() int { return c.engine.cfg.N }
+
+// Round returns the current engine round (1 for the first Round call;
+// 0 during Init). Protocols use it to follow globally agreed phase
+// schedules, which the model permits since rounds are synchronous.
+func (c *Ctx) Round() int { return c.engine.round }
+
+// LogBound returns L = ⌈log₂ N⌉ (at least 1), the known upper bound on
+// log n the paper's algorithms take as input.
+func (c *Ctx) LogBound() int { return LogBound(c.engine.cfg.N) }
+
+// LogBound returns ⌈log₂ n⌉, at least 1.
+func LogBound(n int) int {
+	l := 1
+	for (1 << l) < n {
+		l++
+	}
+	return l
+}
+
+// Run executes rounds until all nodes halt or maxRounds elapse,
+// returning the number of rounds executed.
+func (e *Engine) Run(maxRounds int) int {
+	e.initNodes()
+	for r := 0; r < maxRounds; r++ {
+		if e.allHalted() {
+			break
+		}
+		e.step()
+	}
+	return e.round
+}
+
+// RunOne executes exactly one round (after lazily initializing nodes).
+func (e *Engine) RunOne() {
+	e.initNodes()
+	e.step()
+}
+
+func (e *Engine) initNodes() {
+	if e.inited {
+		return
+	}
+	e.inited = true
+	e.forEachNode(func(i int) {
+		e.nodes[i].Init(e.ctxs[i])
+	})
+	e.collectAndDeliver()
+}
+
+func (e *Engine) allHalted() bool {
+	for i, n := range e.nodes {
+		if h, ok := n.(Halter); ok {
+			if !h.Halted() {
+				return false
+			}
+			continue
+		}
+		if !e.ctxs[i].halted {
+			return false
+		}
+	}
+	return true
+}
+
+func (e *Engine) step() {
+	e.round++
+	inboxes := e.inboxes
+	e.inboxes = make([][]Message, e.cfg.N)
+	e.forEachNode(func(i int) {
+		e.nodes[i].Round(e.ctxs[i], inboxes[i])
+	})
+	e.collectAndDeliver()
+}
+
+// forEachNode runs fn for every node index, concurrently unless
+// configured sequential.
+func (e *Engine) forEachNode(fn func(i int)) {
+	n := e.cfg.N
+	workers := runtime.GOMAXPROCS(0)
+	if e.cfg.Sequential || workers < 2 || n < 64 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// collectAndDeliver gathers outboxes in node-index order, enforces the
+// send cap then the receive cap, and fills next-round inboxes.
+func (e *Engine) collectAndDeliver() {
+	incoming := make([][]pending, e.cfg.N)
+	recvUnits := make([]int, e.cfg.N)
+
+	var roundSentMax, roundRecvMax int
+	for i := 0; i < e.cfg.N; i++ {
+		ctx := e.ctxs[i]
+		out := ctx.outbox
+		ctx.outbox = nil
+		sent := ctx.sentUnits
+		ctx.sentUnits = 0
+
+		if e.cfg.SendCap > 0 && sent > e.cfg.SendCap {
+			// Enforce the cap by dropping a random subset of the
+			// sender's messages and record the violation: correct
+			// protocols never hit this.
+			out, sent = capRouted(out, e.cfg.SendCap, ctx.Rand)
+			e.metrics.SendCapViolations++
+		}
+		e.metrics.PerNodeSent[i] += int64(sent)
+		e.metrics.TotalMessages += int64(len(out))
+		e.metrics.TotalUnits += int64(sent)
+		if sent > roundSentMax {
+			roundSentMax = sent
+		}
+		for _, r := range out {
+			j, ok := e.index[r.to]
+			if !ok {
+				panic(fmt.Sprintf("sim: node %v sent to unknown id %v", ctx.ID, r.to))
+			}
+			incoming[j] = append(incoming[j], pending{r.msg, r.units})
+			recvUnits[j] += r.units
+		}
+	}
+
+	for j := 0; j < e.cfg.N; j++ {
+		in := incoming[j]
+		units := recvUnits[j]
+		if e.cfg.RecvCap > 0 && units > e.cfg.RecvCap {
+			in, units = capIncoming(in, e.cfg.RecvCap, e.ctxs[j].Rand)
+			e.metrics.RecvDrops++
+		}
+		e.metrics.PerNodeRecv[j] += int64(units)
+		if units > roundRecvMax {
+			roundRecvMax = units
+		}
+		msgs := make([]Message, len(in))
+		for k, p := range in {
+			msgs[k] = p.msg
+		}
+		e.inboxes[j] = msgs
+	}
+	e.metrics.RoundMaxSent = append(e.metrics.RoundMaxSent, roundSentMax)
+	e.metrics.RoundMaxRecv = append(e.metrics.RoundMaxRecv, roundRecvMax)
+}
+
+// capRouted keeps a random subset of outgoing messages within cap
+// units, preserving emission order among the kept.
+func capRouted(out []routed, cap int, src *rng.Source) ([]routed, int) {
+	keep := chooseWithin(len(out), cap, func(i int) int { return out[i].units }, src)
+	kept := out[:0]
+	used := 0
+	for i, r := range out {
+		if keep[i] {
+			kept = append(kept, r)
+			used += r.units
+		}
+	}
+	return kept, used
+}
+
+// capIncoming keeps a random subset of incoming messages within cap
+// units, preserving arrival order among the kept.
+func capIncoming(in []pending, cap int, src *rng.Source) ([]pending, int) {
+	keep := chooseWithin(len(in), cap, func(i int) int { return in[i].units }, src)
+	kept := in[:0]
+	used := 0
+	for i, p := range in {
+		if keep[i] {
+			kept = append(kept, p)
+			used += p.units
+		}
+	}
+	return kept, used
+}
+
+// chooseWithin marks a uniformly random subset of n items whose unit
+// sizes fit within cap, greedily in random order.
+func chooseWithin(n, cap int, units func(int) int, src *rng.Source) []bool {
+	keep := make([]bool, n)
+	used := 0
+	for _, i := range src.Perm(n) {
+		u := units(i)
+		if used+u <= cap {
+			used += u
+			keep[i] = true
+		}
+	}
+	return keep
+}

@@ -1,0 +1,317 @@
+package sim
+
+import (
+	"testing"
+
+	"overlay/internal/ids"
+)
+
+// chainNode floods a counter down a chain of nodes by index order:
+// node i sends its value +1 to node i+1 once it has received.
+type chainNode struct {
+	all      []ids.ID
+	received int
+	halted   bool
+}
+
+func (c *chainNode) Init(ctx *Ctx) {
+	if ctx.Index == 0 {
+		c.received = 1
+		ctx.Send(c.all[1], 1)
+		c.halted = true
+	}
+}
+
+func (c *chainNode) Round(ctx *Ctx, inbox []Message) {
+	for _, m := range inbox {
+		v := m.Payload.(int)
+		c.received = v
+		if ctx.Index+1 < len(c.all) {
+			ctx.Send(c.all[ctx.Index+1], v+1)
+		}
+		c.halted = true
+	}
+}
+
+func (c *chainNode) Halted() bool { return c.halted }
+
+func TestChainDelivery(t *testing.T) {
+	const n = 10
+	nodes := make([]Node, n)
+	chains := make([]*chainNode, n)
+	for i := range nodes {
+		chains[i] = &chainNode{}
+		nodes[i] = chains[i]
+	}
+	e := New(Config{N: n, Seed: 1}, nodes)
+	for i := range chains {
+		chains[i].all = e.IDs()
+	}
+	rounds := e.Run(100)
+	if rounds != n-1 {
+		t.Errorf("rounds = %d, want %d", rounds, n-1)
+	}
+	// Node 0 sets 1 for itself at Init; node i >= 1 receives value i.
+	for i, c := range chains {
+		want := i
+		if i == 0 {
+			want = 1
+		}
+		if c.received != want {
+			t.Errorf("node %d received %d, want %d", i, c.received, want)
+		}
+	}
+	if e.Metrics().TotalMessages != n-1 {
+		t.Errorf("total messages = %d, want %d", e.Metrics().TotalMessages, n-1)
+	}
+}
+
+// spamNode sends `count` messages to a single target at Init and then
+// runs one round to drain its inbox.
+type spamNode struct {
+	target ids.ID
+	count  int
+	got    int
+	rounds int
+}
+
+func (s *spamNode) Init(ctx *Ctx) {
+	for i := 0; i < s.count; i++ {
+		ctx.Send(s.target, i)
+	}
+}
+
+func (s *spamNode) Round(ctx *Ctx, inbox []Message) {
+	s.got += len(inbox)
+	s.rounds++
+}
+
+func (s *spamNode) Halted() bool { return s.rounds >= 1 }
+
+func TestRecvCapDropsExcess(t *testing.T) {
+	// 5 senders x 4 messages = 20 at one receiver with RecvCap 7.
+	const senders, per, cap = 5, 4, 7
+	nodes := make([]Node, senders+1)
+	spams := make([]*spamNode, senders+1)
+	for i := range nodes {
+		spams[i] = &spamNode{count: 0}
+		nodes[i] = spams[i]
+	}
+	e := New(Config{N: senders + 1, Seed: 3, RecvCap: cap}, nodes)
+	target := e.IDs()[senders]
+	for i := 0; i < senders; i++ {
+		spams[i].target = target
+		spams[i].count = per
+	}
+	spams[senders].target = e.IDs()[0] // self-target unused
+	e.Run(2)
+	if got := spams[senders].got; got != cap {
+		t.Errorf("receiver got %d messages, want exactly cap %d", got, cap)
+	}
+	if e.Metrics().RecvDrops != 1 {
+		t.Errorf("RecvDrops = %d, want 1", e.Metrics().RecvDrops)
+	}
+}
+
+func TestSendCapEnforced(t *testing.T) {
+	nodes := []Node{&spamNode{count: 10}, &spamNode{}}
+	e := New(Config{N: 2, Seed: 5, SendCap: 4}, nodes)
+	nodes[0].(*spamNode).target = e.IDs()[1]
+	nodes[1].(*spamNode).target = e.IDs()[0]
+	e.Run(2)
+	if got := nodes[1].(*spamNode).got; got != 4 {
+		t.Errorf("receiver got %d, want 4 (send cap)", got)
+	}
+	if e.Metrics().SendCapViolations != 1 {
+		t.Errorf("SendCapViolations = %d, want 1", e.Metrics().SendCapViolations)
+	}
+}
+
+type sizedPayload struct{ units int }
+
+func (s sizedPayload) MsgUnits() int { return s.units }
+
+// sizedSender sends one big payload, then runs one round to drain its
+// inbox before halting.
+type sizedSender struct {
+	target ids.ID
+	units  int
+	got    int
+	rounds int
+}
+
+func (s *sizedSender) Init(ctx *Ctx) {
+	if s.units > 0 {
+		ctx.Send(s.target, sizedPayload{s.units})
+	}
+}
+
+func (s *sizedSender) Round(ctx *Ctx, inbox []Message) {
+	s.got += len(inbox)
+	s.rounds++
+}
+func (s *sizedSender) Halted() bool { return s.rounds >= 1 }
+
+func TestSizedPayloadAccounting(t *testing.T) {
+	nodes := []Node{&sizedSender{units: 5}, &sizedSender{}}
+	e := New(Config{N: 2, Seed: 7}, nodes)
+	nodes[0].(*sizedSender).target = e.IDs()[1]
+	nodes[1].(*sizedSender).target = e.IDs()[0]
+	e.Run(1)
+	m := e.Metrics()
+	if m.TotalUnits != 5 {
+		t.Errorf("TotalUnits = %d, want 5", m.TotalUnits)
+	}
+	if m.TotalMessages != 1 {
+		t.Errorf("TotalMessages = %d, want 1", m.TotalMessages)
+	}
+	if m.PerNodeSent[0] != 5 || m.PerNodeRecv[1] != 5 {
+		t.Errorf("per-node units: sent=%v recv=%v", m.PerNodeSent, m.PerNodeRecv)
+	}
+}
+
+func TestSizedPayloadBlockedByRecvCap(t *testing.T) {
+	// A 5-unit payload cannot fit a 4-unit receive cap and is dropped.
+	nodes := []Node{&sizedSender{units: 5}, &sizedSender{}}
+	e := New(Config{N: 2, Seed: 7, RecvCap: 4}, nodes)
+	nodes[0].(*sizedSender).target = e.IDs()[1]
+	nodes[1].(*sizedSender).target = e.IDs()[0]
+	e.Run(1)
+	if got := nodes[1].(*sizedSender).got; got != 0 {
+		t.Errorf("oversized payload delivered (%d msgs)", got)
+	}
+}
+
+// gossipNode floods a random token to stress determinism checks.
+type gossipNode struct {
+	peers []ids.ID
+	sum   uint64
+	turns int
+}
+
+func (g *gossipNode) Init(ctx *Ctx) {
+	g.send(ctx)
+}
+
+func (g *gossipNode) Round(ctx *Ctx, inbox []Message) {
+	for _, m := range inbox {
+		g.sum += m.Payload.(uint64)
+	}
+	g.turns++
+	if g.turns < 5 {
+		g.send(ctx)
+	}
+}
+
+func (g *gossipNode) send(ctx *Ctx) {
+	to := g.peers[ctx.Rand.Intn(len(g.peers))]
+	ctx.Send(to, ctx.Rand.Uint64())
+}
+
+func (g *gossipNode) Halted() bool { return g.turns >= 5 }
+
+func runGossip(seed uint64, sequential bool) []uint64 {
+	const n = 128
+	nodes := make([]Node, n)
+	gs := make([]*gossipNode, n)
+	for i := range nodes {
+		gs[i] = &gossipNode{}
+		nodes[i] = gs[i]
+	}
+	e := New(Config{N: n, Seed: seed, Sequential: sequential}, nodes)
+	for i := range gs {
+		gs[i].peers = e.IDs()
+	}
+	e.Run(10)
+	sums := make([]uint64, n)
+	for i, g := range gs {
+		sums[i] = g.sum
+	}
+	return sums
+}
+
+func TestDeterminismAcrossExecutionModes(t *testing.T) {
+	a := runGossip(99, false)
+	b := runGossip(99, true)
+	c := runGossip(100, true)
+	diff := false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("parallel vs sequential diverged at node %d", i)
+		}
+		if a[i] != c[i] {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Error("different seeds produced identical runs")
+	}
+}
+
+func TestUniqueIDs(t *testing.T) {
+	nodes := make([]Node, 500)
+	for i := range nodes {
+		nodes[i] = &sizedSender{}
+	}
+	e := New(Config{N: 500, Seed: 11}, nodes)
+	seen := ids.NewSet()
+	for _, id := range e.IDs() {
+		if seen.Has(id) {
+			t.Fatalf("duplicate id %v", id)
+		}
+		if id == ids.Nil {
+			t.Fatal("Nil id assigned")
+		}
+		seen.Add(id)
+	}
+	if i, ok := e.IndexOf(e.IDs()[42]); !ok || i != 42 {
+		t.Error("IndexOf mismatch")
+	}
+}
+
+func TestHaltStopsEngine(t *testing.T) {
+	// Nodes that halt via Ctx.Halt (no Halter implementation).
+	nodes := make([]Node, 4)
+	for i := range nodes {
+		nodes[i] = &haltingNode{}
+	}
+	e := New(Config{N: 4, Seed: 2}, nodes)
+	rounds := e.Run(50)
+	if rounds != 3 {
+		t.Errorf("rounds = %d, want 3", rounds)
+	}
+}
+
+type haltingNode struct{ r int }
+
+func (h *haltingNode) Init(ctx *Ctx) {}
+func (h *haltingNode) Round(ctx *Ctx, inbox []Message) {
+	h.r++
+	if h.r >= 3 {
+		ctx.Halt()
+	}
+}
+
+func TestLogBound(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 1, 3: 2, 4: 2, 5: 3, 1024: 10, 1025: 11}
+	for n, want := range cases {
+		if got := LogBound(n); got != want {
+			t.Errorf("LogBound(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestRoundMaxMetrics(t *testing.T) {
+	nodes := []Node{&spamNode{count: 3}, &spamNode{}}
+	e := New(Config{N: 2, Seed: 13}, nodes)
+	nodes[0].(*spamNode).target = e.IDs()[1]
+	nodes[1].(*spamNode).target = e.IDs()[0]
+	e.Run(1)
+	m := e.Metrics()
+	if m.MaxRoundSent() != 3 || m.MaxRoundRecv() != 3 {
+		t.Errorf("MaxRoundSent=%d MaxRoundRecv=%d, want 3,3", m.MaxRoundSent(), m.MaxRoundRecv())
+	}
+	if m.MaxPerNodeSent() != 3 {
+		t.Errorf("MaxPerNodeSent = %d, want 3", m.MaxPerNodeSent())
+	}
+}

@@ -1,0 +1,341 @@
+// Package topology generates the input graphs used by tests, examples,
+// and the experiment harness.
+//
+// Generators return directed knowledge graphs (graphx.Digraph): an edge
+// (u,v) means u initially knows v's identifier. The paper's main
+// theorem assumes a weakly connected input of constant degree, so most
+// generators emit constant-outdegree graphs; the hybrid-model
+// experiments also need unbounded-degree and multi-component inputs,
+// provided by Star, ErdosRenyi, DisjointCopies, and the biconnectivity
+// gadgets.
+package topology
+
+import (
+	"fmt"
+
+	"overlay/internal/graphx"
+	"overlay/internal/rng"
+)
+
+// Line returns the path 0-1-...-n-1 with each node knowing its
+// successor. This is the paper's lower-bound instance: the two
+// endpoints need Ω(log n) rounds to meet.
+func Line(n int) *graphx.Digraph {
+	g := graphx.NewDigraph(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+// Ring returns the directed cycle on n nodes.
+func Ring(n int) *graphx.Digraph {
+	g := graphx.NewDigraph(n)
+	if n < 2 {
+		return g
+	}
+	for i := 0; i < n; i++ {
+		g.AddEdge(i, (i+1)%n)
+	}
+	return g
+}
+
+// Star returns a star with node 0 knowing every other node. Degree n-1:
+// used by the hybrid-model experiments where the input degree is
+// unbounded.
+func Star(n int) *graphx.Digraph {
+	g := graphx.NewDigraph(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(0, i)
+	}
+	return g
+}
+
+// BinaryTree returns the complete-ish binary tree where node i knows
+// its children 2i+1 and 2i+2.
+func BinaryTree(n int) *graphx.Digraph {
+	g := graphx.NewDigraph(n)
+	for i := 0; i < n; i++ {
+		if l := 2*i + 1; l < n {
+			g.AddEdge(i, l)
+		}
+		if r := 2*i + 2; r < n {
+			g.AddEdge(i, r)
+		}
+	}
+	return g
+}
+
+// Grid returns the rows x cols grid with right and down edges.
+func Grid(rows, cols int) *graphx.Digraph {
+	g := graphx.NewDigraph(rows * cols)
+	at := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				g.AddEdge(at(r, c), at(r, c+1))
+			}
+			if r+1 < rows {
+				g.AddEdge(at(r, c), at(r+1, c))
+			}
+		}
+	}
+	return g
+}
+
+// Torus returns the rows x cols torus (wrap-around grid).
+func Torus(rows, cols int) *graphx.Digraph {
+	g := graphx.NewDigraph(rows * cols)
+	at := func(r, c int) int { return (r%rows)*cols + (c % cols) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			g.AddEdge(at(r, c), at(r, c+1))
+			g.AddEdge(at(r, c), at(r+1, c))
+		}
+	}
+	return g
+}
+
+// Hypercube returns the d-dimensional hypercube on 2^d nodes with each
+// node knowing its d neighbors.
+func Hypercube(d int) *graphx.Digraph {
+	n := 1 << d
+	g := graphx.NewDigraph(n)
+	for u := 0; u < n; u++ {
+		for b := 0; b < d; b++ {
+			v := u ^ (1 << b)
+			if u < v {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// RandomRegular returns a connected random d-regular undirected graph
+// as a digraph with each undirected edge directed from its lower
+// endpoint. It uses the pairing model with double-edge-swap repair
+// (pure rejection fails already at moderate d, where the probability
+// of a simple pairing is e^{-Θ(d²)}); d*n must be even and 2 <= d < n.
+func RandomRegular(n, d int, src *rng.Source) *graphx.Digraph {
+	if n*d%2 != 0 {
+		panic(fmt.Sprintf("topology: RandomRegular requires n*d even, got n=%d d=%d", n, d))
+	}
+	if d < 2 || d >= n {
+		panic(fmt.Sprintf("topology: RandomRegular requires 2 <= d < n, got n=%d d=%d", n, d))
+	}
+	for attempt := 0; attempt < 200; attempt++ {
+		edges, ok := regularPairing(n, d, src)
+		if !ok {
+			continue
+		}
+		g := graphx.NewDigraph(n)
+		for _, e := range edges {
+			g.AddEdge(e[0], e[1])
+		}
+		if g.Undirected().IsConnected() {
+			return g
+		}
+	}
+	panic("topology: RandomRegular failed to generate a simple connected graph")
+}
+
+// regularPairing draws a random pairing of n·d stubs and repairs
+// self-loops and parallel edges with random double-edge swaps: a bad
+// pair (a,b) and a random good edge (c,e) are rewired to (a,c), (b,e)
+// when both rewirings are fresh and loop-free — a measure-preserving
+// walk on pairings that converges quickly for d ≪ n.
+func regularPairing(n, d int, src *rng.Source) ([][2]int, bool) {
+	stubs := make([]int, 0, n*d)
+	for u := 0; u < n; u++ {
+		for i := 0; i < d; i++ {
+			stubs = append(stubs, u)
+		}
+	}
+	src.ShuffleInts(stubs)
+	type edge = [2]int
+	canon := func(a, b int) edge {
+		if a > b {
+			a, b = b, a
+		}
+		return edge{a, b}
+	}
+	edges := make([]edge, 0, n*d/2)
+	seen := make(map[edge]bool, n*d/2)
+	var bad []edge
+	for i := 0; i < len(stubs); i += 2 {
+		e := canon(stubs[i], stubs[i+1])
+		if e[0] == e[1] || seen[e] {
+			bad = append(bad, e)
+			continue
+		}
+		seen[e] = true
+		edges = append(edges, e)
+	}
+	for iter := 0; len(bad) > 0 && iter < 200*n*d; iter++ {
+		b := bad[len(bad)-1]
+		j := src.Intn(len(edges))
+		o := edges[j]
+		n1 := canon(b[0], o[0])
+		n2 := canon(b[1], o[1])
+		if n1[0] == n1[1] || n2[0] == n2[1] || seen[n1] || seen[n2] || n1 == n2 {
+			continue
+		}
+		bad = bad[:len(bad)-1]
+		delete(seen, o)
+		seen[n1] = true
+		seen[n2] = true
+		edges[j] = n1
+		edges = append(edges, n2)
+	}
+	return edges, len(bad) == 0
+}
+
+// ErdosRenyi returns a G(n, p) digraph (each undirected edge present
+// independently with probability p, directed low-to-high), with a
+// connecting path added afterwards so the result is always weakly
+// connected. Degrees are unbounded: intended for hybrid-model inputs.
+func ErdosRenyi(n int, p float64, src *rng.Source) *graphx.Digraph {
+	g := graphx.NewDigraph(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if src.Float64() < p {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	// Stitch components with a path over component representatives.
+	labels, k := g.Undirected().ConnectedComponents()
+	if k > 1 {
+		reps := make([]int, k)
+		for i := range reps {
+			reps[i] = -1
+		}
+		for v, l := range labels {
+			if reps[l] < 0 {
+				reps[l] = v
+			}
+		}
+		for i := 0; i+1 < k; i++ {
+			g.AddEdge(reps[i], reps[i+1])
+		}
+	}
+	return g
+}
+
+// Lollipop returns a clique on k nodes with a path of n-k nodes hanging
+// off node 0: a classical low-conductance instance.
+func Lollipop(n, k int) *graphx.Digraph {
+	if k > n {
+		panic(fmt.Sprintf("topology: Lollipop clique %d larger than n=%d", k, n))
+	}
+	g := graphx.NewDigraph(n)
+	for u := 0; u < k; u++ {
+		for v := u + 1; v < k; v++ {
+			g.AddEdge(u, v)
+		}
+	}
+	for u := k - 1; u+1 < n; u++ {
+		g.AddEdge(u, u+1)
+	}
+	return g
+}
+
+// Barbell returns two cliques of size k joined by a path, n = 2k+path.
+func Barbell(k, path int) *graphx.Digraph {
+	n := 2*k + path
+	g := graphx.NewDigraph(n)
+	clique := func(base int) {
+		for u := 0; u < k; u++ {
+			for v := u + 1; v < k; v++ {
+				g.AddEdge(base+u, base+v)
+			}
+		}
+	}
+	clique(0)
+	clique(k + path)
+	prev := k - 1
+	for i := 0; i < path; i++ {
+		g.AddEdge(prev, k+i)
+		prev = k + i
+	}
+	g.AddEdge(prev, k+path)
+	return g
+}
+
+// Caterpillar returns a path of length spine with legs pendant nodes
+// attached to each spine node.
+func Caterpillar(spine, legs int) *graphx.Digraph {
+	n := spine * (1 + legs)
+	g := graphx.NewDigraph(n)
+	for i := 0; i+1 < spine; i++ {
+		g.AddEdge(i, i+1)
+	}
+	next := spine
+	for i := 0; i < spine; i++ {
+		for l := 0; l < legs; l++ {
+			g.AddEdge(i, next)
+			next++
+		}
+	}
+	return g
+}
+
+// DisjointCopies places k disjoint copies of the generated graph side
+// by side: the multi-component input for the connected-components
+// experiments (Theorem 1.2).
+func DisjointCopies(k int, gen func(i int) *graphx.Digraph) *graphx.Digraph {
+	parts := make([]*graphx.Digraph, k)
+	total := 0
+	for i := 0; i < k; i++ {
+		parts[i] = gen(i)
+		total += parts[i].N
+	}
+	g := graphx.NewDigraph(total)
+	base := 0
+	for _, p := range parts {
+		for u, out := range p.Out {
+			for _, v := range out {
+				g.AddEdge(base+u, base+v)
+			}
+		}
+		base += p.N
+	}
+	return g
+}
+
+// CutGadget returns a graph with known biconnectivity structure: a
+// chain of cycles of size cycle joined at single shared nodes. Every
+// joint is a cut vertex and every cycle is one biconnected component.
+func CutGadget(cycles, cycle int) *graphx.Digraph {
+	if cycle < 3 {
+		panic("topology: CutGadget needs cycle >= 3")
+	}
+	n := cycles*(cycle-1) + 1
+	g := graphx.NewDigraph(n)
+	joint := 0
+	next := 1
+	for c := 0; c < cycles; c++ {
+		prev := joint
+		for i := 0; i < cycle-1; i++ {
+			g.AddEdge(prev, next)
+			prev = next
+			next++
+		}
+		g.AddEdge(prev, joint)
+		joint = prev
+	}
+	return g
+}
+
+// Bipartite returns the complete bipartite graph K_{a,b} (left nodes
+// 0..a-1 know every right node).
+func Bipartite(a, b int) *graphx.Digraph {
+	g := graphx.NewDigraph(a + b)
+	for u := 0; u < a; u++ {
+		for v := 0; v < b; v++ {
+			g.AddEdge(u, a+v)
+		}
+	}
+	return g
+}

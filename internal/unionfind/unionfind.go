@@ -1,0 +1,52 @@
+// Package unionfind provides a disjoint-set forest with union by rank
+// and path compression, used by the supernode-merging baseline and by
+// verification code.
+package unionfind
+
+// UF is a disjoint-set forest over 0..n-1.
+type UF struct {
+	parent []int
+	rank   []int
+	sets   int
+}
+
+// New returns n singleton sets.
+func New(n int) *UF {
+	u := &UF{parent: make([]int, n), rank: make([]int, n), sets: n}
+	for i := range u.parent {
+		u.parent[i] = i
+	}
+	return u
+}
+
+// Find returns the representative of x's set.
+func (u *UF) Find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]] // path halving
+		x = u.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets of a and b, returning false if already joined.
+func (u *UF) Union(a, b int) bool {
+	ra, rb := u.Find(a), u.Find(b)
+	if ra == rb {
+		return false
+	}
+	if u.rank[ra] < u.rank[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	if u.rank[ra] == u.rank[rb] {
+		u.rank[ra]++
+	}
+	u.sets--
+	return true
+}
+
+// Sets returns the number of disjoint sets.
+func (u *UF) Sets() int { return u.sets }
+
+// Same reports whether a and b are in one set.
+func (u *UF) Same(a, b int) bool { return u.Find(a) == u.Find(b) }

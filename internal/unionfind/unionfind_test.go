@@ -1,0 +1,72 @@
+package unionfind
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBasics(t *testing.T) {
+	u := New(5)
+	if u.Sets() != 5 {
+		t.Fatalf("Sets = %d, want 5", u.Sets())
+	}
+	if !u.Union(0, 1) {
+		t.Error("first union returned false")
+	}
+	if u.Union(1, 0) {
+		t.Error("repeated union returned true")
+	}
+	if !u.Same(0, 1) || u.Same(0, 2) {
+		t.Error("Same wrong")
+	}
+	u.Union(2, 3)
+	u.Union(0, 3)
+	if u.Sets() != 2 {
+		t.Errorf("Sets = %d, want 2", u.Sets())
+	}
+	if !u.Same(1, 2) {
+		t.Error("transitive union broken")
+	}
+}
+
+func TestSetsCountMatchesPartition(t *testing.T) {
+	f := func(pairs []uint16) bool {
+		const n = 50
+		u := New(n)
+		naive := make([]int, n)
+		for i := range naive {
+			naive[i] = i
+		}
+		for _, p := range pairs {
+			a, b := int(p%n), int(p/n)%n
+			u.Union(a, b)
+			// Naive relabel.
+			la, lb := naive[a], naive[b]
+			if la != lb {
+				for i := range naive {
+					if naive[i] == lb {
+						naive[i] = la
+					}
+				}
+			}
+		}
+		labels := map[int]bool{}
+		for _, l := range naive {
+			labels[l] = true
+		}
+		if len(labels) != u.Sets() {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if (naive[i] == naive[j]) != u.Same(i, j) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,385 @@
+package wft
+
+import (
+	"fmt"
+	"sort"
+
+	"overlay/internal/graphx"
+	"overlay/internal/ids"
+	"overlay/internal/sim"
+)
+
+// Message-level well-formed-tree construction. The protocol runs on
+// the low-diameter graph produced by CreateExpander and follows a
+// globally known round schedule (all bounds are O(log n)):
+//
+//	phase A [0, F):        flood the minimum identifier with hop
+//	                       counts; every node learns the root, its BFS
+//	                       distance, and its BFS parent (footnote 8 of
+//	                       the paper).
+//	phase B {F, F+1}:      children adopt their parents.
+//	phase C/D (F+1, 3F+6): subtree sizes are aggregated up the BFS
+//	                       tree, then DFS pre-order rank intervals flow
+//	                       down (the [27] merge step reduced to
+//	                       interval arithmetic), defining a ranked ring.
+//	phase E [3F+6, +2K+2): pointer jumping builds jump tables over the
+//	                       ring: jump[k] = owner of rank r + 2^k mod n.
+//	phase F afterwards:    every node greedily routes a "find" message
+//	                       to ranks 2r+1 and 2r+2; arrivals establish
+//	                       the binary-heap edges of the well-formed
+//	                       tree. Routing takes ≤ K hops.
+//
+// F is the flood budget (≥ the graph's diameter; the expander gives
+// O(log n)) and K = ⌈log₂ n⌉.
+
+type floodMsg struct {
+	root ids.ID
+	dist int
+}
+
+type adoptMsg struct{}
+
+type sizeMsg struct{ size int }
+
+type intervalMsg struct {
+	lo, hi int
+	after  ids.ID // owner of rank hi (pre-order successor of the subtree)
+	total  int    // n, learned from the root
+}
+
+type jumpReq struct{ level int }
+
+type jumpResp struct {
+	level int
+	id    ids.ID
+}
+
+type findMsg struct {
+	target int
+	origin ids.ID
+}
+
+type childAck struct{}
+
+// Protocol is the per-node state machine. Build with BuildEngine.
+type Protocol struct {
+	floodRounds int
+
+	neighbors []ids.ID
+
+	// Flood state.
+	bestRoot ids.ID
+	bestDist int
+	parent   ids.ID
+
+	// Tree state.
+	children  []ids.ID
+	childSize map[ids.ID]int
+	sizeSent  bool
+	subtree   int
+
+	// Rank state.
+	rank  int
+	total int
+	after ids.ID
+	succ  ids.ID
+
+	// Jump tables: jump[k] = owner of rank (rank + 2^k) mod total.
+	jump []ids.ID
+
+	// Results.
+	HeapParent ids.ID
+	HeapKids   []ids.ID
+
+	findStartedFlag bool
+	done            bool
+}
+
+var _ sim.Node = (*Protocol)(nil)
+var _ sim.Halter = (*Protocol)(nil)
+
+// BuildEngine wires the simple graph g (typically expander output)
+// into an engine running the tree protocol. floodRounds must be at
+// least g's diameter; the caller passes its O(log n) budget.
+func BuildEngine(g *graphx.Graph, floodRounds int, cfg sim.Config) (*sim.Engine, []*Protocol) {
+	cfg.N = g.N
+	nodes := make([]sim.Node, g.N)
+	protos := make([]*Protocol, g.N)
+	for i := range nodes {
+		protos[i] = &Protocol{floodRounds: floodRounds}
+		nodes[i] = protos[i]
+	}
+	eng := sim.New(cfg, nodes)
+	idOf := eng.IDs()
+	for i, p := range protos {
+		p.neighbors = make([]ids.ID, len(g.Adj[i]))
+		for k, v := range g.Adj[i] {
+			p.neighbors[k] = idOf[v]
+		}
+	}
+	return eng, protos
+}
+
+// Rounds returns the total round budget for the protocol on n nodes.
+func Rounds(floodRounds, n int) int {
+	k := sim.LogBound(n)
+	return 3*floodRounds + 6 + 2*k + 2 + k + 6
+}
+
+// Halted implements sim.Halter.
+func (p *Protocol) Halted() bool { return p.done }
+
+// Rank0 reports whether this node ended as the root.
+func (p *Protocol) IsRoot() bool { return p.rank == 0 }
+
+// Rank returns the node's pre-order rank.
+func (p *Protocol) RankValue() int { return p.rank }
+
+// Init starts the flood with the node's own identifier.
+func (p *Protocol) Init(ctx *sim.Ctx) {
+	p.bestRoot = ctx.ID
+	p.bestDist = 0
+	p.parent = ids.Nil
+	p.childSize = make(map[ids.ID]int)
+	p.HeapParent = ids.Nil
+	p.rank = -1
+	p.broadcast(ctx, floodMsg{root: ctx.ID, dist: 0})
+}
+
+func (p *Protocol) broadcast(ctx *sim.Ctx, m floodMsg) {
+	sent := ids.NewSet()
+	for _, nb := range p.neighbors {
+		if nb == ctx.ID || sent.Has(nb) {
+			continue // skip self-loops and duplicate slots
+		}
+		sent.Add(nb)
+		ctx.Send(nb, m)
+	}
+}
+
+// Round advances the schedule.
+func (p *Protocol) Round(ctx *sim.Ctx, inbox []sim.Message) {
+	if p.done {
+		return
+	}
+	r := ctx.Round()
+	f := p.floodRounds
+	k := ctx.LogBound()
+	phaseE := 3*f + 6
+	phaseF := phaseE + 2*k + 2
+	haltAt := phaseF + k + 6
+
+	switch {
+	case r < f:
+		p.handleFlood(ctx, inbox)
+	case r == f:
+		// Drain any last flood messages, then adopt the parent.
+		p.handleFlood(ctx, inbox)
+		if p.parent != ids.Nil {
+			ctx.Send(p.parent, adoptMsg{})
+		}
+	case r == f+1:
+		// Children are now known; leaves start the size aggregation.
+		for _, m := range inbox {
+			if _, ok := m.Payload.(adoptMsg); ok {
+				p.children = append(p.children, m.From)
+			}
+		}
+		sort.Slice(p.children, func(i, j int) bool { return p.children[i] < p.children[j] })
+		p.maybeSendSize(ctx)
+	case r < phaseE:
+		for _, m := range inbox {
+			switch msg := m.Payload.(type) {
+			case sizeMsg:
+				p.childSize[m.From] = msg.size
+			case intervalMsg:
+				p.applyInterval(ctx, msg)
+			}
+		}
+		p.maybeSendSize(ctx)
+	case r < phaseF:
+		p.handleJump(ctx, inbox, r, phaseE, k)
+	default:
+		p.handleFind(ctx, inbox)
+		if r >= haltAt {
+			if p.rank == 0 {
+				p.HeapParent = ctx.ID
+			}
+			sort.Slice(p.HeapKids, func(i, j int) bool { return p.HeapKids[i] < p.HeapKids[j] })
+			p.done = true
+		}
+	}
+}
+
+func (p *Protocol) handleFlood(ctx *sim.Ctx, inbox []sim.Message) {
+	improved := false
+	for _, m := range inbox {
+		fm, ok := m.Payload.(floodMsg)
+		if !ok {
+			continue
+		}
+		cand := floodMsg{root: fm.root, dist: fm.dist + 1}
+		switch {
+		case cand.root < p.bestRoot,
+			cand.root == p.bestRoot && cand.dist < p.bestDist,
+			cand.root == p.bestRoot && cand.dist == p.bestDist && p.parent != ids.Nil && m.From < p.parent:
+			// Adopt strictly better candidates; among equal (root,
+			// dist) prefer the lowest sender ID so the BFS tree is the
+			// deterministic one FromGraph builds.
+			p.bestRoot = cand.root
+			p.bestDist = cand.dist
+			p.parent = m.From
+			improved = true
+		}
+	}
+	if improved {
+		p.broadcast(ctx, floodMsg{root: p.bestRoot, dist: p.bestDist})
+	}
+}
+
+// maybeSendSize fires once all children reported (leaves immediately).
+func (p *Protocol) maybeSendSize(ctx *sim.Ctx) {
+	if p.sizeSent || len(p.childSize) < len(p.children) {
+		return
+	}
+	p.sizeSent = true
+	p.subtree = 1
+	for _, c := range p.children {
+		p.subtree += p.childSize[c]
+	}
+	if p.bestRoot == ctx.ID {
+		// Root: start interval distribution. Its own interval is
+		// [0, n) with itself as the wrap-around successor.
+		p.applyInterval(ctx, intervalMsg{lo: 0, hi: p.subtree, after: ctx.ID, total: p.subtree})
+		return
+	}
+	ctx.Send(p.parent, sizeMsg{size: p.subtree})
+}
+
+// applyInterval fixes the node's pre-order rank and forwards child
+// intervals; the ring successor falls out of the interval endpoints.
+func (p *Protocol) applyInterval(ctx *sim.Ctx, msg intervalMsg) {
+	p.rank = msg.lo
+	p.total = msg.total
+	p.after = msg.after
+	lo := msg.lo + 1
+	for i, c := range p.children {
+		hi := lo + p.childSize[c]
+		after := msg.after
+		if i+1 < len(p.children) {
+			after = p.children[i+1]
+		}
+		ctx.Send(c, intervalMsg{lo: lo, hi: hi, after: after, total: msg.total})
+		lo = hi
+	}
+	if len(p.children) > 0 {
+		p.succ = p.children[0]
+	} else {
+		p.succ = msg.after
+	}
+}
+
+// handleJump runs the level-locked pointer jumping: at phaseE + 2k the
+// whole network sends level-k requests; responses arrive one round
+// later; jump[k+1] is installed the round after.
+func (p *Protocol) handleJump(ctx *sim.Ctx, inbox []sim.Message, r, phaseE, k int) {
+	for _, m := range inbox {
+		switch msg := m.Payload.(type) {
+		case jumpReq:
+			ctx.Send(m.From, jumpResp{level: msg.level, id: p.jump[msg.level]})
+		case jumpResp:
+			for len(p.jump) <= msg.level+1 {
+				p.jump = append(p.jump, ids.Nil)
+			}
+			p.jump[msg.level+1] = msg.id
+		}
+	}
+	if (r-phaseE)%2 != 0 {
+		return
+	}
+	level := (r - phaseE) / 2
+	if level >= k {
+		return
+	}
+	if level == 0 {
+		p.jump = append(p.jump[:0], p.succ)
+	}
+	if level < len(p.jump) && p.jump[level] != ids.Nil {
+		ctx.Send(p.jump[level], jumpReq{level: level})
+	}
+}
+
+// handleFind emits and routes the heap-edge discovery messages.
+func (p *Protocol) handleFind(ctx *sim.Ctx, inbox []sim.Message) {
+	// Emission happens exactly once, on the first find-phase round.
+	if !p.findStartedFlag {
+		p.findStartedFlag = true
+		for _, t := range []int{2*p.rank + 1, 2*p.rank + 2} {
+			if t < p.total {
+				p.routeFind(ctx, findMsg{target: t, origin: ctx.ID})
+			}
+		}
+	}
+	for _, m := range inbox {
+		switch msg := m.Payload.(type) {
+		case findMsg:
+			p.routeFind(ctx, msg)
+		case childAck:
+			p.HeapKids = append(p.HeapKids, m.From)
+		}
+	}
+}
+
+// routeFind forwards toward the target rank along the largest jump not
+// overshooting, or accepts the heap edge on arrival.
+func (p *Protocol) routeFind(ctx *sim.Ctx, msg findMsg) {
+	if msg.target == p.rank {
+		p.HeapParent = msg.origin
+		ctx.Send(msg.origin, childAck{})
+		return
+	}
+	d := msg.target - p.rank
+	if d < 0 {
+		panic(fmt.Sprintf("wft: find message overshot: at rank %d targeting %d", p.rank, msg.target))
+	}
+	level := 0
+	for (1<<(level+1)) <= d && level+1 < len(p.jump) {
+		level++
+	}
+	ctx.Send(p.jump[level], msg)
+}
+
+// ExtractTree converts the finished protocol state into a Tree using
+// the engine's identifier mapping, validating as it goes.
+func ExtractTree(eng *sim.Engine, protos []*Protocol) (*Tree, error) {
+	n := len(protos)
+	t := &Tree{
+		Rank:   make([]int, n),
+		NodeAt: make([]int, n),
+		Parent: make([]int, n),
+	}
+	for i, p := range protos {
+		if p.rank < 0 || p.rank >= n {
+			return nil, fmt.Errorf("wft: node %d has invalid rank %d", i, p.rank)
+		}
+		t.Rank[i] = p.rank
+		t.NodeAt[p.rank] = i
+		if p.rank == 0 {
+			t.Root = i
+		}
+	}
+	for i, p := range protos {
+		if p.HeapParent == ids.Nil {
+			return nil, fmt.Errorf("wft: node %d has no heap parent", i)
+		}
+		j, ok := eng.IndexOf(p.HeapParent)
+		if !ok {
+			return nil, fmt.Errorf("wft: unknown heap parent id %v", p.HeapParent)
+		}
+		t.Parent[i] = j
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

@@ -1,0 +1,187 @@
+// Package wft constructs well-formed trees: rooted trees of constant
+// degree and O(log n) diameter containing every node (Section 1.2).
+//
+// The pipeline follows Section 2.1's final step. Starting from the
+// constant-conductance graph produced by CreateExpander:
+//
+//  1. the node with the lowest identifier is elected by flooding and a
+//     BFS tree rooted at it is built (O(log n) rounds, since the
+//     expander has O(log n) diameter);
+//  2. nodes are ranked in DFS pre-order of the BFS tree (subtree sizes
+//     up, rank intervals down — the Euler-tour/child-sibling step of
+//     [27] reduces to this interval computation);
+//  3. the well-formed tree is the binary heap over ranks: rank r's
+//     children are ranks 2r+1 and 2r+2, giving degree ≤ 3 and depth
+//     ⌈log₂(n+1)⌉; the heap edges are discovered by routing over the
+//     ranked ring with pointer-jumping shortcuts.
+//
+// Tree is the in-memory result; Protocol (protocol.go) is the
+// message-level implementation whose output is bit-identical to
+// FromGraph given the same tie-breaking, which tests exploit.
+package wft
+
+import (
+	"fmt"
+	"sort"
+
+	"overlay/internal/graphx"
+)
+
+// Tree is a well-formed tree over nodes 0..N-1.
+type Tree struct {
+	// Root is the root node (rank 0).
+	Root int
+	// Rank[v] is v's position in the heap order, unique in [0, N).
+	Rank []int
+	// NodeAt[r] is the node with rank r (inverse of Rank).
+	NodeAt []int
+	// Parent[v] is v's parent in the heap tree (Parent[Root] = Root).
+	Parent []int
+}
+
+// N returns the number of nodes.
+func (t *Tree) N() int { return len(t.Rank) }
+
+// Children returns v's children in the heap tree (0, 1, or 2 nodes).
+func (t *Tree) Children(v int) []int {
+	r := t.Rank[v]
+	var out []int
+	if c := 2*r + 1; c < t.N() {
+		out = append(out, t.NodeAt[c])
+	}
+	if c := 2*r + 2; c < t.N() {
+		out = append(out, t.NodeAt[c])
+	}
+	return out
+}
+
+// Depth returns the height of the heap tree: ⌈log₂(N+1)⌉ - 1 levels of
+// edges, the well-formed O(log n) diameter guarantee.
+func (t *Tree) Depth() int {
+	d := 0
+	for (1 << (d + 1)) <= t.N() {
+		d++
+	}
+	return d
+}
+
+// Validate checks the well-formed-tree invariants: ranks are a
+// permutation, parent/child relations match the heap rule, and the
+// degree bound 3 holds by construction.
+func (t *Tree) Validate() error {
+	n := t.N()
+	if n == 0 {
+		return nil
+	}
+	seen := make([]bool, n)
+	for v, r := range t.Rank {
+		if r < 0 || r >= n {
+			return fmt.Errorf("wft: rank %d of node %d out of range", r, v)
+		}
+		if seen[r] {
+			return fmt.Errorf("wft: duplicate rank %d", r)
+		}
+		seen[r] = true
+		if t.NodeAt[r] != v {
+			return fmt.Errorf("wft: NodeAt[%d] = %d, want %d", r, t.NodeAt[r], v)
+		}
+	}
+	if t.Rank[t.Root] != 0 {
+		return fmt.Errorf("wft: root %d has rank %d", t.Root, t.Rank[t.Root])
+	}
+	for v, p := range t.Parent {
+		if v == t.Root {
+			if p != v {
+				return fmt.Errorf("wft: root parent %d != root %d", p, v)
+			}
+			continue
+		}
+		if want := t.NodeAt[(t.Rank[v]-1)/2]; p != want {
+			return fmt.Errorf("wft: node %d parent %d, want %d", v, p, want)
+		}
+	}
+	return nil
+}
+
+// FromGraph builds a well-formed tree in memory from a connected
+// undirected graph. id[v] supplies the identifier ordering used for
+// root election and child ordering; pass nil to use node indices. The
+// tie-breaking matches Protocol exactly: the root is the minimum-ID
+// node, the BFS parent of v is its minimum-ID neighbor at distance
+// d(v)-1 from the root, and children are visited in ascending ID order.
+func FromGraph(g *graphx.Graph, id []uint64) (*Tree, error) {
+	n := g.N
+	if n == 0 {
+		return &Tree{}, nil
+	}
+	if !g.IsConnected() {
+		return nil, fmt.Errorf("wft: graph is not connected")
+	}
+	if id == nil {
+		id = make([]uint64, n)
+		for i := range id {
+			id[i] = uint64(i)
+		}
+	}
+	root := 0
+	for v := 1; v < n; v++ {
+		if id[v] < id[root] {
+			root = v
+		}
+	}
+	dist := g.BFS(root)
+	// BFS parent: minimum-ID neighbor one level up.
+	parent := make([]int, n)
+	children := make([][]int, n)
+	for v := 0; v < n; v++ {
+		parent[v] = -1
+		if v == root {
+			parent[v] = root
+			continue
+		}
+		for _, u := range g.Adj[v] {
+			if dist[u] == dist[v]-1 && (parent[v] < 0 || id[u] < id[parent[v]]) {
+				parent[v] = u
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		if v != root {
+			children[parent[v]] = append(children[parent[v]], v)
+		}
+	}
+	for v := range children {
+		c := children[v]
+		sort.Slice(c, func(i, j int) bool { return id[c[i]] < id[c[j]] })
+	}
+
+	// DFS pre-order ranks (iterative to tolerate deep BFS trees).
+	rank := make([]int, n)
+	nodeAt := make([]int, n)
+	next := 0
+	stack := []int{root}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		rank[v] = next
+		nodeAt[next] = v
+		next++
+		// Push children in reverse so the lowest ID pops first.
+		c := children[v]
+		for i := len(c) - 1; i >= 0; i-- {
+			stack = append(stack, c[i])
+		}
+	}
+
+	// Heap parents over ranks.
+	heapParent := make([]int, n)
+	for v := 0; v < n; v++ {
+		r := rank[v]
+		if r == 0 {
+			heapParent[v] = v
+			continue
+		}
+		heapParent[v] = nodeAt[(r-1)/2]
+	}
+	return &Tree{Root: root, Rank: rank, NodeAt: nodeAt, Parent: heapParent}, nil
+}

@@ -1,0 +1,227 @@
+package wft
+
+import (
+	"testing"
+	"testing/quick"
+
+	"overlay/internal/benign"
+	"overlay/internal/expander"
+	"overlay/internal/graphx"
+	"overlay/internal/rng"
+	"overlay/internal/sim"
+	"overlay/internal/topology"
+)
+
+func ringGraph(n int) *graphx.Graph {
+	g := graphx.NewGraph(n)
+	for i := 0; i < n; i++ {
+		if n > 2 || i == 0 {
+			g.AddEdge(i, (i+1)%n)
+		}
+	}
+	return g
+}
+
+func TestFromGraphBasics(t *testing.T) {
+	g := ringGraph(10)
+	tree, err := FromGraph(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tree.Root != 0 {
+		t.Errorf("root = %d, want 0 (lowest id)", tree.Root)
+	}
+	if d := tree.Depth(); d != 3 {
+		t.Errorf("depth = %d, want 3 for n=10", d)
+	}
+	// Degree bound: each node has <= 2 children + 1 parent.
+	for v := 0; v < 10; v++ {
+		if len(tree.Children(v)) > 2 {
+			t.Errorf("node %d has %d children", v, len(tree.Children(v)))
+		}
+	}
+}
+
+func TestFromGraphDisconnected(t *testing.T) {
+	g := graphx.NewGraph(4)
+	g.AddEdge(0, 1)
+	if _, err := FromGraph(g, nil); err == nil {
+		t.Error("disconnected graph accepted")
+	}
+}
+
+func TestFromGraphSingleNode(t *testing.T) {
+	tree, err := FromGraph(graphx.NewGraph(1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tree.Root != 0 || tree.Parent[0] != 0 {
+		t.Error("single-node tree wrong")
+	}
+}
+
+func TestFromGraphEmpty(t *testing.T) {
+	tree, err := FromGraph(graphx.NewGraph(0), nil)
+	if err != nil || tree.N() != 0 {
+		t.Errorf("empty graph: %v, n=%d", err, tree.N())
+	}
+}
+
+func TestFromGraphCustomIDs(t *testing.T) {
+	// With reversed ids the root must be the last node.
+	g := ringGraph(8)
+	id := make([]uint64, 8)
+	for i := range id {
+		id[i] = uint64(100 - i)
+	}
+	tree, err := FromGraph(g, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Root != 7 {
+		t.Errorf("root = %d, want 7 (lowest custom id)", tree.Root)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	g := ringGraph(6)
+	tree, _ := FromGraph(g, nil)
+	tree.Rank[1], tree.Rank[2] = tree.Rank[2], tree.Rank[1]
+	if err := tree.Validate(); err == nil {
+		t.Error("corrupted ranks passed validation")
+	}
+}
+
+func TestFromGraphRanksArePermutation(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		n := 2 + src.Intn(60)
+		g := ringGraph(n)
+		for i := 0; i < n/2; i++ {
+			u, v := src.Intn(n), src.Intn(n)
+			if u != v && !g.HasEdge(u, v) {
+				g.AddEdge(u, v)
+			}
+		}
+		tree, err := FromGraph(g, nil)
+		if err != nil {
+			return false
+		}
+		return tree.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// buildExpander produces a low-diameter graph for protocol tests.
+func buildExpander(t *testing.T, n int, seed uint64) *graphx.Graph {
+	t.Helper()
+	g := topology.Line(n)
+	bp := benign.Defaults(n, g.MaxDegree())
+	m, err := benign.Prepare(g, bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := expander.DefaultParams(n)
+	p.Delta = bp.Delta
+	res := expander.CreateExpander(m, p, rng.New(seed))
+	s := res.Final.Simple()
+	if !s.IsConnected() {
+		t.Fatal("expander disconnected")
+	}
+	return s
+}
+
+func TestProtocolBuildsValidTree(t *testing.T) {
+	g := buildExpander(t, 200, 3)
+	flood := g.Diameter() + 2
+	eng, protos := BuildEngine(g, flood, sim.Config{Seed: 11})
+	eng.Run(Rounds(flood, g.N) + 4)
+	tree, err := ExtractTree(eng, protos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProtocolMatchesFromGraph(t *testing.T) {
+	// The protocol's tie-breaking is designed to reproduce FromGraph
+	// exactly when given the engine's identifier assignment.
+	g := buildExpander(t, 150, 7)
+	flood := g.Diameter() + 2
+	eng, protos := BuildEngine(g, flood, sim.Config{Seed: 13})
+	eng.Run(Rounds(flood, g.N) + 4)
+	got, err := ExtractTree(eng, protos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := make([]uint64, g.N)
+	for i, v := range eng.IDs() {
+		id[i] = uint64(v)
+	}
+	want, err := FromGraph(g, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Root != want.Root {
+		t.Fatalf("root: got %d, want %d", got.Root, want.Root)
+	}
+	for v := range got.Rank {
+		if got.Rank[v] != want.Rank[v] {
+			t.Fatalf("rank of node %d: got %d, want %d", v, got.Rank[v], want.Rank[v])
+		}
+	}
+}
+
+func TestProtocolRoundsAreLogarithmic(t *testing.T) {
+	g := buildExpander(t, 300, 5)
+	flood := 2*sim.LogBound(g.N) + 2
+	if d := g.Diameter(); d+2 > flood {
+		t.Fatalf("expander diameter %d exceeded the O(log n) flood budget", d)
+	}
+	eng, protos := BuildEngine(g, flood, sim.Config{Seed: 17})
+	budget := Rounds(flood, g.N)
+	eng.Run(budget + 4)
+	if eng.Round() > budget+4 {
+		t.Errorf("protocol used %d rounds, budget %d", eng.Round(), budget)
+	}
+	if _, err := ExtractTree(eng, protos); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProtocolSingleNode(t *testing.T) {
+	g := graphx.NewGraph(1)
+	eng, protos := BuildEngine(g, 3, sim.Config{Seed: 1})
+	eng.Run(Rounds(3, 1) + 4)
+	tree, err := ExtractTree(eng, protos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Root != 0 {
+		t.Error("single node should be root")
+	}
+}
+
+func TestProtocolTwoNodes(t *testing.T) {
+	g := graphx.NewGraph(2)
+	g.AddEdge(0, 1)
+	eng, protos := BuildEngine(g, 3, sim.Config{Seed: 9})
+	eng.Run(Rounds(3, 2) + 4)
+	tree, err := ExtractTree(eng, protos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,100 @@
+package overlay
+
+import "testing"
+
+func TestMonitorCountsAndBipartite(t *testing.T) {
+	// Even ring: bipartite.
+	even := NewGraph(64)
+	for i := 0; i < 64; i++ {
+		even.AddEdge(i, (i+1)%64)
+	}
+	res, err := Monitor(even, &Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NodeCount != 64 || res.EdgeCount != 64 {
+		t.Errorf("counts = %d nodes %d edges, want 64/64", res.NodeCount, res.EdgeCount)
+	}
+	if !res.IsBipartite {
+		t.Error("even ring reported non-bipartite")
+	}
+
+	// Odd ring: not bipartite.
+	odd := NewGraph(63)
+	for i := 0; i < 63; i++ {
+		odd.AddEdge(i, (i+1)%63)
+	}
+	res, err = Monitor(odd, &Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IsBipartite {
+		t.Error("odd ring reported bipartite")
+	}
+}
+
+func TestMonitorTree(t *testing.T) {
+	// Trees are always bipartite.
+	g := NewGraph(31)
+	for i := 0; i < 31; i++ {
+		if l := 2*i + 1; l < 31 {
+			g.AddEdge(i, l)
+		}
+		if r := 2*i + 2; r < 31 {
+			g.AddEdge(i, r)
+		}
+	}
+	res, err := Monitor(g, &Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.IsBipartite || res.EdgeCount != 30 {
+		t.Errorf("tree: bipartite=%v edges=%d", res.IsBipartite, res.EdgeCount)
+	}
+	if res.Bill.Rounds <= 0 {
+		t.Error("no rounds billed")
+	}
+}
+
+func TestMonitorGridWithDiagonal(t *testing.T) {
+	// A grid is bipartite until a diagonal is added.
+	build := func(diag bool) *Graph {
+		g := NewGraph(36)
+		at := func(r, c int) int { return r*6 + c }
+		for r := 0; r < 6; r++ {
+			for c := 0; c < 6; c++ {
+				if c+1 < 6 {
+					g.AddEdge(at(r, c), at(r, c+1))
+				}
+				if r+1 < 6 {
+					g.AddEdge(at(r, c), at(r+1, c))
+				}
+			}
+		}
+		if diag {
+			g.AddEdge(at(0, 0), at(1, 1))
+		}
+		return g
+	}
+	res, err := Monitor(build(false), &Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.IsBipartite {
+		t.Error("grid reported non-bipartite")
+	}
+	res, err = Monitor(build(true), &Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IsBipartite {
+		t.Error("grid+diagonal reported bipartite")
+	}
+}
+
+func TestMonitorEmpty(t *testing.T) {
+	res, err := Monitor(NewGraph(0), nil)
+	if err != nil || !res.IsBipartite || res.NodeCount != 0 {
+		t.Errorf("empty: %v %+v", err, res)
+	}
+}
