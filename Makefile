@@ -1,0 +1,37 @@
+# Targets mirror .github/workflows/ci.yml exactly, so local runs and CI
+# cannot drift.
+
+GO ?= go
+
+.PHONY: all build test race bench bench-scale fmt fmt-fix vet ci
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# The CI bench smoke run: one iteration of the two core build benches.
+bench:
+	$(GO) test -run='^$$' -bench='BuildTreeFast_1k|BuildTreeMessageLevel_256' -benchtime=1x -benchmem ./...
+
+# The full scale sweep (E12, up to n=64k message-level; takes minutes).
+bench-scale:
+	$(GO) test -run='^$$' -bench='E12_ScaleSweep' -benchtime=1x -benchmem -v ./...
+
+# Fail (like CI) when any file needs formatting.
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; fi
+
+fmt-fix:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+ci: fmt vet build race bench

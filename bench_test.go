@@ -122,6 +122,18 @@ func BenchmarkE11_Spanner(b *testing.B) {
 	}
 }
 
+// BenchmarkE12_ScaleSweep drives the full message-level pipeline at
+// 4k/16k/64k nodes. One iteration is minutes of simulated traffic; run
+// it with -benchtime=1x (see the Makefile's bench-scale target).
+func BenchmarkE12_ScaleSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.E12ScaleSweep([]int{4096, 16384, 65536}, benchSeed, 0)
+		if i == 0 {
+			logTable(b, t, err)
+		}
+	}
+}
+
 // Micro-benchmarks of the core operations, for profiling the library
 // itself rather than regenerating experiment tables.
 
@@ -137,6 +149,16 @@ func BenchmarkBuildTreeFast_1k(b *testing.B) {
 
 func BenchmarkBuildTreeMessageLevel_256(b *testing.B) {
 	g := lineInput(256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildTree(g, &Options{Seed: uint64(i), MessageLevel: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildTreeMessageLevel_4096(b *testing.B) {
+	g := lineInput(4096)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := BuildTree(g, &Options{Seed: uint64(i), MessageLevel: true}); err != nil {

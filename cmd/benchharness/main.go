@@ -1,9 +1,9 @@
 // Command benchharness regenerates every experiment table of
-// DESIGN.md §3 (E1–E11) and prints them in EXPERIMENTS.md format.
+// DESIGN.md §3 (E1–E12) and prints them in EXPERIMENTS.md format.
 //
 // Usage:
 //
-//	benchharness [-seed 2021] [-quick] [-only E3]
+//	benchharness [-seed 2021] [-quick] [-only E3] [-workers 8]
 //
 // -quick shrinks the size sweeps for a fast smoke run; -only selects a
 // single experiment.
@@ -21,9 +21,10 @@ import (
 func main() {
 	log.SetFlags(0)
 	var (
-		seed  = flag.Uint64("seed", 2021, "experiment seed")
-		quick = flag.Bool("quick", false, "shrink sweeps for a fast run")
-		only  = flag.String("only", "", "run a single experiment (e.g. E3)")
+		seed    = flag.Uint64("seed", 2021, "experiment seed")
+		quick   = flag.Bool("quick", false, "shrink sweeps for a fast run")
+		only    = flag.String("only", "", "run a single experiment (e.g. E3)")
+		workers = flag.Int("workers", 0, "engine worker pool for E12 (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -32,12 +33,14 @@ func main() {
 	ccTotal, ccMs := 512, []int{16, 32, 64, 128, 256}
 	misN, misDs := 400, []int{2, 4, 8, 16, 32}
 	spanNs := []int{128, 256, 512}
+	scaleNs := []int{4096, 16384, 65536}
 	if *quick {
 		ns = []int{64, 256}
 		e3n, e4n = 128, 128
 		ccTotal, ccMs = 256, []int{16, 64}
 		misN, misDs = 200, []int{2, 8}
 		spanNs = []int{128, 256}
+		scaleNs = []int{1024, 4096}
 	}
 
 	type runner struct {
@@ -56,6 +59,7 @@ func main() {
 		{"E9", func() (*experiments.Table, error) { return experiments.E9Biconnectivity(*seed) }},
 		{"E10", func() (*experiments.Table, error) { return experiments.E10MIS(misN, misDs, *seed) }},
 		{"E11", func() (*experiments.Table, error) { return experiments.E11Spanner(spanNs, *seed) }},
+		{"E12", func() (*experiments.Table, error) { return experiments.E12ScaleSweep(scaleNs, *seed, *workers) }},
 		{"A1", func() (*experiments.Table, error) {
 			return experiments.AblationWalkLength(256, []int{2, 4, 8, 16, 32}, 5, *seed)
 		}},

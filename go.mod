@@ -1,0 +1,3 @@
+module overlay
+
+go 1.22

@@ -54,20 +54,27 @@ func Run(g *graphx.Graph, src *rng.Source, maxPhases int) *Result {
 		res.Phases++
 		// Each supernode leader flips a coin; tails propose to a random
 		// external neighbor, heads accept all proposals (star merges,
-		// as in Angluin et al.). Collect one proposal per tail root.
-		heads := make(map[int]bool)
-		roots := map[int]struct{}{}
+		// as in Angluin et al.). Roots are enumerated in
+		// lowest-member-first order — never by map iteration — so the
+		// rng draws (and hence the whole run) are a pure function of
+		// the seed.
+		rootList := make([]int, 0)
+		isRoot := make([]bool, n)
 		for v := 0; v < n; v++ {
-			roots[uf.Find(v)] = struct{}{}
+			if r := uf.Find(v); !isRoot[r] {
+				isRoot[r] = true
+				rootList = append(rootList, r)
+			}
 		}
-		for r := range roots {
+		heads := make(map[int]bool)
+		for _, r := range rootList {
 			heads[r] = src.Bool()
 		}
 		// Proposal selection: every tail supernode scans its external
 		// edges and proposes along a uniformly random one leading to a
 		// heads supernode. One local round to learn neighbor coins.
 		proposals := map[int]int{} // tail root -> heads root
-		for r := range roots {
+		for _, r := range rootList {
 			if heads[r] {
 				continue
 			}
@@ -88,15 +95,25 @@ func Run(g *graphx.Graph, src *rng.Source, maxPhases int) *Result {
 		}
 		// Merge and charge consolidation: the merged star around a
 		// heads supernode has diameter ≤ 2 + max depth of its members;
-		// rebuilding leadership costs that many rounds.
+		// rebuilding leadership costs that many rounds. Tails join
+		// their head in rootList order, keeping union order (and the
+		// resulting depths) deterministic.
 		maxDepth := 0
 		merged := map[int][]int{}
-		for tail, head := range proposals {
+		var headList []int
+		for _, tail := range rootList {
+			head, ok := proposals[tail]
+			if !ok {
+				continue
+			}
+			if len(merged[head]) == 0 {
+				headList = append(headList, head)
+			}
 			merged[head] = append(merged[head], tail)
 		}
-		for head, tails := range merged {
+		for _, head := range headList {
 			d := depth[uf.Find(head)]
-			for _, tail := range tails {
+			for _, tail := range merged[head] {
 				if depth[uf.Find(tail)] > d {
 					d = depth[uf.Find(tail)]
 				}
@@ -112,11 +129,15 @@ func Run(g *graphx.Graph, src *rng.Source, maxPhases int) *Result {
 		// deepest consolidation broadcast of this phase.
 		res.Rounds += 1 + maxDepth
 		// Count remaining supernodes.
-		remaining := map[int]struct{}{}
+		remaining := 0
+		counted := make([]bool, n)
 		for v := 0; v < n; v++ {
-			remaining[uf.Find(v)] = struct{}{}
+			if r := uf.Find(v); !counted[r] {
+				counted[r] = true
+				remaining++
+			}
 		}
-		res.FinalSupernodes = len(remaining)
+		res.FinalSupernodes = remaining
 	}
 	return res
 }

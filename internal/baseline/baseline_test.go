@@ -28,6 +28,20 @@ func TestRunSingleton(t *testing.T) {
 	}
 }
 
+func TestRunDeterministic(t *testing.T) {
+	// The merge schedule consumes randomness in root-enumeration order,
+	// never map-iteration order, so equal seeds reproduce runs exactly
+	// (E6's comparison tables depend on this).
+	g := topology.Ring(128).Undirected()
+	a := Run(g, rng.New(99), 500)
+	for i := 0; i < 3; i++ {
+		b := Run(g, rng.New(99), 500)
+		if *a != *b {
+			t.Fatalf("equal seeds diverged: %+v vs %+v", a, b)
+		}
+	}
+}
+
 func TestRoundsGrowSuperlinearlyInLogN(t *testing.T) {
 	// The baseline costs Θ(log² n) rounds; check that rounds/log n
 	// grows with n (i.e., it is ω(log n)), the shape E6 relies on.

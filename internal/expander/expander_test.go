@@ -181,7 +181,7 @@ func TestMessageLevelMatchesModel(t *testing.T) {
 	m, bp := prepared(t, g)
 	p := DefaultParams(g.N)
 	p.Delta = bp.Delta
-	final, eng, protos := RunMessageLevel(m, p, 17, 0) // uncapped: measure loads
+	final, eng, protos := RunMessageLevel(m, p, sim.Config{Seed: 17}, 0) // uncapped: measure loads
 	s := final.Simple()
 	if !s.IsConnected() {
 		t.Fatal("message-level final graph disconnected")
@@ -221,7 +221,7 @@ func TestMessageLevelUnderCaps(t *testing.T) {
 	m, bp := prepared(t, g)
 	p := DefaultParams(g.N)
 	p.Delta = bp.Delta
-	final, eng, _ := RunMessageLevel(m, p, 23, 8)
+	final, eng, _ := RunMessageLevel(m, p, sim.Config{Seed: 23}, 8)
 	if eng.Metrics().RecvDrops != 0 {
 		t.Errorf("capacity drops occurred: %d", eng.Metrics().RecvDrops)
 	}

@@ -47,6 +47,10 @@ type Protocol struct {
 	// maxTokenLoad tracks Lemma 3.2's per-round token load.
 	maxTokenLoad int
 	dropped      int
+
+	// tokenPayload is this node's walk token pre-boxed as an interface
+	// so emitting ∆/8 tokens per evolution costs no allocations.
+	tokenPayload any
 }
 
 var _ sim.Node = (*Protocol)(nil)
@@ -100,6 +104,7 @@ func (p *Protocol) Slots() []ids.ID { return p.slots }
 
 // Init emits the first evolution's tokens.
 func (p *Protocol) Init(ctx *sim.Ctx) {
+	p.tokenPayload = tokenMsg{origin: ctx.ID}
 	p.emitTokens(ctx)
 }
 
@@ -112,12 +117,13 @@ func (p *Protocol) Round(ctx *sim.Ctx, inbox []sim.Message) {
 	p.offset++
 	switch {
 	case p.offset < ell:
-		// Forward every token one more uniform step.
+		// Forward every token one more uniform step, re-sending the
+		// received payload as-is to avoid re-boxing it.
 		load := 0
 		for _, m := range inbox {
-			if tok, ok := m.Payload.(tokenMsg); ok {
+			if _, ok := m.Payload.(tokenMsg); ok {
 				load++
-				ctx.Send(p.slots[ctx.Rand.Intn(len(p.slots))], tok)
+				ctx.Send(p.slots[ctx.Rand.Intn(len(p.slots))], m.Payload)
 			}
 		}
 		if load > p.maxTokenLoad {
@@ -177,7 +183,7 @@ func (p *Protocol) Round(ctx *sim.Ctx, inbox []sim.Message) {
 // emitTokens starts ∆/8 fresh walks (first hop happens immediately).
 func (p *Protocol) emitTokens(ctx *sim.Ctx) {
 	for k := 0; k < p.params.Delta/8; k++ {
-		ctx.Send(p.slots[ctx.Rand.Intn(len(p.slots))], tokenMsg{origin: ctx.ID})
+		ctx.Send(p.slots[ctx.Rand.Intn(len(p.slots))], p.tokenPayload)
 	}
 }
 
@@ -206,14 +212,17 @@ func FinalGraph(eng *sim.Engine, protos []*Protocol) *graphx.Multi {
 
 // RunMessageLevel is a convenience wrapper: prepare, run, extract. It
 // returns the final graph, the engine (for metrics), and the protocol
-// nodes (for token statistics). Caps follow the NCC0 regime: κ·⌈log₂ n⌉
-// units per node per round.
-func RunMessageLevel(m *graphx.Multi, p Params, seed uint64, capFactor int) (*graphx.Multi, *sim.Engine, []*Protocol) {
+// nodes (for token statistics). cfg carries the seed and the engine
+// execution knobs (Sequential, Workers); its capacity fields are
+// overridden to follow the NCC0 regime, κ·⌈log₂ n⌉ units per node per
+// round (capFactor 0 disables the caps for measurement mode).
+func RunMessageLevel(m *graphx.Multi, p Params, cfg sim.Config, capFactor int) (*graphx.Multi, *sim.Engine, []*Protocol) {
 	cap := 0
 	if capFactor > 0 {
 		cap = capFactor * sim.LogBound(m.N)
 	}
-	eng, protos := BuildEngine(m, p, sim.Config{Seed: seed, SendCap: cap, RecvCap: cap})
+	cfg.SendCap, cfg.RecvCap = cap, cap
+	eng, protos := BuildEngine(m, p, cfg)
 	rounds := p.Evolutions*(p.Ell+2) + 1
 	eng.Run(rounds + 4)
 	return FinalGraph(eng, protos), eng, protos

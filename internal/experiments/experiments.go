@@ -7,7 +7,9 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
+	"time"
 
 	"overlay/internal/baseline"
 	"overlay/internal/benign"
@@ -90,37 +92,65 @@ func buildBenign(g *graphx.Digraph) (*graphx.Multi, benign.Params, error) {
 	return m, bp, err
 }
 
-// pipelineRounds runs the full message-level pipeline and returns
-// (rounds, maxPerRoundUnits, maxPerNodeUnits, treeDepth).
-func pipelineRounds(g *graphx.Digraph, seed uint64) (rounds, maxRound int, maxTotal int64, depth int, err error) {
+// pipelineResult is the outcome of one full message-level pipeline run
+// (CreateExpander then the tree protocol on the engine).
+type pipelineResult struct {
+	Rounds    int   // total engine rounds across both phases
+	MaxRound  int   // peak per-node per-round units
+	MaxTotal  int64 // peak per-node total units
+	Depth     int   // constructed tree depth
+	TotalMsgs int64 // messages delivered across both engines
+}
+
+// pipelineRun executes the full message-level pipeline with the given
+// engine configuration (Seed, Sequential, Workers; capacity fields are
+// left to the caller's cfg for the tree phase and uncapped for the
+// expander phase).
+func pipelineRun(g *graphx.Digraph, cfg sim.Config) (pipelineResult, error) {
+	var res pipelineResult
 	m, bp, err := buildBenign(g)
 	if err != nil {
-		return 0, 0, 0, 0, err
+		return res, err
 	}
 	ep := expander.DefaultParams(g.N)
 	ep.Delta = bp.Delta
-	final, eng1, _ := expander.RunMessageLevel(m, ep, seed, 0)
+	final, eng1, _ := expander.RunMessageLevel(m, ep, cfg, 0)
 	s := final.Simple()
 	if !s.IsConnected() {
-		return 0, 0, 0, 0, fmt.Errorf("expander disconnected")
+		return res, fmt.Errorf("expander disconnected")
 	}
 	flood := 2*sim.LogBound(g.N) + 2
-	if d := s.Diameter(); d+2 > flood {
+	if d := s.DiameterUpperBound(); d+2 > flood {
 		flood = d + 2
 	}
-	eng2, protos := wft.BuildEngine(s, flood, sim.Config{Seed: seed + 1})
+	cfg2 := cfg
+	cfg2.Seed++
+	eng2, protos := wft.BuildEngine(s, flood, cfg2)
 	eng2.Run(wft.Rounds(flood, g.N) + 4)
 	tree, err := wft.ExtractTree(eng2, protos)
 	if err != nil {
-		return 0, 0, 0, 0, err
+		return res, err
 	}
 	m1, m2 := eng1.Metrics(), eng2.Metrics()
-	maxRound = m1.MaxRoundSent()
-	if v := m2.MaxRoundSent(); v > maxRound {
-		maxRound = v
+	res.Rounds = eng1.Round() + eng2.Round()
+	res.MaxRound = m1.MaxRoundSent()
+	if v := m2.MaxRoundSent(); v > res.MaxRound {
+		res.MaxRound = v
 	}
-	return eng1.Round() + eng2.Round(), maxRound,
-		m1.MaxPerNodeSent() + m2.MaxPerNodeSent(), tree.Depth(), nil
+	res.MaxTotal = m1.MaxPerNodeSent() + m2.MaxPerNodeSent()
+	res.Depth = tree.Depth()
+	res.TotalMsgs = m1.TotalMessages + m2.TotalMessages
+	return res, nil
+}
+
+// pipelineRounds runs the full message-level pipeline and returns
+// (rounds, maxPerRoundUnits, maxPerNodeUnits, treeDepth).
+func pipelineRounds(g *graphx.Digraph, seed uint64) (rounds, maxRound int, maxTotal int64, depth int, err error) {
+	res, err := pipelineRun(g, sim.Config{Seed: seed})
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	return res.Rounds, res.MaxRound, res.MaxTotal, res.Depth, nil
 }
 
 // E1RoundsVsN measures message-level pipeline rounds across topologies
@@ -469,6 +499,41 @@ func E11Spanner(ns []int, seed uint64) (*Table, error) {
 		t.Rows = append(t.Rows, []string{
 			itoa(n), itoa(g.MaxDegree()), itoa(sp.H.MaxDegree()), itoa(8 * sim.LogBound(n)),
 			fmt.Sprintf("%v", gotK == wantK), itoa(sp.Inactive),
+		})
+	}
+	return t, nil
+}
+
+// E12ScaleSweep runs the full message-level pipeline (CreateExpander
+// then the tree protocol, every message individually simulated) at
+// large n and reports rounds, peak per-round load, wall time, and heap
+// allocations. It exists to pin the engine's scaling behaviour: rounds
+// stay O(log n) per Theorem 1.1 while wall time and allocations grow
+// near-linearly in the message volume thanks to the pooled-buffer
+// engine. workers bounds the engine worker pool (0 = GOMAXPROCS).
+func E12ScaleSweep(ns []int, seed uint64, workers int) (*Table, error) {
+	t := &Table{
+		Name:   "E12",
+		Claim:  "engine scales message-level builds to 100k-node inputs",
+		Header: []string{"n", "rounds", "rounds/log2n", "peak/round", "total msgs", "allocs", "wall (s)"},
+	}
+	for _, n := range ns {
+		g := topology.Line(n)
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		res, err := pipelineRun(g, sim.Config{Seed: seed, Workers: workers})
+		wall := time.Since(start)
+		runtime.ReadMemStats(&after)
+		if err != nil {
+			return nil, fmt.Errorf("E12 n=%d: %w", n, err)
+		}
+		t.Rows = append(t.Rows, []string{
+			itoa(n), itoa(res.Rounds),
+			fmt.Sprintf("%.1f", float64(res.Rounds)/float64(sim.LogBound(n))),
+			itoa(res.MaxRound), fmt.Sprintf("%d", res.TotalMsgs),
+			fmt.Sprintf("%d", after.Mallocs-before.Mallocs),
+			fmt.Sprintf("%.2f", wall.Seconds()),
 		})
 	}
 	return t, nil

@@ -197,6 +197,34 @@ func TestE11Shape(t *testing.T) {
 	}
 }
 
+func TestE12Shape(t *testing.T) {
+	// Small-scale twin of the scale sweep: rounds stay O(log n) and the
+	// workers knob does not change the measured protocol quantities.
+	tab, err := E12ScaleSweep([]int{128, 512}, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := cellFloat(t, tab, 0, 2)
+	b := cellFloat(t, tab, 1, 2)
+	if b > 2*a || a > 2*b {
+		t.Errorf("rounds/log n drifted %f -> %f across sizes", a, b)
+	}
+	forced, err := E12ScaleSweep([]int{128, 512}, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tab.Rows {
+		// Columns 0..4 are protocol-determined (n, rounds, rounds/log,
+		// peak load, messages); wall time and allocs may differ.
+		for col := 0; col <= 4; col++ {
+			if cell(t, tab, i, col) != cell(t, forced, i, col) {
+				t.Errorf("row %d col %d: %q (workers=0) vs %q (workers=4)",
+					i, col, cell(t, tab, i, col), cell(t, forced, i, col))
+			}
+		}
+	}
+}
+
 func TestTableString(t *testing.T) {
 	tab := &Table{Name: "X", Claim: "c", Header: []string{"a", "bb"}, Rows: [][]string{{"1", "2"}}}
 	s := tab.String()

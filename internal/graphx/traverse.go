@@ -141,6 +141,23 @@ func (g *Graph) DiameterEstimate() int {
 	return est
 }
 
+// DiameterUpperBound returns an upper bound on the diameter, cheaply:
+// exact (O(N·E)) at small n, and twice the double-sweep estimate above
+// that — every vertex eccentricity is at least half the diameter, so
+// 2·DiameterEstimate ≥ diameter while staying O(E). Callers sizing
+// flood budgets at 100k-node scale use this to stay out of the
+// all-pairs-BFS regime. Returns -1 for disconnected graphs.
+func (g *Graph) DiameterUpperBound() int {
+	if g.N <= 2048 {
+		return g.Diameter()
+	}
+	est := g.DiameterEstimate()
+	if est < 0 {
+		return -1
+	}
+	return 2 * est
+}
+
 // IsSpanningTree reports whether the edge set tree (pairs of endpoints)
 // forms a spanning tree of g: exactly N-1 edges, all of which are edges
 // of g, connecting all nodes.

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"reflect"
 	"testing"
 
 	"overlay/internal/ids"
@@ -245,6 +246,183 @@ func TestDeterminismAcrossExecutionModes(t *testing.T) {
 	}
 	if !diff {
 		t.Error("different seeds produced identical runs")
+	}
+}
+
+// runGossipMetrics runs the gossip protocol under an explicit engine
+// configuration and returns the per-node sums plus the full metrics.
+func runGossipMetrics(cfg Config, recvCap int) ([]uint64, *Metrics) {
+	const n = 256
+	cfg.N = n
+	cfg.RecvCap = recvCap
+	nodes := make([]Node, n)
+	gs := make([]*gossipNode, n)
+	for i := range nodes {
+		gs[i] = &gossipNode{}
+		nodes[i] = gs[i]
+	}
+	e := New(cfg, nodes)
+	for i := range gs {
+		gs[i].peers = e.IDs()
+	}
+	e.Run(10)
+	sums := make([]uint64, n)
+	for i, g := range gs {
+		sums[i] = g.sum
+	}
+	return sums, e.Metrics()
+}
+
+// TestShardedDeliveryMatchesSequential is the guardrail for the
+// sharded-delivery refactor: the sequential path and the parallel path
+// (with the worker pool forced on) must produce identical node states
+// and bit-for-bit identical Metrics for the same seed.
+func TestShardedDeliveryMatchesSequential(t *testing.T) {
+	seqSums, seqM := runGossipMetrics(Config{Seed: 42, Sequential: true}, 0)
+	parSums, parM := runGossipMetrics(Config{Seed: 42, Workers: 4}, 0)
+	if !reflect.DeepEqual(seqSums, parSums) {
+		t.Error("sequential and sharded runs diverged in node state")
+	}
+	if !reflect.DeepEqual(seqM, parM) {
+		t.Errorf("sequential and sharded runs diverged in metrics:\nseq: %+v\npar: %+v", seqM, parM)
+	}
+}
+
+// TestRecvDropsReproducible pins capacity-drop behaviour: with a
+// receive cap tight enough to force drops, both execution paths must
+// drop the same messages (same per-node sums) and report the same
+// RecvDrops count.
+func TestRecvDropsReproducible(t *testing.T) {
+	seqSums, seqM := runGossipMetrics(Config{Seed: 7, Sequential: true}, 2)
+	parSums, parM := runGossipMetrics(Config{Seed: 7, Workers: 4}, 2)
+	if seqM.RecvDrops == 0 {
+		t.Fatal("test needs a cap tight enough to force drops")
+	}
+	if !reflect.DeepEqual(seqSums, parSums) {
+		t.Error("capacity drops differed between sequential and sharded paths")
+	}
+	if !reflect.DeepEqual(seqM, parM) {
+		t.Errorf("metrics diverged under drops:\nseq: %+v\npar: %+v", seqM, parM)
+	}
+	// And the whole run is reproducible from the seed alone.
+	againSums, againM := runGossipMetrics(Config{Seed: 7, Workers: 4}, 2)
+	if !reflect.DeepEqual(parSums, againSums) || !reflect.DeepEqual(parM, againM) {
+		t.Error("repeated run with equal seed diverged")
+	}
+}
+
+// wakeNode halts immediately but counts every Round invocation: the
+// active-set scheduler must not tick it while its inbox is empty, and
+// must wake it when a message arrives.
+type wakeNode struct {
+	calls int
+	got   int
+}
+
+func (w *wakeNode) Init(ctx *Ctx) { ctx.Halt() }
+func (w *wakeNode) Halted() bool  { return true }
+func (w *wakeNode) Round(ctx *Ctx, inbox []Message) {
+	w.calls++
+	w.got += len(inbox)
+}
+
+// pingNode sends one message to its target in round 3 and halts in
+// round 5 (staying active past the target's wake round).
+type pingNode struct{ target ids.ID }
+
+func (p *pingNode) Init(ctx *Ctx) {}
+func (p *pingNode) Round(ctx *Ctx, inbox []Message) {
+	if ctx.Round() == 3 {
+		ctx.Send(p.target, uint64(1))
+	}
+	if ctx.Round() >= 5 {
+		ctx.Halt()
+	}
+}
+
+func TestActiveSetSkipsHaltedUntilMessage(t *testing.T) {
+	sleeper := &wakeNode{}
+	pinger := &pingNode{}
+	e := New(Config{N: 2, Seed: 21}, []Node{sleeper, pinger})
+	pinger.target = e.IDs()[0]
+	rounds := e.Run(50)
+	if rounds != 5 {
+		t.Errorf("rounds = %d, want 5", rounds)
+	}
+	// The sleeper is halted from Init on: rounds 1-3 must not tick it,
+	// round 4 delivers the ping and wakes it exactly once, and it goes
+	// straight back to being skipped afterwards.
+	if sleeper.calls != 1 {
+		t.Errorf("halted node ticked %d times, want exactly 1 (its wake-up)", sleeper.calls)
+	}
+	if sleeper.got != 1 {
+		t.Errorf("woken node saw %d messages, want 1", sleeper.got)
+	}
+	if e.NumActive() != 0 {
+		t.Errorf("NumActive = %d after full halt, want 0", e.NumActive())
+	}
+}
+
+// pingAndDieNode sends to its target and halts in the same round.
+type pingAndDieNode struct{ target ids.ID }
+
+func (p *pingAndDieNode) Init(ctx *Ctx) {}
+func (p *pingAndDieNode) Round(ctx *Ctx, inbox []Message) {
+	if ctx.Round() == 2 {
+		ctx.Send(p.target, uint64(7))
+		ctx.Halt()
+	}
+}
+
+// TestWakeDeliveryAfterLastSenderHalts pins the wake-on-message
+// guarantee at the engine's stop condition: when the last active node
+// sends to a halted node and terminates in the same round, the engine
+// must still run the wake round that delivers the message rather than
+// stopping on "all halted" with mail in flight.
+func TestWakeDeliveryAfterLastSenderHalts(t *testing.T) {
+	sleeper := &wakeNode{}
+	pinger := &pingAndDieNode{}
+	e := New(Config{N: 2, Seed: 33}, []Node{sleeper, pinger})
+	pinger.target = e.IDs()[0]
+	rounds := e.Run(50)
+	// Round 2: pinger sends and halts; round 3 is the wake round.
+	if rounds != 3 {
+		t.Errorf("rounds = %d, want 3", rounds)
+	}
+	if sleeper.calls != 1 || sleeper.got != 1 {
+		t.Errorf("woken node: calls=%d got=%d, want 1 and 1 (message must not be lost)",
+			sleeper.calls, sleeper.got)
+	}
+}
+
+// TestNoSpuriousWakeWhenCapDropsEverything pins the wake contract on
+// the capped path: a halted node whose entire inbox is dropped by the
+// receive cap received no mail, so it must not be ticked.
+func TestNoSpuriousWakeWhenCapDropsEverything(t *testing.T) {
+	sleeper := &wakeNode{}
+	// The sender emits one 5-unit payload in round 2, which cannot fit
+	// a 4-unit receive cap and is dropped whole; it halts in round 5.
+	sender := &bigPingNode{}
+	e := New(Config{N: 2, Seed: 27, RecvCap: 4}, []Node{sleeper, sender})
+	sender.target = e.IDs()[0]
+	e.Run(50)
+	if e.Metrics().RecvDrops != 1 {
+		t.Fatalf("RecvDrops = %d, want 1", e.Metrics().RecvDrops)
+	}
+	if sleeper.calls != 0 {
+		t.Errorf("halted node ticked %d times on a fully-dropped inbox, want 0", sleeper.calls)
+	}
+}
+
+type bigPingNode struct{ target ids.ID }
+
+func (p *bigPingNode) Init(ctx *Ctx) {}
+func (p *bigPingNode) Round(ctx *Ctx, inbox []Message) {
+	if ctx.Round() == 2 {
+		ctx.Send(p.target, sizedPayload{5})
+	}
+	if ctx.Round() >= 5 {
+		ctx.Halt()
 	}
 }
 

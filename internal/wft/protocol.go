@@ -112,9 +112,17 @@ func BuildEngine(g *graphx.Graph, floodRounds int, cfg sim.Config) (*sim.Engine,
 	eng := sim.New(cfg, nodes)
 	idOf := eng.IDs()
 	for i, p := range protos {
-		p.neighbors = make([]ids.ID, len(g.Adj[i]))
-		for k, v := range g.Adj[i] {
-			p.neighbors[k] = idOf[v]
+		// Deduplicate and drop self-loops up front (preserving first
+		// occurrence order) so broadcasts can iterate without a set.
+		p.neighbors = make([]ids.ID, 0, len(g.Adj[i]))
+		seen := ids.NewSet()
+		for _, v := range g.Adj[i] {
+			nb := idOf[v]
+			if v == i || seen.Has(nb) {
+				continue
+			}
+			seen.Add(nb)
+			p.neighbors = append(p.neighbors, nb)
 		}
 	}
 	return eng, protos
@@ -147,13 +155,11 @@ func (p *Protocol) Init(ctx *sim.Ctx) {
 }
 
 func (p *Protocol) broadcast(ctx *sim.Ctx, m floodMsg) {
-	sent := ids.NewSet()
+	// Box the payload once for the whole broadcast; neighbors is
+	// deduplicated and self-loop-free at BuildEngine time.
+	var payload any = m
 	for _, nb := range p.neighbors {
-		if nb == ctx.ID || sent.Has(nb) {
-			continue // skip self-loops and duplicate slots
-		}
-		sent.Add(nb)
-		ctx.Send(nb, m)
+		ctx.Send(nb, payload)
 	}
 }
 

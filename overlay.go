@@ -89,6 +89,14 @@ type Options struct {
 	// CapFactor κ sets the NCC0 per-round capacity κ·⌈log₂ n⌉ for the
 	// message-level path (0 = uncapped measurement mode).
 	CapFactor int
+	// Sequential forces the message-level engines onto a single
+	// goroutine. Output is bit-for-bit identical to the parallel path;
+	// use it for profiling or when running under instrumentation.
+	Sequential bool
+	// Workers bounds the engine worker pool for the message-level path
+	// (0 = GOMAXPROCS). Large builds shard message delivery across this
+	// many goroutines.
+	Workers int
 }
 
 // Tree is a well-formed tree: rooted, degree ≤ 3, depth ⌈log₂ n⌉.
@@ -236,20 +244,24 @@ func buildFast(m *graphx.Multi, ep expander.Params, opt *Options) (*BuildResult,
 
 // buildMessageLevel runs the full distributed pipeline on the engine.
 func buildMessageLevel(m *graphx.Multi, ep expander.Params, opt *Options) (*BuildResult, error) {
-	final, eng1, _ := expander.RunMessageLevel(m, ep, opt.Seed, opt.CapFactor)
+	engCfg := sim.Config{Seed: opt.Seed, Sequential: opt.Sequential, Workers: opt.Workers}
+	final, eng1, _ := expander.RunMessageLevel(m, ep, engCfg, opt.CapFactor)
 	s := final.Simple()
 	if !s.IsConnected() {
 		return nil, fmt.Errorf("overlay: evolved graph disconnected (raise Delta or Evolutions)")
 	}
 	flood := 2*sim.LogBound(m.N) + 2
-	if d := s.Diameter(); d+2 > flood {
+	if d := s.DiameterUpperBound(); d+2 > flood {
 		flood = d + 2
 	}
 	cap := 0
 	if opt.CapFactor > 0 {
 		cap = opt.CapFactor * sim.LogBound(m.N)
 	}
-	eng2, protos := wft.BuildEngine(s, flood, sim.Config{Seed: opt.Seed + 1, SendCap: cap, RecvCap: cap})
+	eng2, protos := wft.BuildEngine(s, flood, sim.Config{
+		Seed: opt.Seed + 1, SendCap: cap, RecvCap: cap,
+		Sequential: opt.Sequential, Workers: opt.Workers,
+	})
 	eng2.Run(wft.Rounds(flood, m.N) + 4)
 	tree, err := wft.ExtractTree(eng2, protos)
 	if err != nil {

@@ -2,6 +2,7 @@ package overlay
 
 import (
 	"errors"
+	"reflect"
 	"testing"
 
 	"overlay/internal/graphx"
@@ -91,6 +92,27 @@ func TestBuildTreeDeterministic(t *testing.T) {
 		if a.Tree.Rank[v] != b.Tree.Rank[v] {
 			t.Fatal("same seed produced different trees")
 		}
+	}
+}
+
+func TestBuildTreeMessageLevelExecutionModeDeterminism(t *testing.T) {
+	// The sequential engine and the sharded parallel engine must build
+	// the identical tree with identical measured statistics — the
+	// public-API guardrail for the engine's delivery refactor.
+	g := lineInput(150)
+	seq, err := BuildTree(g, &Options{Seed: 9, MessageLevel: true, Sequential: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := BuildTree(g, &Options{Seed: 9, MessageLevel: true, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq.Tree, par.Tree) {
+		t.Error("sequential and parallel engines built different trees")
+	}
+	if seq.Stats != par.Stats {
+		t.Errorf("stats diverged:\nseq: %+v\npar: %+v", seq.Stats, par.Stats)
 	}
 }
 
