@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-scale fmt fmt-fix vet ci
+.PHONY: all build test race bench bench-json bench-scale fmt fmt-fix vet ci
 
 all: build test
 
@@ -16,9 +16,16 @@ test:
 race:
 	$(GO) test -race ./...
 
-# The CI bench smoke run: one iteration of the two core build benches.
+# The CI bench smoke run: one iteration of the two core build benches
+# plus the graph-level 64k micro-benchmarks (Evolve, SpectralGap,
+# Simple) that pin the flat fast path.
 bench:
-	$(GO) test -run='^$$' -bench='BuildTreeFast_1k|BuildTreeMessageLevel_256' -benchtime=1x -benchmem ./...
+	$(GO) test -run='^$$' -bench='BuildTreeFast_1k|BuildTreeMessageLevel_256|Evolve_64k|SpectralGap_64k|Simple_64k' -benchtime=1x -benchmem ./...
+
+# Machine-readable per-experiment wall/alloc results; CI uploads the
+# file as the perf-trajectory artifact.
+bench-json:
+	$(GO) run ./cmd/benchharness -quick -json BENCH_results.json
 
 # The full scale sweep (E12, up to n=64k message-level; takes minutes).
 bench-scale:

@@ -3,28 +3,95 @@
 //
 // Usage:
 //
-//	benchharness [-seed 2021] [-quick] [-only E3] [-workers 8]
+//	benchharness [-seed 2021] [-quick] [-only E3] [-workers 8] [-json BENCH_results.json]
 //
 // -quick shrinks the size sweeps for a fast smoke run; -only selects a
-// single experiment.
+// single experiment; -json additionally writes machine-readable
+// per-experiment wall/alloc results to the given file, which CI
+// uploads as the perf-trajectory artifact.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"runtime"
 	"time"
 
+	"overlay/internal/benign"
+	"overlay/internal/expander"
 	"overlay/internal/experiments"
+	"overlay/internal/rng"
+	"overlay/internal/topology"
 )
+
+// jsonResult is one experiment's cost record in the -json output.
+type jsonResult struct {
+	Name        string  `json:"name"`
+	WallSeconds float64 `json:"wall_seconds"`
+	Mallocs     uint64  `json:"mallocs"`
+	AllocBytes  uint64  `json:"alloc_bytes"`
+}
+
+// jsonReport is the top-level -json document.
+type jsonReport struct {
+	Seed        uint64       `json:"seed"`
+	Quick       bool         `json:"quick"`
+	Workers     int          `json:"workers"`
+	GoMaxProcs  int          `json:"gomaxprocs"`
+	GeneratedAt string       `json:"generated_at"`
+	Results     []jsonResult `json:"results"`
+	// GraphMicrobench records the graph-level fast-path operations at
+	// n = 64k (the Makefile bench targets measure the same ops via `go
+	// test -bench`), so the perf trajectory of the flat CSR layer is
+	// part of every BENCH_results.json.
+	GraphMicrobench []jsonResult `json:"graph_microbench,omitempty"`
+}
+
+// measured times fn and records its wall/alloc cost under name.
+func measured(name string, fn func()) jsonResult {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	fn()
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return jsonResult{
+		Name:        name,
+		WallSeconds: wall.Seconds(),
+		Mallocs:     after.Mallocs - before.Mallocs,
+		AllocBytes:  after.TotalAlloc - before.TotalAlloc,
+	}
+}
+
+// graphMicrobench measures one Evolve, SpectralGap, and Simple on the
+// 64k benign ring at its full ∆ = 128 (the go-test SpectralGap_64k
+// bench uses a lighter ∆ = 16 graph, so its wall time is lower).
+func graphMicrobench(workers int) ([]jsonResult, error) {
+	g := topology.Ring(1 << 16)
+	bp := benign.Defaults(g.N, g.MaxDegree())
+	m, err := benign.Prepare(g, bp)
+	if err != nil {
+		return nil, err
+	}
+	p := expander.Params{Delta: bp.Delta, Ell: 16, Evolutions: 1, Workers: workers}
+	return []jsonResult{
+		measured("Evolve_64k", func() { expander.Evolve(m, p, rng.New(1)) }),
+		measured("SpectralGap_64k", func() { m.SpectralGapWorkers(64, rng.New(1), workers) }),
+		measured("Simple_64k", func() { m.Simple() }),
+	}, nil
+}
 
 func main() {
 	log.SetFlags(0)
 	var (
-		seed    = flag.Uint64("seed", 2021, "experiment seed")
-		quick   = flag.Bool("quick", false, "shrink sweeps for a fast run")
-		only    = flag.String("only", "", "run a single experiment (e.g. E3)")
-		workers = flag.Int("workers", 0, "engine worker pool for E12 (0 = GOMAXPROCS)")
+		seed     = flag.Uint64("seed", 2021, "experiment seed")
+		quick    = flag.Bool("quick", false, "shrink sweeps for a fast run")
+		only     = flag.String("only", "", "run a single experiment (e.g. E3)")
+		workers  = flag.Int("workers", 0, "worker pool for E12 and the graph-level fast path (0 = GOMAXPROCS)")
+		jsonPath = flag.String("json", "", "also write per-experiment wall/alloc results to this file (e.g. BENCH_results.json)")
 	)
 	flag.Parse()
 
@@ -68,15 +135,43 @@ func main() {
 		}},
 	}
 
+	report := jsonReport{
+		Seed:        *seed,
+		Quick:       *quick,
+		Workers:     *workers,
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+	}
 	for _, r := range runs {
 		if *only != "" && r.name != *only {
 			continue
 		}
-		start := time.Now()
-		tab, err := r.fn()
+		var tab *experiments.Table
+		var err error
+		res := measured(r.name, func() { tab, err = r.fn() })
 		if err != nil {
 			log.Fatalf("%s failed: %v", r.name, err)
 		}
-		fmt.Printf("%s(%.1fs)\n\n", tab, time.Since(start).Seconds())
+		fmt.Printf("%s(%.1fs)\n\n", tab, res.WallSeconds)
+		report.Results = append(report.Results, res)
+	}
+
+	if *jsonPath != "" {
+		if *only == "" {
+			micro, err := graphMicrobench(*workers)
+			if err != nil {
+				log.Fatalf("graph microbench failed: %v", err)
+			}
+			report.GraphMicrobench = micro
+		}
+		buf, err := json.MarshalIndent(&report, "", "  ")
+		if err != nil {
+			log.Fatalf("marshal %s: %v", *jsonPath, err)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*jsonPath, buf, 0o644); err != nil {
+			log.Fatalf("write %s: %v", *jsonPath, err)
+		}
+		log.Printf("wrote %s (%d experiments)", *jsonPath, len(report.Results))
 	}
 }

@@ -83,8 +83,8 @@ func Run(g *graphx.Graph, src *rng.Source, maxPhases int) *Result {
 				if uf.Find(v) != r {
 					continue
 				}
-				for _, w := range g.Adj[v] {
-					if wr := uf.Find(w); wr != r && heads[wr] {
+				for _, w := range g.Neighbors(v) {
+					if wr := uf.Find(int(w)); wr != r && heads[wr] {
 						candidates = append(candidates, wr)
 					}
 				}

@@ -63,7 +63,7 @@ func Prepare(g *graphx.Digraph, p Params) (*graphx.Multi, error) {
 		return nil, fmt.Errorf("benign: non-positive parameters %+v", p)
 	}
 	und := g.Undirected()
-	m := graphx.NewMulti(g.N)
+	m := graphx.NewMultiRegular(g.N, p.Delta)
 	for _, e := range und.Edges() {
 		for c := 0; c < p.Lambda; c++ {
 			m.AddCrossEdge(e[0], e[1])
@@ -76,10 +76,8 @@ func Prepare(g *graphx.Digraph, p Params) (*graphx.Multi, error) {
 				"benign: node %d has %d edge slots after copying, exceeding ∆/2 = %d (degree too high for ∆=%d, Λ=%d)",
 				u, cross, p.Delta/2, p.Delta, p.Lambda)
 		}
-		for m.Degree(u) < p.Delta {
-			m.AddSelfLoop(u)
-		}
 	}
+	m.PadSelfLoops(p.Delta)
 	return m, nil
 }
 

@@ -23,12 +23,23 @@
 // the full walk history) and as a message-level protocol on the
 // simulation engine (Protocol — used to measure rounds and per-node
 // message loads under the NCC0 capacity regime).
+//
+// Randomness schedule: every token owns a private stream split from
+// the evolution seed by its token index, and every node owns a private
+// acceptance stream split by its node index. Tokens and nodes are
+// therefore independent of each other and of execution order, which is
+// what lets Evolve run its walk and acceptance phases across a worker
+// pool while staying a pure function of (graph, params, seed): the
+// parallel output is bit-for-bit identical to the sequential schedule
+// at every worker count.
 package expander
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"overlay/internal/graphx"
+	"overlay/internal/par"
 	"overlay/internal/rng"
 	"overlay/internal/sim"
 )
@@ -45,6 +56,10 @@ type Params struct {
 	// produced it; required by the spanning-tree construction
 	// (Theorem 1.3) and by tests, at O(ℓ) memory per edge.
 	RecordPaths bool
+	// Workers bounds the worker pool for the walk and acceptance
+	// phases (0 = GOMAXPROCS, 1 = sequential). The result is
+	// bit-identical at every value.
+	Workers int
 }
 
 // DefaultParams returns practical parameters for n nodes: ∆ = 8·⌈log₂ n⌉
@@ -91,9 +106,24 @@ type Stats struct {
 	SelfArrivals int
 }
 
+// Rng stream labels separating the walk and acceptance phases of one
+// evolution.
+const (
+	walkStreamLabel   = 0x3a1c
+	acceptStreamLabel = 0xacce
+)
+
 // Evolve runs one evolution on m and returns the record. m must be
 // ∆-regular for p.Delta; the walk distribution (and Lemma 3.2's load
 // bound) depend on it, so violations panic.
+//
+// Phases: (1) every token walks ℓ steps on its private rng stream —
+// parallel over token ranges, with per-(round,node) token loads
+// accumulated atomically; (2) tokens are grouped by endpoint with a
+// counting sort (sequential, O(tokens)); (3) each endpoint applies the
+// 3∆/8 acceptance cap on its private stream — parallel over node
+// ranges; (4) edges, paths, and G_{i+1} are materialized in canonical
+// (endpoint, acceptance-order) order — sequential, O(edges + n·∆).
 func Evolve(m *graphx.Multi, p Params, src *rng.Source) *Evolution {
 	delta := p.Delta
 	if !m.IsRegular(delta) {
@@ -102,70 +132,127 @@ func Evolve(m *graphx.Multi, p Params, src *rng.Source) *Evolution {
 	n := m.N
 	perNode := delta / 8
 	acceptCap := 3 * delta / 8
-
 	total := n * perNode
-	pos := make([]int, total)
-	origin := make([]int, total)
+	workers := par.Workers(p.Workers)
+	flat, stride := m.FlatSlots()
+	walkRoot := src.Split(walkStreamLabel)
+	acceptRoot := src.Split(acceptStreamLabel)
+
+	ev := &Evolution{}
+	if total == 0 {
+		ev.Next = graphx.NewMultiRegular(n, delta)
+		ev.Next.PadSelfLoops(delta)
+		return ev
+	}
+
+	// Phase 1: walks. pos[t] is token t's position after each step;
+	// loads[step*n+v] counts tokens at v after that step. Tokens are
+	// independent given their private streams, so workers share only
+	// the load counters, which are summed atomically — integer addition
+	// commutes, so the totals match the sequential schedule exactly.
+	pos := make([]int32, total)
+	loads := make([]int32, p.Ell*n)
 	var paths [][]int
 	if p.RecordPaths {
 		paths = make([][]int, total)
 	}
-	t := 0
-	for u := 0; u < n; u++ {
-		for k := 0; k < perNode; k++ {
-			pos[t] = u
-			origin[t] = u
+	par.For(workers, total, func(lo, hi int) {
+		for t := lo; t < hi; t++ {
+			ts := walkRoot.SplitVal(uint64(t))
+			at := int32(t / perNode) // tokens are laid out origin-major
+			var path []int
 			if p.RecordPaths {
-				path := make([]int, 1, p.Ell+1)
-				path[0] = u
+				path = make([]int, 1, p.Ell+1)
+				path[0] = int(at)
+			}
+			for step := 0; step < p.Ell; step++ {
+				at = flat[int(at)*stride+ts.Intn(delta)]
+				if workers > 1 {
+					atomic.AddInt32(&loads[step*n+int(at)], 1)
+				} else {
+					loads[step*n+int(at)]++
+				}
+				if p.RecordPaths {
+					path = append(path, int(at))
+				}
+			}
+			pos[t] = at
+			if p.RecordPaths {
 				paths[t] = path
 			}
-			t++
+		}
+	})
+	for _, l := range loads {
+		if int(l) > ev.Stats.MaxTokenLoad {
+			ev.Stats.MaxTokenLoad = int(l)
 		}
 	}
 
-	ev := &Evolution{}
-	load := make([]int, n)
-	for step := 0; step < p.Ell; step++ {
-		for i := range load {
-			load[i] = 0
-		}
-		for t := 0; t < total; t++ {
-			slots := m.Slots[pos[t]]
-			pos[t] = slots[src.Intn(len(slots))]
-			load[pos[t]]++
-			if p.RecordPaths {
-				paths[t] = append(paths[t], pos[t])
-			}
-		}
-		for _, l := range load {
-			if l > ev.Stats.MaxTokenLoad {
-				ev.Stats.MaxTokenLoad = l
-			}
-		}
+	// Phase 2: group token indices by endpoint (counting sort, stable
+	// in token order).
+	start := make([]int32, n+1)
+	for _, v := range pos {
+		start[v+1]++
 	}
-
-	// Group tokens by endpoint and accept up to 3∆/8 per node.
-	byEndpoint := make([][]int, n)
-	for t := 0; t < total; t++ {
-		byEndpoint[pos[t]] = append(byEndpoint[pos[t]], t)
-	}
-	next := graphx.NewMulti(n)
 	for v := 0; v < n; v++ {
-		tokens := byEndpoint[v]
-		if len(tokens) > acceptCap {
-			picked := src.SampleWithoutReplacement(len(tokens), acceptCap)
-			ev.Stats.DroppedTokens += len(tokens) - acceptCap
-			sel := make([]int, 0, acceptCap)
-			for _, i := range picked {
-				sel = append(sel, tokens[i])
+		start[v+1] += start[v]
+	}
+	grouped := make([]int32, total)
+	fill := make([]int32, n)
+	for t, v := range pos {
+		grouped[start[v]+fill[v]] = int32(t)
+		fill[v]++
+	}
+
+	// Phase 3: acceptance. Each endpoint keeps at most 3∆/8 tokens,
+	// chosen without replacement on its private stream; kept tokens are
+	// compacted to the front of the node's segment in acceptance order.
+	kept := fill // reuse: kept[v] <= fill[v]
+	type accStats struct{ dropped, selfArrivals int }
+	partial := make([]accStats, workers)
+	par.ForChunk(workers, n, func(chunk, lo, hi int) {
+		sel := make([]int32, acceptCap)
+		st := &partial[chunk]
+		for v := lo; v < hi; v++ {
+			seg := grouped[start[v]:start[v+1]]
+			if len(seg) > acceptCap {
+				as := acceptRoot.SplitVal(uint64(v))
+				picked := as.SampleWithoutReplacement(len(seg), acceptCap)
+				for i, pi := range picked {
+					sel[i] = seg[pi]
+				}
+				copy(seg, sel)
+				st.dropped += len(seg) - acceptCap
+				kept[v] = int32(acceptCap)
+			} else {
+				kept[v] = int32(len(seg))
 			}
-			tokens = sel
+			for _, t := range seg[:kept[v]] {
+				if int(t)/perNode == v {
+					st.selfArrivals++
+				}
+			}
 		}
-		for _, t := range tokens {
-			o := origin[t]
+	})
+	accepted := 0
+	for v := 0; v < n; v++ {
+		accepted += int(kept[v])
+	}
+	for i := range partial {
+		ev.Stats.DroppedTokens += partial[i].dropped
+		ev.Stats.SelfArrivals += partial[i].selfArrivals
+	}
+
+	// Phase 4: materialize edges and G_{i+1} in canonical order.
+	next := graphx.NewMultiRegular(n, delta)
+	ev.Edges = make([][2]int, 0, accepted-ev.Stats.SelfArrivals)
+	if p.RecordPaths {
+		ev.Paths = make([][]int, 0, cap(ev.Edges))
+	}
+	for v := 0; v < n; v++ {
+		for _, t := range grouped[start[v] : start[v]+kept[v]] {
+			o := int(t) / perNode
 			if o == v {
-				ev.Stats.SelfArrivals++
 				continue
 			}
 			next.AddCrossEdge(o, v)
@@ -178,11 +265,7 @@ func Evolve(m *graphx.Multi, p Params, src *rng.Source) *Evolution {
 
 	// Self-loop padding back to ∆-regularity. Acceptance caps guarantee
 	// degree ≤ ∆/8 (own accepted tokens) + 3∆/8 (accepted others) = ∆/2.
-	for v := 0; v < n; v++ {
-		for next.Degree(v) < delta {
-			next.AddSelfLoop(v)
-		}
-	}
+	next.PadSelfLoops(delta)
 	ev.Next = next
 	return ev
 }

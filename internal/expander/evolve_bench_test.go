@@ -1,0 +1,34 @@
+package expander
+
+import (
+	"testing"
+
+	"overlay/internal/benign"
+	"overlay/internal/graphx"
+	"overlay/internal/rng"
+	"overlay/internal/topology"
+)
+
+// benign64k builds the benign ring at n = 64k once per benchmark run.
+// At this size Defaults gives ∆ = 128, so one evolution walks
+// n·∆/8 ≈ 1M tokens for ℓ = 16 steps: the graph-level hot loop.
+func benign64k(b *testing.B) (*graphx.Multi, int) {
+	b.Helper()
+	g := topology.Ring(1 << 16)
+	bp := benign.Defaults(g.N, g.MaxDegree())
+	m, err := benign.Prepare(g, bp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m, bp.Delta
+}
+
+func BenchmarkEvolve_64k(b *testing.B) {
+	m, delta := benign64k(b)
+	p := Params{Delta: delta, Ell: 16, Evolutions: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Evolve(m, p, rng.New(uint64(i)))
+	}
+}

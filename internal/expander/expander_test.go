@@ -67,9 +67,9 @@ func TestEvolveRecordsValidPaths(t *testing.T) {
 	// Multiset of slot adjacency for step validation.
 	adj := make([]map[int]bool, m.N)
 	for u := range adj {
-		adj[u] = make(map[int]bool, len(m.Slots[u]))
-		for _, v := range m.Slots[u] {
-			adj[u][v] = true
+		adj[u] = make(map[int]bool, m.Degree(u))
+		for _, v := range m.SlotsOf(u) {
+			adj[u][int(v)] = true
 		}
 	}
 	for k, path := range ev.Paths {

@@ -81,8 +81,9 @@ func BuildEngine(m *graphx.Multi, p Params, cfg sim.Config) (*sim.Engine, []*Pro
 	eng := sim.New(cfg, nodes)
 	idOf := eng.IDs()
 	for i, proto := range protos {
-		proto.slots = make([]ids.ID, len(m.Slots[i]))
-		for k, v := range m.Slots[i] {
+		slots := m.SlotsOf(i)
+		proto.slots = make([]ids.ID, len(slots))
+		for k, v := range slots {
 			proto.slots[k] = idOf[v]
 		}
 	}
@@ -190,7 +191,11 @@ func (p *Protocol) emitTokens(ctx *sim.Ctx) {
 // FinalGraph reconstructs the final multigraph from the protocol
 // nodes' slot lists, translating identifiers back to node indices.
 func FinalGraph(eng *sim.Engine, protos []*Protocol) *graphx.Multi {
-	m := graphx.NewMulti(len(protos))
+	delta := 4
+	if len(protos) > 0 {
+		delta = protos[0].params.Delta
+	}
+	m := graphx.NewMultiRegular(len(protos), delta)
 	for i, proto := range protos {
 		for _, id := range proto.Slots() {
 			j, ok := eng.IndexOf(id)

@@ -100,6 +100,14 @@ type pipelineResult struct {
 	MaxTotal  int64 // peak per-node total units
 	Depth     int   // constructed tree depth
 	TotalMsgs int64 // messages delivered across both engines
+
+	// EngineWall is time spent inside the two message-level engines;
+	// OracleWall is the graph-level work between them (Simple,
+	// connectivity, diameter bound, tree extraction). Together they
+	// split a pipeline run's cost between the simulator and the flat
+	// graph oracles.
+	EngineWall time.Duration
+	OracleWall time.Duration
 }
 
 // pipelineRun executes the full message-level pipeline with the given
@@ -114,7 +122,9 @@ func pipelineRun(g *graphx.Digraph, cfg sim.Config) (pipelineResult, error) {
 	}
 	ep := expander.DefaultParams(g.N)
 	ep.Delta = bp.Delta
+	t0 := time.Now()
 	final, eng1, _ := expander.RunMessageLevel(m, ep, cfg, 0)
+	t1 := time.Now()
 	s := final.Simple()
 	if !s.IsConnected() {
 		return res, fmt.Errorf("expander disconnected")
@@ -125,12 +135,16 @@ func pipelineRun(g *graphx.Digraph, cfg sim.Config) (pipelineResult, error) {
 	}
 	cfg2 := cfg
 	cfg2.Seed++
+	t2 := time.Now()
 	eng2, protos := wft.BuildEngine(s, flood, cfg2)
 	eng2.Run(wft.Rounds(flood, g.N) + 4)
+	t3 := time.Now()
 	tree, err := wft.ExtractTree(eng2, protos)
 	if err != nil {
 		return res, err
 	}
+	res.EngineWall = t1.Sub(t0) + t3.Sub(t2)
+	res.OracleWall = t2.Sub(t1) + time.Since(t3)
 	m1, m2 := eng1.Metrics(), eng2.Metrics()
 	res.Rounds = eng1.Round() + eng2.Round()
 	res.MaxRound = m1.MaxRoundSent()
@@ -457,7 +471,8 @@ func lubyRounds(g *graphx.Graph, src *rng.Source) int {
 				continue
 			}
 			lone := true
-			for _, w := range g.Adj[v] {
+			for _, w32 := range g.Neighbors(v) {
+				w := int(w32)
 				if alive[w] && (rank[w] < rank[v] || (rank[w] == rank[v] && w < v)) {
 					lone = false
 					break
@@ -472,7 +487,7 @@ func lubyRounds(g *graphx.Graph, src *rng.Source) int {
 				alive[v] = false
 				remaining--
 			}
-			for _, w := range g.Adj[v] {
+			for _, w := range g.Neighbors(v) {
 				if alive[w] {
 					alive[w] = false
 					remaining--
@@ -510,12 +525,15 @@ func E11Spanner(ns []int, seed uint64) (*Table, error) {
 // allocations. It exists to pin the engine's scaling behaviour: rounds
 // stay O(log n) per Theorem 1.1 while wall time and allocations grow
 // near-linearly in the message volume thanks to the pooled-buffer
-// engine. workers bounds the engine worker pool (0 = GOMAXPROCS).
+// engine. workers bounds the engine worker pool (0 = GOMAXPROCS). The
+// "engine (s)" / "oracle (s)" columns split the wall time between the
+// message-level engines and the graph-level oracles (Simple,
+// connectivity, diameter bound, tree extraction) sitting between them.
 func E12ScaleSweep(ns []int, seed uint64, workers int) (*Table, error) {
 	t := &Table{
 		Name:   "E12",
 		Claim:  "engine scales message-level builds to 100k-node inputs",
-		Header: []string{"n", "rounds", "rounds/log2n", "peak/round", "total msgs", "allocs", "wall (s)"},
+		Header: []string{"n", "rounds", "rounds/log2n", "peak/round", "total msgs", "allocs", "wall (s)", "engine (s)", "oracle (s)"},
 	}
 	for _, n := range ns {
 		g := topology.Line(n)
@@ -534,6 +552,8 @@ func E12ScaleSweep(ns []int, seed uint64, workers int) (*Table, error) {
 			itoa(res.MaxRound), fmt.Sprintf("%d", res.TotalMsgs),
 			fmt.Sprintf("%d", after.Mallocs-before.Mallocs),
 			fmt.Sprintf("%.2f", wall.Seconds()),
+			fmt.Sprintf("%.2f", res.EngineWall.Seconds()),
+			fmt.Sprintf("%.2f", res.OracleWall.Seconds()),
 		})
 	}
 	return t, nil

@@ -1,0 +1,51 @@
+package graphx
+
+import (
+	"testing"
+
+	"overlay/internal/rng"
+)
+
+// multi64k builds a benign-shaped 64k-node multigraph: a ring with
+// every cross edge copied `copies` times, padded with self-loops to
+// the given regular degree. This is the shape Simple() and the
+// spectral oracles see after CreateExpander preparation.
+func multi64k(b *testing.B, copies, delta int) *Multi {
+	b.Helper()
+	n := 1 << 16
+	m := NewMultiRegular(n, delta)
+	for i := 0; i < n; i++ {
+		for c := 0; c < copies; c++ {
+			m.AddCrossEdge(i, (i+1)%n)
+		}
+	}
+	for u := 0; u < n; u++ {
+		for m.Degree(u) < delta {
+			m.AddSelfLoop(u)
+		}
+	}
+	if !m.IsRegular(delta) {
+		b.Fatal("bench graph not regular")
+	}
+	return m
+}
+
+func BenchmarkSpectralGap_64k(b *testing.B) {
+	m := multi64k(b, 4, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.SpectralGap(64, rng.New(uint64(i)))
+	}
+}
+
+func BenchmarkSimple_64k(b *testing.B) {
+	m := multi64k(b, 16, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s := m.Simple(); s.NumEdges() != m.N {
+			b.Fatalf("Simple() lost edges: %d", s.NumEdges())
+		}
+	}
+}

@@ -78,8 +78,8 @@ func (g *Graph) BiconnectedComponents() *Biconnectivity {
 		for len(stack) > 0 {
 			f := &stack[len(stack)-1]
 			u := f.u
-			if f.ai < len(g.Adj[u]) {
-				v := g.Adj[u][f.ai]
+			if adj := g.Neighbors(u); f.ai < len(adj) {
+				v := int(adj[f.ai])
 				f.ai++
 				if disc[v] < 0 {
 					parent[v] = u

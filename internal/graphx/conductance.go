@@ -3,6 +3,7 @@ package graphx
 import (
 	"math"
 
+	"overlay/internal/par"
 	"overlay/internal/rng"
 )
 
@@ -19,91 +20,141 @@ import (
 // witnessing a conductance value, so SweepConductance is a valid upper
 // bound on Φ while SpectralGap/2 is a lower bound. Experiment E3 reports
 // both sides; monotone growth of the bracket is the reproduced claim.
+//
+// The power iteration is parallel and deterministic: the mat-vec is
+// range-partitioned in gather form (each output coordinate is computed
+// wholly by one worker, summing its slot row sequentially) and every
+// inner product is reduced over fixed-size blocks combined in index
+// order, so the floating-point rounding schedule — and hence the
+// result — is bit-identical at every worker count.
 
 // walkStep applies the lazy random-walk matrix P = (I + D⁻¹A)/2 of the
 // multigraph to x, writing into y. Self-loop slots are part of A, so
 // graphs that are already lazy are slowed by at most another factor 2,
 // which only rescales the gap.
-func (m *Multi) walkStep(x, y []float64) {
-	for v := range y {
-		y[v] = 0
-	}
-	for u, slots := range m.Slots {
-		if len(slots) == 0 {
-			y[u] += x[u]
-			continue
+//
+// The update is written in gather form, relying on the cross-edge
+// symmetry invariant (u appears in v's slots exactly as often as v in
+// u's): y[v] = x[v]/2 + Σ_{w ∈ slots(v)} x[w]/(2·deg(w)). Each y[v]
+// touches only v's contiguous slot row, so range partitioning races on
+// nothing and the per-coordinate accumulation order is fixed. xs is
+// scratch for the pre-scaled vector x[w]/(2·deg(w)), computed once so
+// the gather's random-index reads touch a single array.
+//
+// The walk is fused with the Rayleigh quotient <x, Px>_π (P is
+// self-adjoint under π), accumulated blockwise into sums and returned,
+// saving callers a separate reduction sweep over three arrays.
+func (m *Multi) walkStep(x, y, xs, pi, sums []float64, workers int) float64 {
+	flat, stride := m.FlatSlots()
+	return par.BlockSum(workers, m.N, sums, func(lo, hi int) float64 {
+		t := 0.0
+		for v := lo; v < hi; v++ {
+			d := int(m.deg[v])
+			yv := x[v]
+			if d > 0 {
+				sum := 0.0
+				for _, w := range flat[v*stride : v*stride+d] {
+					sum += xs[w]
+				}
+				yv = x[v]/2 + sum
+			}
+			y[v] = yv
+			t += pi[v] * x[v] * yv
 		}
-		share := x[u] / (2 * float64(len(slots)))
-		y[u] += x[u] / 2
-		for _, v := range slots {
-			y[v] += share
-		}
-	}
+		return t
+	})
 }
 
 // SpectralGap estimates 1-λ₂ of the lazy walk matrix by power iteration
 // with deflation against the stationary distribution (∝ degree). iters
 // controls accuracy; 200 is ample for the sizes used in experiments.
-// The rng source makes the start vector deterministic per caller.
+// The rng source makes the start vector deterministic per caller. The
+// iteration runs across GOMAXPROCS workers; use SpectralGapWorkers to
+// pin the pool size.
 func (m *Multi) SpectralGap(iters int, src *rng.Source) float64 {
-	lambda2, _ := m.secondEigen(iters, src)
+	return m.SpectralGapWorkers(iters, src, 0)
+}
+
+// SpectralGapWorkers is SpectralGap with an explicit worker count
+// (<= 0 means GOMAXPROCS). The result is bit-identical across worker
+// counts.
+func (m *Multi) SpectralGapWorkers(iters int, src *rng.Source, workers int) float64 {
+	lambda2, _ := m.secondEigen(iters, src, workers)
 	return 1 - lambda2
 }
 
 // secondEigen returns (λ₂ estimate, eigenvector estimate).
-func (m *Multi) secondEigen(iters int, src *rng.Source) (float64, []float64) {
+func (m *Multi) secondEigen(iters int, src *rng.Source, workers int) (float64, []float64) {
 	n := m.N
 	if n < 2 {
 		return 0, make([]float64, n)
 	}
-	// Stationary distribution of the reversible chain: π ∝ degree.
+	workers = par.Workers(workers)
+	// Stationary distribution of the reversible chain: π ∝ degree, and
+	// the inverse-degree weights the gather-form mat-vec reads.
 	pi := make([]float64, n)
-	total := 0.0
-	for u := range pi {
-		d := float64(len(m.Slots[u]))
-		if d == 0 {
-			d = 1
+	invTwoDeg := make([]float64, n)
+	sums := make([]float64, par.Blocks(n))
+	total := par.BlockSum(workers, n, sums, func(lo, hi int) float64 {
+		t := 0.0
+		for u := lo; u < hi; u++ {
+			d := float64(m.deg[u])
+			if d == 0 {
+				d = 1
+			}
+			pi[u] = d
+			invTwoDeg[u] = 1 / (2 * d)
+			t += d
 		}
-		pi[u] = d
-		total += d
-	}
-	for u := range pi {
-		pi[u] /= total
-	}
+		return t
+	})
+	par.For(workers, n, func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			pi[u] /= total
+		}
+	})
 	x := make([]float64, n)
 	for u := range x {
 		x[u] = src.Float64() - 0.5
 	}
 	y := make([]float64, n)
+	xs := make([]float64, n)
 	lambda := 0.0
 	for it := 0; it < iters; it++ {
 		// Deflate the top eigenvector (all-ones in the π inner product).
-		dot := 0.0
-		for u := range x {
-			dot += pi[u] * x[u]
-		}
-		for u := range x {
-			x[u] -= dot
-		}
-		norm := 0.0
-		for u := range x {
-			norm += pi[u] * x[u] * x[u]
-		}
-		norm = math.Sqrt(norm)
+		dot := par.BlockSum(workers, n, sums, func(lo, hi int) float64 {
+			t := 0.0
+			for u := lo; u < hi; u++ {
+				t += pi[u] * x[u]
+			}
+			return t
+		})
+		// Fused pass: subtract the projection and accumulate the π-norm
+		// of the deflated vector.
+		norm := math.Sqrt(par.BlockSum(workers, n, sums, func(lo, hi int) float64 {
+			t := 0.0
+			for u := lo; u < hi; u++ {
+				xu := x[u] - dot
+				x[u] = xu
+				t += pi[u] * xu * xu
+			}
+			return t
+		}))
 		if norm < 1e-300 {
 			// x collapsed into the top eigenspace; the chain mixes in
 			// one step as far as this start vector can tell.
 			return 0, x
 		}
-		for u := range x {
-			x[u] /= norm
-		}
-		m.walkStep(x, y)
-		// Rayleigh quotient <x, Px>_π (P is self-adjoint under π).
-		lambda = 0.0
-		for u := range x {
-			lambda += pi[u] * x[u] * y[u]
-		}
+		// Fused pass: normalize x and pre-scale it for the gather.
+		inv := 1 / norm
+		par.For(workers, n, func(lo, hi int) {
+			for u := lo; u < hi; u++ {
+				xu := x[u] * inv
+				x[u] = xu
+				xs[u] = xu * invTwoDeg[u]
+			}
+		})
+		lambda = m.walkStep(x, y, xs, pi, sums, workers)
 		x, y = y, x
 	}
 	if lambda < 0 {
@@ -124,7 +175,7 @@ func (m *Multi) SweepConductance(delta, iters int, src *rng.Source) float64 {
 	if n < 2 {
 		return 1
 	}
-	_, vec := m.secondEigen(iters, src)
+	_, vec := m.secondEigen(iters, src, 0)
 	order := make([]int, n)
 	for i := range order {
 		order[i] = i
@@ -139,8 +190,8 @@ func (m *Multi) SweepConductance(delta, iters int, src *rng.Source) float64 {
 		u := order[i]
 		inSet[u] = true
 		// Adding u flips the crossing status of its cross edges.
-		for _, v := range m.Slots[u] {
-			if v == u {
+		for _, v := range m.SlotsOf(u) {
+			if int(v) == u {
 				continue
 			}
 			if inSet[v] {
@@ -169,10 +220,10 @@ func (m *Multi) ExactConductance(delta int) float64 {
 		return 1
 	}
 	edges := make([][2]int, 0)
-	for u, slots := range m.Slots {
-		for _, v := range slots {
-			if v > u {
-				edges = append(edges, [2]int{u, v})
+	for u := 0; u < n; u++ {
+		for _, v := range m.SlotsOf(u) {
+			if int(v) > u {
+				edges = append(edges, [2]int{u, int(v)})
 			}
 		}
 	}

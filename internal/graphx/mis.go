@@ -19,7 +19,7 @@ func (g *Graph) GreedyMIS(order []int) []bool {
 		}
 		inMIS[u] = true
 		blocked[u] = true
-		for _, v := range g.Adj[u] {
+		for _, v := range g.Neighbors(u) {
 			blocked[v] = true
 		}
 	}
@@ -38,7 +38,7 @@ func (g *Graph) VerifyMIS(inMIS []bool) (independent, maximal bool) {
 		if !inMIS[u] {
 			continue
 		}
-		for _, v := range g.Adj[u] {
+		for _, v := range g.Neighbors(u) {
 			if inMIS[v] {
 				independent = false
 				break
@@ -51,7 +51,7 @@ func (g *Graph) VerifyMIS(inMIS []bool) (independent, maximal bool) {
 			continue
 		}
 		covered := false
-		for _, v := range g.Adj[u] {
+		for _, v := range g.Neighbors(u) {
 			if inMIS[v] {
 				covered = true
 				break

@@ -2,25 +2,68 @@ package graphx
 
 import "fmt"
 
-// Multi is an undirected multigraph with self-loops, stored as per-node
-// slot lists: Slots[u] is the multiset of u's edge endpoints, with a
-// self-loop represented by u's own index occupying one slot.
+// Multi is an undirected multigraph with self-loops, stored as a flat
+// strided slot array: node u's slots occupy flat[u*stride] through
+// flat[u*stride+deg[u]-1], with a self-loop represented by u's own
+// index occupying one slot.
 //
 // This is the representation the paper's benign graphs (Definition 2.1)
 // live in: each node owns exactly ∆ slots, at least ∆/2 of which are
-// self-loops, and a random-walk step picks a slot uniformly. Cross edges
-// appear in both endpoints' slot lists.
+// self-loops, and a random-walk step picks a slot uniformly. Cross
+// edges appear in both endpoints' slot lists. Because every hot
+// consumer (token walks, mat-vecs, cut counting) handles ∆-regular
+// graphs, the fixed stride turns "slots of u" into pure index
+// arithmetic on one contiguous []int32 — no per-node slice headers, no
+// pointer chasing, and a ∆-regular graph is exactly dense.
 type Multi struct {
 	// N is the number of nodes.
 	N int
-	// Slots[u] is the multiset of neighbors of u (self-loops included
-	// as u itself).
-	Slots [][]int
+
+	stride int     // per-node slot capacity
+	deg    []int32 // per-node slot count
+	flat   []int32 // strided slot storage
 }
 
-// NewMulti returns an empty multigraph on n nodes.
+// NewMulti returns an empty multigraph on n nodes. The per-node slot
+// capacity grows on demand; callers that know the final regular degree
+// should prefer NewMultiRegular, which allocates exactly once.
 func NewMulti(n int) *Multi {
-	return &Multi{N: n, Slots: make([][]int, n)}
+	return NewMultiRegular(n, 4)
+}
+
+// NewMultiRegular returns an empty multigraph on n nodes with slot
+// capacity delta per node, the right constructor for graphs that will
+// be padded to ∆-regularity.
+func NewMultiRegular(n, delta int) *Multi {
+	if delta < 1 {
+		delta = 1
+	}
+	return &Multi{
+		N:      n,
+		stride: delta,
+		deg:    make([]int32, n),
+		flat:   make([]int32, n*delta),
+	}
+}
+
+// grow doubles the per-node slot capacity, re-laying the flat array.
+// Amortized over insertions this keeps AddCrossEdge O(1).
+func (m *Multi) grow() {
+	ns := m.stride * 2
+	nf := make([]int32, m.N*ns)
+	for u := 0; u < m.N; u++ {
+		copy(nf[u*ns:], m.flat[u*m.stride:u*m.stride+int(m.deg[u])])
+	}
+	m.stride, m.flat = ns, nf
+}
+
+// push appends one slot at u.
+func (m *Multi) push(u int, v int32) {
+	if int(m.deg[u]) == m.stride {
+		m.grow()
+	}
+	m.flat[u*m.stride+int(m.deg[u])] = v
+	m.deg[u]++
 }
 
 // AddCrossEdge inserts an undirected edge {u,v}, u != v, occupying one
@@ -31,14 +74,14 @@ func (m *Multi) AddCrossEdge(u, v int) {
 	}
 	m.checkRange(u)
 	m.checkRange(v)
-	m.Slots[u] = append(m.Slots[u], v)
-	m.Slots[v] = append(m.Slots[v], u)
+	m.push(u, int32(v))
+	m.push(v, int32(u))
 }
 
 // AddSelfLoop inserts a self-loop at u, occupying one slot.
 func (m *Multi) AddSelfLoop(u int) {
 	m.checkRange(u)
-	m.Slots[u] = append(m.Slots[u], u)
+	m.push(u, int32(u))
 }
 
 func (m *Multi) checkRange(u int) {
@@ -48,12 +91,41 @@ func (m *Multi) checkRange(u int) {
 }
 
 // Degree returns the slot count of u (self-loops count once).
-func (m *Multi) Degree(u int) int { return len(m.Slots[u]) }
+func (m *Multi) Degree(u int) int { return int(m.deg[u]) }
+
+// SlotsOf returns u's slot list as a view into the flat storage. The
+// slice is valid until the next mutation and must not be modified.
+func (m *Multi) SlotsOf(u int) []int32 {
+	return m.flat[u*m.stride : u*m.stride+int(m.deg[u])]
+}
+
+// FlatSlots exposes the raw strided storage for read-only hot loops:
+// node u's slots are flat[u*stride : u*stride+Degree(u)]. Callers must
+// not modify the slice.
+func (m *Multi) FlatSlots() (flat []int32, stride int) { return m.flat, m.stride }
+
+// PadSelfLoops appends self-loops at every node with fewer than delta
+// slots until it has exactly delta, the bulk form of the benign
+// padding step. Nodes already at or above delta are left untouched.
+func (m *Multi) PadSelfLoops(delta int) {
+	for m.stride < delta {
+		m.grow()
+	}
+	for u := 0; u < m.N; u++ {
+		row := m.flat[u*m.stride:]
+		for d := int(m.deg[u]); d < delta; d++ {
+			row[d] = int32(u)
+		}
+		if int(m.deg[u]) < delta {
+			m.deg[u] = int32(delta)
+		}
+	}
+}
 
 // IsRegular reports whether every node has exactly delta slots.
 func (m *Multi) IsRegular(delta int) bool {
-	for _, s := range m.Slots {
-		if len(s) != delta {
+	for _, d := range m.deg {
+		if int(d) != delta {
 			return false
 		}
 	}
@@ -63,8 +135,8 @@ func (m *Multi) IsRegular(delta int) bool {
 // SelfLoops returns the number of self-loop slots at u.
 func (m *Multi) SelfLoops(u int) int {
 	c := 0
-	for _, v := range m.Slots[u] {
-		if v == u {
+	for _, v := range m.SlotsOf(u) {
+		if int(v) == u {
 			c++
 		}
 	}
@@ -75,12 +147,12 @@ func (m *Multi) SelfLoops(u int) int {
 // in u's slots exactly as often as u appears in v's.
 func (m *Multi) IsSymmetric() bool {
 	counts := make(map[[2]int]int)
-	for u, slots := range m.Slots {
-		for _, v := range slots {
-			if v == u {
+	for u := 0; u < m.N; u++ {
+		for _, v := range m.SlotsOf(u) {
+			if int(v) == u {
 				continue
 			}
-			counts[[2]int{u, v}]++
+			counts[[2]int{u, int(v)}]++
 		}
 	}
 	for key, c := range counts {
@@ -94,38 +166,54 @@ func (m *Multi) IsSymmetric() bool {
 // Simple collapses the multigraph to its simple undirected version
 // (self-loops and multiplicities dropped), the graph whose diameter and
 // connectivity the theorems speak about.
+//
+// Deduplication is two stamped scans over the flat slot array (count,
+// then fill) writing straight into CSR adjacency — no hash map, no
+// per-edge allocations. Each node's neighbor row comes out in its own
+// first-seen slot order; note this differs from the map-based
+// version, whose rows interleaved discoveries made by lower-indexed
+// nodes, so traversal orders over Simple() output changed with the
+// CSR rewrite.
 func (m *Multi) Simple() *Graph {
-	g := NewGraph(m.N)
-	seen := make(map[[2]int]bool)
-	for u, slots := range m.Slots {
-		for _, v := range slots {
-			if v == u {
-				continue
+	n := m.N
+	st := newStamper(n)
+	off := make([]int32, n+1)
+	for u := 0; u < n; u++ {
+		e := st.next()
+		k := int32(0)
+		for _, v := range m.SlotsOf(u) {
+			if int(v) != u && st.stamp[v] != e {
+				st.stamp[v] = e
+				k++
 			}
-			lo, hi := u, v
-			if lo > hi {
-				lo, hi = hi, lo
-			}
-			key := [2]int{lo, hi}
-			if !seen[key] {
-				seen[key] = true
-				g.AddEdge(lo, hi)
+		}
+		off[u+1] = off[u] + k
+	}
+	adj := make([]int32, off[n])
+	for u := 0; u < n; u++ {
+		e := st.next()
+		w := off[u]
+		for _, v := range m.SlotsOf(u) {
+			if int(v) != u && st.stamp[v] != e {
+				st.stamp[v] = e
+				adj[w] = v
+				w++
 			}
 		}
 	}
-	return g
+	return newGraphCSR(n, off, adj)
 }
 
 // CutSize returns the number of cross edges with exactly one endpoint
 // in the set marked true. Self-loops never cross.
 func (m *Multi) CutSize(inSet []bool) int {
 	cut := 0
-	for u, slots := range m.Slots {
+	for u := 0; u < m.N; u++ {
 		if !inSet[u] {
 			continue
 		}
-		for _, v := range slots {
-			if v != u && !inSet[v] {
+		for _, v := range m.SlotsOf(u) {
+			if int(v) != u && !inSet[v] {
 				cut++
 			}
 		}
@@ -164,9 +252,9 @@ func (m *Multi) MinCut() int {
 	// Each cross edge of multiplicity k appears k times in u's slots
 	// (filling w[u][v]) and k times in v's (filling w[v][u]), so the
 	// matrix comes out symmetric with the right multiplicities.
-	for u, slots := range m.Slots {
-		for _, v := range slots {
-			if v != u {
+	for u := 0; u < m.N; u++ {
+		for _, v := range m.SlotsOf(u) {
+			if int(v) != u {
 				w[u][v]++
 			}
 		}

@@ -1,44 +1,68 @@
 package graphx
 
+// TraverseScratch holds the reusable buffers of a BFS call. Repeated
+// oracle calls (diameter sweeps, per-node eccentricities) pass the same
+// scratch to stop reallocating O(N) memory per call; the zero value is
+// ready to use.
+type TraverseScratch struct {
+	Dist  []int
+	queue []int
+}
+
 // BFS returns the hop distance from src to every node in the undirected
 // graph g; unreachable nodes get -1.
 func (g *Graph) BFS(src int) []int {
-	dist := make([]int, g.N)
+	return g.BFSInto(src, &TraverseScratch{})
+}
+
+// BFSInto is BFS writing into s.Dist (grown as needed) and reusing
+// s.queue as the frontier. The returned slice aliases s.Dist.
+func (g *Graph) BFSInto(src int, s *TraverseScratch) []int {
+	g.ensure()
+	s.Dist = intScratch(s.Dist, g.N)
+	dist := s.Dist
 	for i := range dist {
 		dist[i] = -1
 	}
 	dist[src] = 0
-	queue := make([]int, 0, g.N)
-	queue = append(queue, src)
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
-		for _, v := range g.Adj[u] {
+	if cap(s.queue) < g.N {
+		s.queue = make([]int, 0, g.N)
+	}
+	queue := append(s.queue[:0], src)
+	// Head index instead of queue = queue[1:]: the backing array is
+	// written once and never re-sliced, so the queue is a plain append
+	// buffer scanned left to right.
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		du := dist[u] + 1
+		for _, v := range g.adj[g.off[u]:g.off[u+1]] {
 			if dist[v] < 0 {
-				dist[v] = dist[u] + 1
-				queue = append(queue, v)
+				dist[v] = du
+				queue = append(queue, int(v))
 			}
 		}
 	}
+	s.queue = queue
 	return dist
 }
 
 // BFSTree returns parent pointers of a BFS tree rooted at src
 // (parent[src] = src; unreachable nodes get -1).
 func (g *Graph) BFSTree(src int) []int {
+	g.ensure()
 	parent := make([]int, g.N)
 	for i := range parent {
 		parent[i] = -1
 	}
 	parent[src] = src
-	queue := []int{src}
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
-		for _, v := range g.Adj[u] {
+	queue := make([]int, 0, g.N)
+	queue = append(queue, src)
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		for _, v := range g.adj[g.off[u]:g.off[u+1]] {
 			if parent[v] < 0 {
 				parent[v] = u
-				queue = append(queue, v)
+				queue = append(queue, int(v))
 			}
 		}
 	}
@@ -48,23 +72,24 @@ func (g *Graph) BFSTree(src int) []int {
 // ConnectedComponents labels every node with a component index in
 // [0, k) and returns the labels along with k.
 func (g *Graph) ConnectedComponents() (labels []int, k int) {
+	g.ensure()
 	labels = make([]int, g.N)
 	for i := range labels {
 		labels[i] = -1
 	}
+	queue := make([]int, 0, g.N)
 	for src := 0; src < g.N; src++ {
 		if labels[src] >= 0 {
 			continue
 		}
 		labels[src] = k
-		queue := []int{src}
-		for len(queue) > 0 {
-			u := queue[0]
-			queue = queue[1:]
-			for _, v := range g.Adj[u] {
+		queue = append(queue[:0], src)
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			for _, v := range g.adj[g.off[u]:g.off[u+1]] {
 				if labels[v] < 0 {
 					labels[v] = k
-					queue = append(queue, v)
+					queue = append(queue, int(v))
 				}
 			}
 		}
@@ -86,8 +111,14 @@ func (g *Graph) IsConnected() bool {
 // Eccentricity returns the maximum finite BFS distance from src, or -1
 // if some node is unreachable.
 func (g *Graph) Eccentricity(src int) int {
+	return eccOf(g.BFS(src))
+}
+
+// eccOf folds a distance vector into an eccentricity (-1 if any node
+// is unreachable).
+func eccOf(dist []int) int {
 	ecc := 0
-	for _, d := range g.BFS(src) {
+	for _, d := range dist {
 		if d < 0 {
 			return -1
 		}
@@ -103,8 +134,9 @@ func (g *Graph) Eccentricity(src int) int {
 // large graphs.
 func (g *Graph) Diameter() int {
 	diam := 0
+	var s TraverseScratch
 	for u := 0; u < g.N; u++ {
-		e := g.Eccentricity(u)
+		e := eccOf(g.BFSInto(u, &s))
 		if e < 0 {
 			return -1
 		}
@@ -122,7 +154,8 @@ func (g *Graph) DiameterEstimate() int {
 	if g.N == 0 {
 		return 0
 	}
-	d0 := g.BFS(0)
+	var s TraverseScratch
+	d0 := g.BFSInto(0, &s)
 	far, fd := 0, 0
 	for v, d := range d0 {
 		if d < 0 {
@@ -133,7 +166,7 @@ func (g *Graph) DiameterEstimate() int {
 		}
 	}
 	est := 0
-	for _, d := range g.BFS(far) {
+	for _, d := range g.BFSInto(far, &s) {
 		if d > est {
 			est = d
 		}
@@ -180,4 +213,13 @@ func (g *Graph) IsSpanningTree(tree [][2]int) bool {
 		t.AddEdge(u, v)
 	}
 	return t.IsConnected()
+}
+
+// intScratch returns buf resized to n, reallocating only when the
+// capacity is insufficient.
+func intScratch(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
 }

@@ -94,7 +94,8 @@ func Biconnectivity(g *graphx.Digraph, seed uint64) (*BCCResult, error) {
 	}
 	for i := n - 1; i >= 0; i-- {
 		v := order[i]
-		for _, w := range und.Adj[v] {
+		for _, w32 := range und.Neighbors(v) {
+			w := int(w32)
 			// Only non-tree neighbors participate: D+(v) adds the
 			// endpoints of E \ T edges leaving the subtree.
 			if parent[w] == v || parent[v] == w {
@@ -238,8 +239,9 @@ func dfsPreorder(tree *graphx.Graph, root int) (parent, order []int) {
 		stack = stack[:len(stack)-1]
 		order = append(order, v)
 		// Sort a copy descending so ascending pops first.
-		kids := make([]int, 0, len(tree.Adj[v]))
-		for _, w := range tree.Adj[v] {
+		kids := make([]int, 0, tree.Degree(v))
+		for _, w32 := range tree.Neighbors(v) {
+			w := int(w32)
 			if parent[w] < 0 {
 				parent[w] = v
 				kids = append(kids, w)

@@ -96,7 +96,7 @@ func hybridExpanderParams(h *graphx.Graph, mBound int) expander.Params {
 // multiplicity 1 and rely on their many distinct neighbors, matching
 // the paper's use of long walks for the cut guarantee (Lemma 3.12).
 func makeBenignNoCopy(h *graphx.Graph, delta int) (*graphx.Multi, error) {
-	m := graphx.NewMulti(h.N)
+	m := graphx.NewMultiRegular(h.N, delta)
 	for _, e := range h.Edges() {
 		du, dv := h.Degree(e[0]), h.Degree(e[1])
 		hi := du
@@ -115,10 +115,8 @@ func makeBenignNoCopy(h *graphx.Graph, delta int) (*graphx.Multi, error) {
 		if m.Degree(v) > delta/2 {
 			return nil, fmt.Errorf("hybrid: node %d degree %d exceeds ∆/2 = %d", v, m.Degree(v), delta/2)
 		}
-		for m.Degree(v) < delta {
-			m.AddSelfLoop(v)
-		}
 	}
+	m.PadSelfLoops(delta)
 	return m, nil
 }
 
@@ -196,8 +194,8 @@ func ConnectedComponents(g *graphx.Digraph, p CCParams) (*CCResult, error) {
 		}
 		seen := map[[2]int]bool{}
 		for _, v := range nodes {
-			for _, w := range finalSimple.Adj[v] {
-				a, b := index[v], index[w]
+			for _, w := range finalSimple.Neighbors(v) {
+				a, b := index[v], index[int(w)]
 				if a > b {
 					a, b = b, a
 				}

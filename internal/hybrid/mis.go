@@ -76,7 +76,7 @@ func MIS(g *graphx.Digraph, seed uint64) (*MISResult, error) {
 				continue
 			}
 			lone := true
-			for _, w := range und.Adj[v] {
+			for _, w := range und.Neighbors(v) {
 				if undecided[w] && marked[w] {
 					lone = false
 					break
@@ -91,7 +91,7 @@ func MIS(g *graphx.Digraph, seed uint64) (*MISResult, error) {
 			if !undecided[v] {
 				continue
 			}
-			for _, w := range und.Adj[v] {
+			for _, w := range und.Neighbors(v) {
 				if res.InMIS[w] {
 					undecided[v] = false
 					break
@@ -103,7 +103,7 @@ func MIS(g *graphx.Digraph, seed uint64) (*MISResult, error) {
 				continue
 			}
 			sum := 0.0
-			for _, w := range und.Adj[v] {
+			for _, w := range und.Neighbors(v) {
 				if undecided[w] {
 					sum += p[w]
 				}
@@ -209,7 +209,8 @@ func metivierBest(sub *graphx.Graph, nodes []int, k int, src *rng.Source) (map[i
 					continue
 				}
 				minLocal := true
-				for _, w := range sub.Adj[v] {
+				for _, w32 := range sub.Neighbors(v) {
+					w := int(w32)
 					if alive[w] && (rank[w] < rank[v] || (rank[w] == rank[v] && w < v)) {
 						minLocal = false
 						break
@@ -225,7 +226,8 @@ func metivierBest(sub *graphx.Graph, nodes []int, k int, src *rng.Source) (map[i
 					alive[v] = false
 					remaining--
 				}
-				for _, w := range sub.Adj[v] {
+				for _, w32 := range sub.Neighbors(v) {
+					w := int(w32)
 					if alive[w] {
 						alive[w] = false
 						remaining--

@@ -98,8 +98,8 @@ func Spanner(g *graphx.Graph, mBound, lowDeg int, src *rng.Source) *SpannerResul
 				continue
 			}
 			b := best[v][top[v]]
-			for _, w := range g.Adj[v] {
-				offers = append(offers, offer{to: w, source: top[v], pred: v, val: b.val - 1})
+			for _, w := range g.Neighbors(v) {
+				offers = append(offers, offer{to: int(w), source: top[v], pred: v, val: b.val - 1})
 			}
 		}
 		for _, o := range offers {
@@ -133,7 +133,8 @@ func Spanner(g *graphx.Graph, mBound, lowDeg int, src *rng.Source) *SpannerResul
 			res.Inactive++
 		}
 		if !active || g.Degree(v) < lowDeg {
-			for _, w := range g.Adj[v] {
+			for _, w32 := range g.Neighbors(v) {
+				w := int(w32)
 				if !outSet[v][w] {
 					outSet[v][w] = true
 					res.Spanner.AddEdge(v, w)

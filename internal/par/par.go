@@ -1,0 +1,98 @@
+// Package par provides the worker-pool primitive shared by the
+// graph-level fast path (parallel token walks, spectral mat-vecs).
+//
+// Everything here is shape-deterministic: the partition of work into
+// chunks depends only on the input size, never on the worker count or
+// scheduling, so callers that keep per-chunk state (rng streams,
+// floating-point partial sums) produce bit-identical results at every
+// worker count. Contrast with a work-stealing pool, where chunk
+// boundaries — and hence floating-point reduction order — would vary
+// run to run.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a worker-count knob: values <= 0 mean GOMAXPROCS.
+func Workers(w int) int {
+	if w > 0 {
+		return w
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// For runs fn over a partition of [0, n) into at most `workers`
+// contiguous chunks. With workers <= 1 (or trivial n) it runs inline
+// on the calling goroutine. fn must be safe to call concurrently on
+// disjoint ranges.
+func For(workers, n int, fn func(lo, hi int)) {
+	ForChunk(workers, n, func(_, lo, hi int) { fn(lo, hi) })
+}
+
+// ForChunk is For with the chunk index exposed: fn(chunk, lo, hi) may
+// index per-chunk accumulators without locking. Chunk indices are
+// dense in [0, min(workers, n)).
+func ForChunk(workers, n int, fn func(chunk, lo, hi int)) {
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		if n > 0 {
+			fn(0, 0, n)
+		}
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for s := 0; s < workers; s++ {
+		lo := s * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(s, lo, hi int) {
+			defer wg.Done()
+			fn(s, lo, hi)
+		}(s, lo, hi)
+	}
+	wg.Wait()
+}
+
+// RedBlock is the fixed reduction block size used for deterministic
+// floating-point sums: values are summed sequentially within each
+// block and blocks are combined in index order, so the rounding
+// schedule is a function of the input length only.
+const RedBlock = 4096
+
+// Blocks returns the number of RedBlock-sized blocks covering n.
+func Blocks(n int) int { return (n + RedBlock - 1) / RedBlock }
+
+// BlockSum runs partial(lo, hi) for every RedBlock-aligned block of
+// [0, n) across the pool, storing results in sums (len >= Blocks(n)),
+// and returns their in-order total. partial must itself accumulate
+// sequentially within the block.
+func BlockSum(workers, n int, sums []float64, partial func(lo, hi int) float64) float64 {
+	nb := Blocks(n)
+	For(workers, nb, func(blo, bhi int) {
+		for b := blo; b < bhi; b++ {
+			lo := b * RedBlock
+			hi := lo + RedBlock
+			if hi > n {
+				hi = n
+			}
+			sums[b] = partial(lo, hi)
+		}
+	})
+	total := 0.0
+	for b := 0; b < nb; b++ {
+		total += sums[b]
+	}
+	return total
+}

@@ -1,0 +1,69 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversRangeOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 3, 7, 64} {
+		for _, n := range []int{0, 1, 5, 64, 1000} {
+			hits := make([]int32, n)
+			For(workers, n, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestForChunkIndicesDisjoint(t *testing.T) {
+	for _, workers := range []int{2, 3, 8} {
+		seen := make([]int32, workers)
+		ForChunk(workers, 100, func(chunk, lo, hi int) {
+			atomic.AddInt32(&seen[chunk], 1)
+		})
+		for c, s := range seen {
+			if s > 1 {
+				t.Fatalf("workers=%d: chunk %d used %d times", workers, c, s)
+			}
+		}
+	}
+}
+
+// TestBlockSumWorkerIndependent pins the fixed-block reduction: the
+// floating-point total must be bit-identical at every worker count,
+// because block boundaries depend only on n.
+func TestBlockSumWorkerIndependent(t *testing.T) {
+	n := 3*RedBlock + 17
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 1.0 / float64(i+3)
+	}
+	sums := make([]float64, Blocks(n))
+	ref := BlockSum(1, n, sums, func(lo, hi int) float64 {
+		t := 0.0
+		for i := lo; i < hi; i++ {
+			t += x[i]
+		}
+		return t
+	})
+	for _, w := range []int{2, 3, 5, 16} {
+		got := BlockSum(w, n, sums, func(lo, hi int) float64 {
+			t := 0.0
+			for i := lo; i < hi; i++ {
+				t += x[i]
+			}
+			return t
+		})
+		if got != ref {
+			t.Fatalf("workers=%d: %v != %v", w, got, ref)
+		}
+	}
+}

@@ -33,6 +33,13 @@ func (s *Source) Split(label uint64) *Source {
 	return &Source{state: mix(s.state ^ mix(label+golden))}
 }
 
+// SplitVal is Split returning the child by value, for hot loops that
+// derive millions of short-lived streams (one per walk token) without
+// heap allocation. The stream is identical to Split(label).
+func (s *Source) SplitVal(label uint64) Source {
+	return Source{state: mix(s.state ^ mix(label+golden))}
+}
+
 // mix is the splitmix64 output function: a bijective 64-bit finalizer.
 func mix(z uint64) uint64 {
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
@@ -94,11 +101,17 @@ func (s *Source) Bool() bool { return s.Uint64()&1 == 1 }
 // Perm returns a uniform random permutation of [0, n).
 func (s *Source) Perm(n int) []int {
 	p := make([]int, n)
+	s.PermInto(p)
+	return p
+}
+
+// PermInto fills p with a uniform random permutation of [0, len(p)),
+// the allocation-free form of Perm for callers with a scratch buffer.
+func (s *Source) PermInto(p []int) {
 	for i := range p {
 		p[i] = i
 	}
 	s.ShuffleInts(p)
-	return p
 }
 
 // ShuffleInts permutes p uniformly at random in place.

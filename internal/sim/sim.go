@@ -37,6 +37,7 @@ package sim
 
 import (
 	"fmt"
+	"math/bits"
 	"runtime"
 	"slices"
 	"sort"
@@ -142,6 +143,10 @@ type Engine struct {
 
 	shards []shardState
 
+	// sendPerm is the scratch permutation for send-cap sampling; the
+	// sender pass is sequential, so one buffer serves every node.
+	sendPerm []int
+
 	metrics Metrics
 	round   int
 	inited  bool
@@ -154,6 +159,7 @@ type Engine struct {
 type shardState struct {
 	touched []int32 // destinations that received messages this round
 	wake    []int32 // halted destinations among touched
+	perm    []int   // scratch permutation for receive-cap sampling
 	maxRecv int
 	drops   int64
 	_       [64]byte
@@ -361,11 +367,11 @@ func (c *Ctx) LogBound() int { return LogBound(c.engine.cfg.N) }
 
 // LogBound returns ⌈log₂ n⌉, at least 1.
 func LogBound(n int) int {
-	l := 1
-	for (1 << l) < n {
-		l++
+	if n <= 2 {
+		return 1
 	}
-	return l
+	// ⌈log₂ n⌉ = bit length of n-1 for n ≥ 2.
+	return bits.Len(uint(n - 1))
 }
 
 // halted reports node i's halt state, preferring its Halter if present.
@@ -487,7 +493,7 @@ func (e *Engine) deliver() {
 			// Enforce the cap by dropping a random subset of the
 			// sender's messages and record the violation: correct
 			// protocols never hit this.
-			ctx.outbox, sent = capRouted(ctx.outbox, e.cfg.SendCap, ctx.Rand)
+			ctx.outbox, sent = capRouted(ctx.outbox, e.cfg.SendCap, ctx.Rand, &e.sendPerm)
 			e.metrics.SendCapViolations++
 		}
 		e.metrics.PerNodeSent[i] += int64(sent)
@@ -598,7 +604,7 @@ func (e *Engine) deliverShard(sc *shardState, run []int32, lo, hi int32) {
 		units := e.recvUnits[j]
 		e.recvUnits[j] = 0
 		if e.cfg.RecvCap > 0 && units > e.cfg.RecvCap {
-			units = e.capInbox(j, e.cfg.RecvCap, e.ctxs[j].Rand)
+			units = e.capInbox(j, e.cfg.RecvCap, e.ctxs[j].Rand, &sc.perm)
 			sc.drops++
 		}
 		e.metrics.PerNodeRecv[j] += int64(units)
@@ -617,10 +623,10 @@ func (e *Engine) deliverShard(sc *shardState, run []int32, lo, hi int32) {
 // capInbox keeps a random subset of destination j's inbox within cap
 // units, preserving arrival order among the kept, and returns the unit
 // count actually delivered.
-func (e *Engine) capInbox(j int32, cap int, src *rng.Source) int {
+func (e *Engine) capInbox(j int32, cap int, src *rng.Source, perm *[]int) int {
 	in := e.inboxes[j]
 	us := e.inUnits[j]
-	keep := chooseWithin(len(in), cap, func(k int) int { return int(us[k]) }, src)
+	keep := chooseWithin(len(in), cap, func(k int) int { return int(us[k]) }, src, perm)
 	kept := in[:0]
 	keptUnits := us[:0]
 	used := 0
@@ -643,8 +649,8 @@ func (e *Engine) capInbox(j int32, cap int, src *rng.Source) int {
 
 // capRouted keeps a random subset of outgoing messages within cap
 // units, preserving emission order among the kept.
-func capRouted(out []routed, cap int, src *rng.Source) ([]routed, int) {
-	keep := chooseWithin(len(out), cap, func(i int) int { return int(out[i].units) }, src)
+func capRouted(out []routed, cap int, src *rng.Source, perm *[]int) ([]routed, int) {
+	keep := chooseWithin(len(out), cap, func(i int) int { return int(out[i].units) }, src, perm)
 	kept := out[:0]
 	used := 0
 	for i := range out {
@@ -660,13 +666,22 @@ func capRouted(out []routed, cap int, src *rng.Source) ([]routed, int) {
 }
 
 // chooseWithin marks a uniformly random subset of n items whose unit
-// sizes fit within cap, greedily in random order.
-func chooseWithin(n, cap int, units func(int) int, src *rng.Source) []bool {
+// sizes fit within cap, greedily in random order. perm is a reusable
+// scratch permutation buffer (grown as needed and written back), so a
+// capped node costs no allocation beyond the keep mask.
+func chooseWithin(n, limit int, units func(int) int, src *rng.Source, perm *[]int) []bool {
 	keep := make([]bool, n)
+	p := *perm
+	if cap(p) < n {
+		p = make([]int, n)
+	}
+	p = p[:n]
+	*perm = p
+	src.PermInto(p)
 	used := 0
-	for _, i := range src.Perm(n) {
+	for _, i := range p {
 		u := units(i)
-		if used+u <= cap {
+		if used+u <= limit {
 			used += u
 			keep[i] = true
 		}

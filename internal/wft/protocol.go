@@ -114,11 +114,11 @@ func BuildEngine(g *graphx.Graph, floodRounds int, cfg sim.Config) (*sim.Engine,
 	for i, p := range protos {
 		// Deduplicate and drop self-loops up front (preserving first
 		// occurrence order) so broadcasts can iterate without a set.
-		p.neighbors = make([]ids.ID, 0, len(g.Adj[i]))
+		p.neighbors = make([]ids.ID, 0, g.Degree(i))
 		seen := ids.NewSet()
-		for _, v := range g.Adj[i] {
+		for _, v := range g.Neighbors(i) {
 			nb := idOf[v]
-			if v == i || seen.Has(nb) {
+			if int(v) == i || seen.Has(nb) {
 				continue
 			}
 			seen.Add(nb)

@@ -139,7 +139,8 @@ func FromGraph(g *graphx.Graph, id []uint64) (*Tree, error) {
 			parent[v] = root
 			continue
 		}
-		for _, u := range g.Adj[v] {
+		for _, u32 := range g.Neighbors(v) {
+			u := int(u32)
 			if dist[u] == dist[v]-1 && (parent[v] < 0 || id[u] < id[parent[v]]) {
 				parent[v] = u
 			}

@@ -89,13 +89,15 @@ type Options struct {
 	// CapFactor κ sets the NCC0 per-round capacity κ·⌈log₂ n⌉ for the
 	// message-level path (0 = uncapped measurement mode).
 	CapFactor int
-	// Sequential forces the message-level engines onto a single
-	// goroutine. Output is bit-for-bit identical to the parallel path;
-	// use it for profiling or when running under instrumentation.
+	// Sequential forces both execution paths onto a single goroutine.
+	// Output is bit-for-bit identical to the parallel path; use it for
+	// profiling or when running under instrumentation.
 	Sequential bool
-	// Workers bounds the engine worker pool for the message-level path
-	// (0 = GOMAXPROCS). Large builds shard message delivery across this
-	// many goroutines.
+	// Workers bounds the worker pools of both paths (0 = GOMAXPROCS).
+	// The message-level engine shards message delivery across this many
+	// goroutines; the fast path splits the evolution token walks and
+	// spectral mat-vecs the same way. Results never depend on the
+	// value: every parallel stage is partitioned deterministically.
 	Workers int
 }
 
@@ -202,6 +204,10 @@ func BuildTree(g *Graph, opt *Options) (*BuildResult, error) {
 	if opt.Evolutions > 0 {
 		ep.Evolutions = opt.Evolutions
 	}
+	ep.Workers = opt.Workers
+	if opt.Sequential {
+		ep.Workers = 1
+	}
 
 	if opt.MessageLevel {
 		return buildMessageLevel(m, ep, opt)
@@ -235,7 +241,7 @@ func buildFast(m *graphx.Multi, ep expander.Params, opt *Options) (*BuildResult,
 		Stats: BuildStats{
 			Rounds:           rounds,
 			ExpanderDiameter: diam,
-			SpectralGap:      res.Final.SpectralGap(200, src.Split(0x9a9)),
+			SpectralGap:      res.Final.SpectralGapWorkers(200, src.Split(0x9a9), ep.Workers),
 		},
 		expander: s,
 	}
@@ -285,7 +291,7 @@ func buildMessageLevel(m *graphx.Multi, ep expander.Params, opt *Options) (*Buil
 			MaxMessagesPerRound: maxRound,
 			MaxMessagesTotal:    m1.MaxPerNodeSent() + m2.MaxPerNodeSent(),
 			ExpanderDiameter:    s.DiameterEstimate(),
-			SpectralGap:         final.SpectralGap(200, src.Split(0x9a9)),
+			SpectralGap:         final.SpectralGapWorkers(200, src.Split(0x9a9), ep.Workers),
 			CapacityDrops:       m1.RecvDrops + m2.RecvDrops,
 		},
 		expander: s,
