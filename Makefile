@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-scale fmt fmt-fix vet ci
+.PHONY: all build test race bench bench-json bench-guard bench-scale profile fmt fmt-fix vet ci
 
 all: build test
 
@@ -27,9 +27,20 @@ bench:
 bench-json:
 	$(GO) run ./cmd/benchharness -quick -json BENCH_results.json
 
+# The allocation-regression guard: re-runs quick E12 and fails when its
+# mallocs exceed 2x the committed BENCH_results.json baseline (wall
+# time stays informational).
+bench-guard:
+	$(GO) run ./cmd/benchguard
+
 # The full scale sweep (E12, up to n=64k message-level; takes minutes).
 bench-scale:
 	$(GO) test -run='^$$' -bench='E12_ScaleSweep' -benchtime=1x -benchmem -v ./...
+
+# CPU + heap profiles of the message-level hot path (quick E12).
+profile:
+	$(GO) run ./cmd/benchharness -quick -only E12 -cpuprofile cpu.pprof -memprofile mem.pprof
+	@echo "wrote cpu.pprof and mem.pprof; inspect with: go tool pprof cpu.pprof"
 
 # Fail (like CI) when any file needs formatting.
 fmt:
@@ -41,4 +52,4 @@ fmt-fix:
 vet:
 	$(GO) vet ./...
 
-ci: fmt vet build race bench
+ci: fmt vet build race bench bench-guard

@@ -1,0 +1,103 @@
+// Command benchguard is the CI perf smoke guard for the message-level
+// engine: it re-runs the quick E12 scale sweep and fails (exit 1) if
+// its heap allocation count regresses by more than -factor against the
+// E12 row of the committed baseline file (BENCH_results.json). Wall
+// time is printed but never gates — CI machines are too noisy for
+// that; allocation counts are deterministic enough to guard.
+//
+// The guarded run re-uses the baseline's recorded seed and E12 sweep
+// sizes and pins the engine to one worker, so the measurement is
+// core-count independent (parallel runs allocate per-round goroutine
+// and shard state that scales with GOMAXPROCS and would eat the
+// budget on big runners without any message-plane regression).
+//
+// Usage:
+//
+//	benchguard [-baseline BENCH_results.json] [-factor 2.0] [-workers 1]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"time"
+
+	"overlay/internal/experiments"
+)
+
+type baselineResult struct {
+	Name        string  `json:"name"`
+	WallSeconds float64 `json:"wall_seconds"`
+	Mallocs     uint64  `json:"mallocs"`
+	AllocBytes  uint64  `json:"alloc_bytes"`
+}
+
+type baselineReport struct {
+	Seed       uint64           `json:"seed"`
+	Quick      bool             `json:"quick"`
+	E12ScaleNs []int            `json:"e12_scale_ns"`
+	Results    []baselineResult `json:"results"`
+}
+
+func main() {
+	log.SetFlags(0)
+	var (
+		baseline = flag.String("baseline", "BENCH_results.json", "committed baseline file")
+		factor   = flag.Float64("factor", 2.0, "fail when fresh E12 mallocs exceed baseline by this factor")
+		workers  = flag.Int("workers", 1, "engine worker pool for the guard run (keep 1: sequential allocation counts are core-count independent)")
+	)
+	flag.Parse()
+
+	buf, err := os.ReadFile(*baseline)
+	if err != nil {
+		log.Fatalf("read baseline: %v", err)
+	}
+	var base baselineReport
+	if err := json.Unmarshal(buf, &base); err != nil {
+		log.Fatalf("parse %s: %v", *baseline, err)
+	}
+	var ref *baselineResult
+	for i := range base.Results {
+		if base.Results[i].Name == "E12" {
+			ref = &base.Results[i]
+			break
+		}
+	}
+	if ref == nil {
+		log.Fatalf("%s has no E12 row to guard against", *baseline)
+	}
+	if !base.Quick {
+		log.Fatalf("%s was not generated with -quick; the guard compares quick sweeps only", *baseline)
+	}
+	if len(base.E12ScaleNs) == 0 {
+		log.Fatalf("%s records no e12_scale_ns; regenerate it with `make bench-json`", *baseline)
+	}
+
+	// Re-run the exact sweep the baseline measured: sizes and seed come
+	// from the file itself, so the guard cannot drift from whatever
+	// cmd/benchharness produced it with.
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	_, msgs, err := experiments.E12ScaleSweepStats(base.E12ScaleNs, base.Seed, *workers)
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		log.Fatalf("E12 failed: %v", err)
+	}
+	mallocs := after.Mallocs - before.Mallocs
+
+	limit := uint64(float64(ref.Mallocs) * *factor)
+	fmt.Printf("E12 quick: %d mallocs (baseline %d, limit %.1fx = %d)\n",
+		mallocs, ref.Mallocs, *factor, limit)
+	fmt.Printf("E12 quick: %.2fs wall, %d messages, %.0f msgs/s (informational; baseline %.2fs)\n",
+		wall.Seconds(), msgs, float64(msgs)/wall.Seconds(), ref.WallSeconds)
+	if mallocs > limit {
+		fmt.Printf("FAIL: E12 mallocs regressed more than %.1fx\n", *factor)
+		os.Exit(1)
+	}
+	fmt.Println("OK: within the allocation budget")
+}

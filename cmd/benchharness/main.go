@@ -3,12 +3,15 @@
 //
 // Usage:
 //
-//	benchharness [-seed 2021] [-quick] [-only E3] [-workers 8] [-json BENCH_results.json]
+//	benchharness [-seed 2021] [-quick] [-only E3] [-workers 8] \
+//	             [-json BENCH_results.json] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // -quick shrinks the size sweeps for a fast smoke run; -only selects a
 // single experiment; -json additionally writes machine-readable
 // per-experiment wall/alloc results to the given file, which CI
-// uploads as the perf-trajectory artifact.
+// uploads as the perf-trajectory artifact. -cpuprofile and -memprofile
+// write pprof profiles covering the experiment runs (the `make
+// profile` target wires them to the E12 hot path).
 package main
 
 import (
@@ -18,8 +21,10 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
+	overlay "overlay"
 	"overlay/internal/benign"
 	"overlay/internal/expander"
 	"overlay/internal/experiments"
@@ -28,25 +33,35 @@ import (
 )
 
 // jsonResult is one experiment's cost record in the -json output.
+// MessagesTotal and MsgsPerSecond are set only for message-level rows
+// (E12, BuildTreeMessageLevel): they track engine throughput so the
+// perf trajectory is not just wall time.
 type jsonResult struct {
-	Name        string  `json:"name"`
-	WallSeconds float64 `json:"wall_seconds"`
-	Mallocs     uint64  `json:"mallocs"`
-	AllocBytes  uint64  `json:"alloc_bytes"`
+	Name          string  `json:"name"`
+	WallSeconds   float64 `json:"wall_seconds"`
+	Mallocs       uint64  `json:"mallocs"`
+	AllocBytes    uint64  `json:"alloc_bytes"`
+	MessagesTotal int64   `json:"messages_total,omitempty"`
+	MsgsPerSecond float64 `json:"msgs_per_second,omitempty"`
 }
 
 // jsonReport is the top-level -json document.
 type jsonReport struct {
-	Seed        uint64       `json:"seed"`
-	Quick       bool         `json:"quick"`
-	Workers     int          `json:"workers"`
-	GoMaxProcs  int          `json:"gomaxprocs"`
-	GeneratedAt string       `json:"generated_at"`
-	Results     []jsonResult `json:"results"`
+	Seed        uint64 `json:"seed"`
+	Quick       bool   `json:"quick"`
+	Workers     int    `json:"workers"`
+	GoMaxProcs  int    `json:"gomaxprocs"`
+	GeneratedAt string `json:"generated_at"`
+	// E12ScaleNs records the E12 sweep sizes so downstream consumers
+	// (cmd/benchguard) re-run the exact workload the file measured
+	// instead of hardcoding a copy that could drift.
+	E12ScaleNs []int        `json:"e12_scale_ns"`
+	Results    []jsonResult `json:"results"`
 	// GraphMicrobench records the graph-level fast-path operations at
-	// n = 64k (the Makefile bench targets measure the same ops via `go
-	// test -bench`), so the perf trajectory of the flat CSR layer is
-	// part of every BENCH_results.json.
+	// n = 64k plus a message-level BuildTree (the Makefile bench
+	// targets measure the same ops via `go test -bench`), so the perf
+	// trajectory of the flat CSR layer and the wire-format message
+	// plane is part of every BENCH_results.json.
 	GraphMicrobench []jsonResult `json:"graph_microbench,omitempty"`
 }
 
@@ -66,9 +81,20 @@ func measured(name string, fn func()) jsonResult {
 	}
 }
 
+// withThroughput fills the message-level throughput columns.
+func (r jsonResult) withThroughput(msgs int64) jsonResult {
+	r.MessagesTotal = msgs
+	if r.WallSeconds > 0 {
+		r.MsgsPerSecond = float64(msgs) / r.WallSeconds
+	}
+	return r
+}
+
 // graphMicrobench measures one Evolve, SpectralGap, and Simple on the
 // 64k benign ring at its full ∆ = 128 (the go-test SpectralGap_64k
-// bench uses a lighter ∆ = 16 graph, so its wall time is lower).
+// bench uses a lighter ∆ = 16 graph, so its wall time is lower), plus
+// one message-level BuildTree at n = 4096 with its wire-message
+// throughput.
 func graphMicrobench(workers int) ([]jsonResult, error) {
 	g := topology.Ring(1 << 16)
 	bp := benign.Defaults(g.N, g.MaxDegree())
@@ -77,23 +103,72 @@ func graphMicrobench(workers int) ([]jsonResult, error) {
 		return nil, err
 	}
 	p := expander.Params{Delta: bp.Delta, Ell: 16, Evolutions: 1, Workers: workers}
-	return []jsonResult{
+	out := []jsonResult{
 		measured("Evolve_64k", func() { expander.Evolve(m, p, rng.New(1)) }),
 		measured("SpectralGap_64k", func() { m.SpectralGapWorkers(64, rng.New(1), workers) }),
 		measured("Simple_64k", func() { m.Simple() }),
-	}, nil
+	}
+	line := overlay.NewGraph(4096)
+	for i := 0; i+1 < line.N; i++ {
+		line.AddEdge(i, i+1)
+	}
+	var build *overlay.BuildResult
+	res := measured("BuildTreeMessageLevel_4096", func() {
+		build, err = overlay.BuildTree(line, &overlay.Options{Seed: 1, MessageLevel: true, Workers: workers})
+	})
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, res.withThroughput(build.Stats.TotalMessages))
+	return out, nil
 }
 
 func main() {
 	log.SetFlags(0)
 	var (
-		seed     = flag.Uint64("seed", 2021, "experiment seed")
-		quick    = flag.Bool("quick", false, "shrink sweeps for a fast run")
-		only     = flag.String("only", "", "run a single experiment (e.g. E3)")
-		workers  = flag.Int("workers", 0, "worker pool for E12 and the graph-level fast path (0 = GOMAXPROCS)")
-		jsonPath = flag.String("json", "", "also write per-experiment wall/alloc results to this file (e.g. BENCH_results.json)")
+		seed       = flag.Uint64("seed", 2021, "experiment seed")
+		quick      = flag.Bool("quick", false, "shrink sweeps for a fast run")
+		only       = flag.String("only", "", "run a single experiment (e.g. E3)")
+		workers    = flag.Int("workers", 0, "worker pool for E12 and the graph-level fast path (0 = GOMAXPROCS)")
+		jsonPath   = flag.String("json", "", "also write per-experiment wall/alloc results to this file (e.g. BENCH_results.json)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile (after a final GC) to this file")
 	)
 	flag.Parse()
+	// run carries errors back here (rather than exiting in place) so
+	// the deferred profile writers flush even for a failing run — the
+	// run you most want to profile.
+	if err := run(*seed, *quick, *only, *workers, *jsonPath, *cpuProfile, *memProfile); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(seed uint64, quick bool, only string, workers int, jsonPath, cpuProfile, memProfile string) (err error) {
+	if cpuProfile != "" {
+		f, cerr := os.Create(cpuProfile)
+		if cerr != nil {
+			return fmt.Errorf("create %s: %w", cpuProfile, cerr)
+		}
+		defer f.Close()
+		if cerr := pprof.StartCPUProfile(f); cerr != nil {
+			return fmt.Errorf("start cpu profile: %w", cerr)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if memProfile != "" {
+		defer func() {
+			f, merr := os.Create(memProfile)
+			if merr != nil {
+				err = fmt.Errorf("create %s: %w", memProfile, merr)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if merr := pprof.WriteHeapProfile(f); merr != nil && err == nil {
+				err = fmt.Errorf("write heap profile: %w", merr)
+			}
+		}()
+	}
 
 	ns := []int{64, 256, 1024}
 	e3n, e4n := 512, 512
@@ -101,7 +176,7 @@ func main() {
 	misN, misDs := 400, []int{2, 4, 8, 16, 32}
 	spanNs := []int{128, 256, 512}
 	scaleNs := []int{4096, 16384, 65536}
-	if *quick {
+	if quick {
 		ns = []int{64, 256}
 		e3n, e4n = 128, 128
 		ccTotal, ccMs = 256, []int{16, 64}
@@ -110,68 +185,82 @@ func main() {
 		scaleNs = []int{1024, 4096}
 	}
 
+	// msgs is set by message-level runners (E12) so the harness can
+	// attach throughput to the measured row; zero means not message
+	// level.
+	var msgs int64
 	type runner struct {
 		name string
 		fn   func() (*experiments.Table, error)
 	}
 	runs := []runner{
-		{"E1", func() (*experiments.Table, error) { return experiments.E1RoundsVsN(ns, *seed) }},
-		{"E2", func() (*experiments.Table, error) { return experiments.E2Messages(ns, *seed) }},
-		{"E3", func() (*experiments.Table, error) { return experiments.E3Conductance(e3n, *seed) }},
-		{"E4", func() (*experiments.Table, error) { return experiments.E4TokenLoad(e4n, *seed) }},
-		{"E5", func() (*experiments.Table, error) { return experiments.E5TreeQuality(ns, *seed) }},
-		{"E6", func() (*experiments.Table, error) { return experiments.E6Baseline(ns, *seed) }},
-		{"E7", func() (*experiments.Table, error) { return experiments.E7CC(ccTotal, ccMs, *seed) }},
-		{"E8", func() (*experiments.Table, error) { return experiments.E8SpanningTree(ns, *seed) }},
-		{"E9", func() (*experiments.Table, error) { return experiments.E9Biconnectivity(*seed) }},
-		{"E10", func() (*experiments.Table, error) { return experiments.E10MIS(misN, misDs, *seed) }},
-		{"E11", func() (*experiments.Table, error) { return experiments.E11Spanner(spanNs, *seed) }},
-		{"E12", func() (*experiments.Table, error) { return experiments.E12ScaleSweep(scaleNs, *seed, *workers) }},
+		{"E1", func() (*experiments.Table, error) { return experiments.E1RoundsVsN(ns, seed) }},
+		{"E2", func() (*experiments.Table, error) { return experiments.E2Messages(ns, seed) }},
+		{"E3", func() (*experiments.Table, error) { return experiments.E3Conductance(e3n, seed) }},
+		{"E4", func() (*experiments.Table, error) { return experiments.E4TokenLoad(e4n, seed) }},
+		{"E5", func() (*experiments.Table, error) { return experiments.E5TreeQuality(ns, seed) }},
+		{"E6", func() (*experiments.Table, error) { return experiments.E6Baseline(ns, seed) }},
+		{"E7", func() (*experiments.Table, error) { return experiments.E7CC(ccTotal, ccMs, seed) }},
+		{"E8", func() (*experiments.Table, error) { return experiments.E8SpanningTree(ns, seed) }},
+		{"E9", func() (*experiments.Table, error) { return experiments.E9Biconnectivity(seed) }},
+		{"E10", func() (*experiments.Table, error) { return experiments.E10MIS(misN, misDs, seed) }},
+		{"E11", func() (*experiments.Table, error) { return experiments.E11Spanner(spanNs, seed) }},
+		{"E12", func() (*experiments.Table, error) {
+			t, m, err := experiments.E12ScaleSweepStats(scaleNs, seed, workers)
+			msgs = m
+			return t, err
+		}},
 		{"A1", func() (*experiments.Table, error) {
-			return experiments.AblationWalkLength(256, []int{2, 4, 8, 16, 32}, 5, *seed)
+			return experiments.AblationWalkLength(256, []int{2, 4, 8, 16, 32}, 5, seed)
 		}},
 		{"A2", func() (*experiments.Table, error) {
-			return experiments.AblationDelta(256, []int{2, 4, 8, 16}, 5, *seed)
+			return experiments.AblationDelta(256, []int{2, 4, 8, 16}, 5, seed)
 		}},
 	}
 
 	report := jsonReport{
-		Seed:        *seed,
-		Quick:       *quick,
-		Workers:     *workers,
+		Seed:        seed,
+		Quick:       quick,
+		Workers:     workers,
 		GoMaxProcs:  runtime.GOMAXPROCS(0),
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		E12ScaleNs:  scaleNs,
 	}
 	for _, r := range runs {
-		if *only != "" && r.name != *only {
+		if only != "" && r.name != only {
 			continue
 		}
 		var tab *experiments.Table
-		var err error
-		res := measured(r.name, func() { tab, err = r.fn() })
-		if err != nil {
-			log.Fatalf("%s failed: %v", r.name, err)
+		msgs = 0
+		var ferr error
+		res := measured(r.name, func() { tab, ferr = r.fn() })
+		if ferr != nil {
+			return fmt.Errorf("%s failed: %w", r.name, ferr)
+		}
+		if msgs > 0 {
+			res = res.withThroughput(msgs)
 		}
 		fmt.Printf("%s(%.1fs)\n\n", tab, res.WallSeconds)
 		report.Results = append(report.Results, res)
 	}
 
-	if *jsonPath != "" {
-		if *only == "" {
-			micro, err := graphMicrobench(*workers)
-			if err != nil {
-				log.Fatalf("graph microbench failed: %v", err)
+	if jsonPath != "" {
+		if only == "" {
+			micro, merr := graphMicrobench(workers)
+			if merr != nil {
+				return fmt.Errorf("graph microbench failed: %w", merr)
 			}
 			report.GraphMicrobench = micro
 		}
-		buf, err := json.MarshalIndent(&report, "", "  ")
-		if err != nil {
-			log.Fatalf("marshal %s: %v", *jsonPath, err)
+		buf, merr := json.MarshalIndent(&report, "", "  ")
+		if merr != nil {
+			return fmt.Errorf("marshal %s: %w", jsonPath, merr)
 		}
 		buf = append(buf, '\n')
-		if err := os.WriteFile(*jsonPath, buf, 0o644); err != nil {
-			log.Fatalf("write %s: %v", *jsonPath, err)
+		if werr := os.WriteFile(jsonPath, buf, 0o644); werr != nil {
+			return fmt.Errorf("write %s: %w", jsonPath, werr)
 		}
-		log.Printf("wrote %s (%d experiments)", *jsonPath, len(report.Results))
+		log.Printf("wrote %s (%d experiments)", jsonPath, len(report.Results))
 	}
+	return nil
 }

@@ -21,16 +21,36 @@ import (
 // The protocol sends only unit messages (a token is one identifier
 // plus a hop counter, a reply is one identifier), so the engine's
 // capacity accounting measures exactly the quantities of Theorem 1.1
-// and Lemma 3.2.
+// and Lemma 3.2. Both message types are single sim.Wire values
+// dispatched on Wire.Kind; forwarding a token re-sends the received
+// wire verbatim, so a walk round moves plain 48-byte values with no
+// boxing anywhere.
+
+// Wire kinds of the CreateExpander protocol.
+const (
+	kindToken uint16 = 1 + iota
+	kindReply
+)
 
 // tokenMsg is a random-walk token: the origin's identifier.
 type tokenMsg struct {
 	origin ids.ID
 }
 
+func (m tokenMsg) Encode(w *sim.Wire) {
+	w.Kind = kindToken
+	w.W[0] = uint64(m.origin)
+}
+
+func (m *tokenMsg) Decode(w sim.Wire) { m.origin = ids.ID(w.W[0]) }
+
 // replyMsg is the acceptance reply carrying the endpoint's identifier
 // implicitly as the sender.
 type replyMsg struct{}
+
+func (replyMsg) Encode(w *sim.Wire) { w.Kind = kindReply }
+
+func (*replyMsg) Decode(sim.Wire) {}
 
 // Protocol runs CreateExpander as a sim.Node. Construct the node set
 // with NewProtocolNodes, run the engine, then read the result with
@@ -48,9 +68,9 @@ type Protocol struct {
 	maxTokenLoad int
 	dropped      int
 
-	// tokenPayload is this node's walk token pre-boxed as an interface
-	// so emitting ∆/8 tokens per evolution costs no allocations.
-	tokenPayload any
+	// tokScratch collects arrived token origins in acceptance rounds;
+	// reused across evolutions so acceptance costs no allocation.
+	tokScratch []ids.ID
 }
 
 var _ sim.Node = (*Protocol)(nil)
@@ -80,12 +100,21 @@ func BuildEngine(m *graphx.Multi, p Params, cfg sim.Config) (*sim.Engine, []*Pro
 	}
 	eng := sim.New(cfg, nodes)
 	idOf := eng.IDs()
+	// Slot lists live in two flat arenas (current and next generation),
+	// one capacity-capped chunk of ∆ identifiers per node: a node's
+	// cross edges never exceed ∆/2 and padding stops at ∆, so the
+	// buffers are swapped between evolutions and no append ever
+	// reallocates. Footprint matches the multigraph itself.
+	slotArena := make([]ids.ID, m.N*p.Delta)
+	nextArena := make([]ids.ID, m.N*p.Delta)
 	for i, proto := range protos {
 		slots := m.SlotsOf(i)
-		proto.slots = make([]ids.ID, len(slots))
-		for k, v := range slots {
-			proto.slots[k] = idOf[v]
+		buf := slotArena[i*p.Delta : i*p.Delta : (i+1)*p.Delta]
+		for _, v := range slots {
+			buf = append(buf, idOf[v])
 		}
+		proto.slots = buf
+		proto.nextEdges = nextArena[i*p.Delta : i*p.Delta : (i+1)*p.Delta]
 	}
 	return eng, protos
 }
@@ -105,12 +134,11 @@ func (p *Protocol) Slots() []ids.ID { return p.slots }
 
 // Init emits the first evolution's tokens.
 func (p *Protocol) Init(ctx *sim.Ctx) {
-	p.tokenPayload = tokenMsg{origin: ctx.ID}
 	p.emitTokens(ctx)
 }
 
 // Round advances the evolution state machine.
-func (p *Protocol) Round(ctx *sim.Ctx, inbox []sim.Message) {
+func (p *Protocol) Round(ctx *sim.Ctx, inbox []sim.Wire) {
 	if p.done {
 		return
 	}
@@ -119,12 +147,12 @@ func (p *Protocol) Round(ctx *sim.Ctx, inbox []sim.Message) {
 	switch {
 	case p.offset < ell:
 		// Forward every token one more uniform step, re-sending the
-		// received payload as-is to avoid re-boxing it.
+		// received wire verbatim (SendWire restamps From).
 		load := 0
-		for _, m := range inbox {
-			if _, ok := m.Payload.(tokenMsg); ok {
+		for _, w := range inbox {
+			if w.Kind == kindToken {
 				load++
-				ctx.Send(p.slots[ctx.Rand.Intn(len(p.slots))], m.Payload)
+				ctx.SendWire(p.slots[ctx.Rand.Intn(len(p.slots))], w)
 			}
 		}
 		if load > p.maxTokenLoad {
@@ -133,41 +161,42 @@ func (p *Protocol) Round(ctx *sim.Ctx, inbox []sim.Message) {
 	case p.offset == ell:
 		// Acceptance: keep at most 3∆/8 arrived tokens, reply to each
 		// origin, and install the endpoint side of the edge.
-		tokens := make([]tokenMsg, 0, len(inbox))
-		for _, m := range inbox {
-			if tok, ok := m.Payload.(tokenMsg); ok {
-				tokens = append(tokens, tok)
+		if p.tokScratch == nil {
+			p.tokScratch = make([]ids.ID, 0, p.params.Delta)
+		}
+		tokens := p.tokScratch[:0]
+		for _, w := range inbox {
+			if w.Kind == kindToken {
+				var tok tokenMsg
+				tok.Decode(w)
+				tokens = append(tokens, tok.origin)
 			}
 		}
 		if len(tokens) > p.maxTokenLoad {
 			p.maxTokenLoad = len(tokens)
 		}
+		p.tokScratch = tokens[:0]
 		acceptCap := 3 * p.params.Delta / 8
 		if len(tokens) > acceptCap {
 			picked := ctx.Rand.SampleWithoutReplacement(len(tokens), acceptCap)
 			p.dropped += len(tokens) - acceptCap
-			sel := make([]tokenMsg, 0, acceptCap)
 			for _, i := range picked {
-				sel = append(sel, tokens[i])
+				p.accept(ctx, tokens[i])
 			}
-			tokens = sel
-		}
-		for _, tok := range tokens {
-			if tok.origin == ctx.ID {
-				continue // a walk that returned home creates no edge
+		} else {
+			for _, origin := range tokens {
+				p.accept(ctx, origin)
 			}
-			p.nextEdges = append(p.nextEdges, tok.origin)
-			ctx.Send(tok.origin, replyMsg{})
 		}
 	case p.offset == ell+1:
-		// Replies complete the origin side; rebuild slots for G_{i+1}.
-		for _, m := range inbox {
-			if _, ok := m.Payload.(replyMsg); ok {
-				p.nextEdges = append(p.nextEdges, m.From)
+		// Replies complete the origin side; swap the generation buffers
+		// and pad to ∆ for G_{i+1} (both stay within their arena caps).
+		for _, w := range inbox {
+			if w.Kind == kindReply {
+				p.nextEdges = append(p.nextEdges, w.From)
 			}
 		}
-		p.slots = p.nextEdges
-		p.nextEdges = nil
+		p.slots, p.nextEdges = p.nextEdges, p.slots[:0]
 		for len(p.slots) < p.params.Delta {
 			p.slots = append(p.slots, ctx.ID)
 		}
@@ -181,10 +210,23 @@ func (p *Protocol) Round(ctx *sim.Ctx, inbox []sim.Message) {
 	}
 }
 
-// emitTokens starts ∆/8 fresh walks (first hop happens immediately).
+// accept installs the endpoint side of a walk edge and replies to the
+// origin.
+func (p *Protocol) accept(ctx *sim.Ctx, origin ids.ID) {
+	if origin == ctx.ID {
+		return // a walk that returned home creates no edge
+	}
+	p.nextEdges = append(p.nextEdges, origin)
+	sim.Send(ctx, origin, replyMsg{})
+}
+
+// emitTokens starts ∆/8 fresh walks (first hop happens immediately),
+// encoding this node's token once for the batch.
 func (p *Protocol) emitTokens(ctx *sim.Ctx) {
+	var w sim.Wire
+	tokenMsg{origin: ctx.ID}.Encode(&w)
 	for k := 0; k < p.params.Delta/8; k++ {
-		ctx.Send(p.slots[ctx.Rand.Intn(len(p.slots))], p.tokenPayload)
+		ctx.SendWire(p.slots[ctx.Rand.Intn(len(p.slots))], w)
 	}
 }
 

@@ -1,0 +1,63 @@
+package expander
+
+import (
+	"testing"
+
+	"overlay/internal/ids"
+	"overlay/internal/rng"
+	"overlay/internal/sim"
+)
+
+// TestTokenRoundTripProperty drives the walk-token and reply payloads
+// through encode/decode with rng-random origins.
+func TestTokenRoundTripProperty(t *testing.T) {
+	src := rng.New(0x70c)
+	for i := 0; i < 2000; i++ {
+		in := tokenMsg{origin: ids.ID(src.Uint64())}
+		var w sim.Wire
+		in.Encode(&w)
+		var out tokenMsg
+		out.Decode(w)
+		if out != in {
+			t.Fatalf("tokenMsg: %+v != %+v", out, in)
+		}
+		var w2 sim.Wire
+		out.Encode(&w2)
+		if w != w2 {
+			t.Fatalf("tokenMsg re-encode not word-identical: %+v vs %+v", w, w2)
+		}
+	}
+	var w sim.Wire
+	replyMsg{}.Encode(&w)
+	var r replyMsg
+	r.Decode(w)
+	var w2 sim.Wire
+	r.Encode(&w2)
+	if w != w2 {
+		t.Fatal("replyMsg round trip not word-identical")
+	}
+	if w.Kind == 0 || w.Kind == sim.KindAny {
+		t.Errorf("replyMsg uses reserved kind %d", w.Kind)
+	}
+	var tw sim.Wire
+	tokenMsg{}.Encode(&tw)
+	if tw.Kind == w.Kind {
+		t.Error("tokenMsg and replyMsg share a kind")
+	}
+}
+
+// FuzzTokenRoundTrip fuzzes the walk token across arbitrary origins.
+func FuzzTokenRoundTrip(f *testing.F) {
+	f.Add(uint64(0))
+	f.Add(^uint64(0))
+	f.Fuzz(func(t *testing.T, origin uint64) {
+		in := tokenMsg{origin: ids.ID(origin)}
+		var w sim.Wire
+		in.Encode(&w)
+		var out tokenMsg
+		out.Decode(w)
+		if out != in {
+			t.Fatalf("tokenMsg: %+v != %+v", out, in)
+		}
+	})
+}

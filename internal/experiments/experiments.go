@@ -530,11 +530,21 @@ func E11Spanner(ns []int, seed uint64) (*Table, error) {
 // message-level engines and the graph-level oracles (Simple,
 // connectivity, diameter bound, tree extraction) sitting between them.
 func E12ScaleSweep(ns []int, seed uint64, workers int) (*Table, error) {
+	t, _, err := E12ScaleSweepStats(ns, seed, workers)
+	return t, err
+}
+
+// E12ScaleSweepStats is E12ScaleSweep returning also the total number
+// of individually simulated wire messages across the sweep, so bench
+// harnesses can report engine throughput (messages per second) next to
+// wall time.
+func E12ScaleSweepStats(ns []int, seed uint64, workers int) (*Table, int64, error) {
 	t := &Table{
 		Name:   "E12",
 		Claim:  "engine scales message-level builds to 100k-node inputs",
 		Header: []string{"n", "rounds", "rounds/log2n", "peak/round", "total msgs", "allocs", "wall (s)", "engine (s)", "oracle (s)"},
 	}
+	var msgs int64
 	for _, n := range ns {
 		g := topology.Line(n)
 		var before, after runtime.MemStats
@@ -544,8 +554,9 @@ func E12ScaleSweep(ns []int, seed uint64, workers int) (*Table, error) {
 		wall := time.Since(start)
 		runtime.ReadMemStats(&after)
 		if err != nil {
-			return nil, fmt.Errorf("E12 n=%d: %w", n, err)
+			return nil, 0, fmt.Errorf("E12 n=%d: %w", n, err)
 		}
+		msgs += res.TotalMsgs
 		t.Rows = append(t.Rows, []string{
 			itoa(n), itoa(res.Rounds),
 			fmt.Sprintf("%.1f", float64(res.Rounds)/float64(sim.LogBound(n))),
@@ -556,7 +567,7 @@ func E12ScaleSweep(ns []int, seed uint64, workers int) (*Table, error) {
 			fmt.Sprintf("%.2f", res.OracleWall.Seconds()),
 		})
 	}
-	return t, nil
+	return t, msgs, nil
 }
 
 func itoa(v int) string { return fmt.Sprintf("%d", v) }

@@ -2,6 +2,7 @@ package graphx
 
 import (
 	"math"
+	"sync"
 
 	"overlay/internal/par"
 	"overlay/internal/rng"
@@ -28,41 +29,50 @@ import (
 // order, so the floating-point rounding schedule — and hence the
 // result — is bit-identical at every worker count.
 
-// walkStep applies the lazy random-walk matrix P = (I + D⁻¹A)/2 of the
-// multigraph to x, writing into y. Self-loop slots are part of A, so
-// graphs that are already lazy are slowed by at most another factor 2,
-// which only rescales the gap.
-//
-// The update is written in gather form, relying on the cross-edge
-// symmetry invariant (u appears in v's slots exactly as often as v in
-// u's): y[v] = x[v]/2 + Σ_{w ∈ slots(v)} x[w]/(2·deg(w)). Each y[v]
-// touches only v's contiguous slot row, so range partitioning races on
-// nothing and the per-coordinate accumulation order is fixed. xs is
-// scratch for the pre-scaled vector x[w]/(2·deg(w)), computed once so
-// the gather's random-index reads touch a single array.
-//
-// The walk is fused with the Rayleigh quotient <x, Px>_π (P is
-// self-adjoint under π), accumulated blockwise into sums and returned,
-// saving callers a separate reduction sweep over three arrays.
-func (m *Multi) walkStep(x, y, xs, pi, sums []float64, workers int) float64 {
-	flat, stride := m.FlatSlots()
-	return par.BlockSum(workers, m.N, sums, func(lo, hi int) float64 {
-		t := 0.0
-		for v := lo; v < hi; v++ {
-			d := int(m.deg[v])
-			yv := x[v]
-			if d > 0 {
-				sum := 0.0
-				for _, w := range flat[v*stride : v*stride+d] {
-					sum += xs[w]
-				}
-				yv = x[v]/2 + sum
-			}
-			y[v] = yv
-			t += pi[v] * x[v] * yv
-		}
-		return t
-	})
+// eigenScratch holds the power iteration's per-restart work vectors —
+// stationary distribution, inverse-degree weights, the iterate and its
+// image, the pre-scaled gather vector, and the fixed-block reduction
+// sums — pooled so repeated spectral measurements (E3 runs two per
+// evolution; the E12 stats run one per build) reuse a single set
+// instead of allocating six n-vectors each restart. Every slot is
+// fully overwritten before it is read, so pooling cannot leak state
+// between runs or perturb the deterministic rounding schedule.
+type eigenScratch struct {
+	pi, invTwoDeg, x, y, xs, sums []float64
+}
+
+var eigenPool sync.Pool
+
+// getEigenScratch returns a scratch sized for n nodes.
+func getEigenScratch(n int) *eigenScratch {
+	sc, _ := eigenPool.Get().(*eigenScratch)
+	if sc == nil {
+		sc = &eigenScratch{}
+	}
+	if cap(sc.pi) < n {
+		sc.pi = make([]float64, n)
+		sc.invTwoDeg = make([]float64, n)
+		sc.x = make([]float64, n)
+		sc.y = make([]float64, n)
+		sc.xs = make([]float64, n)
+	}
+	sc.pi = sc.pi[:n]
+	sc.invTwoDeg = sc.invTwoDeg[:n]
+	sc.x = sc.x[:n]
+	sc.y = sc.y[:n]
+	sc.xs = sc.xs[:n]
+	if nb := par.Blocks(n); cap(sc.sums) < nb {
+		sc.sums = make([]float64, nb)
+	} else {
+		sc.sums = sc.sums[:par.Blocks(n)]
+	}
+	return sc
+}
+
+func putEigenScratch(sc *eigenScratch) {
+	if sc != nil {
+		eigenPool.Put(sc)
+	}
 }
 
 // SpectralGap estimates 1-λ₂ of the lazy walk matrix by power iteration
@@ -79,83 +89,153 @@ func (m *Multi) SpectralGap(iters int, src *rng.Source) float64 {
 // (<= 0 means GOMAXPROCS). The result is bit-identical across worker
 // counts.
 func (m *Multi) SpectralGapWorkers(iters int, src *rng.Source, workers int) float64 {
-	lambda2, _ := m.secondEigen(iters, src, workers)
+	lambda2, _, sc := m.secondEigen(iters, src, workers)
+	putEigenScratch(sc)
 	return 1 - lambda2
 }
 
-// secondEigen returns (λ₂ estimate, eigenvector estimate).
-func (m *Multi) secondEigen(iters int, src *rng.Source, workers int) (float64, []float64) {
+// secondEigen returns (λ₂ estimate, eigenvector estimate, scratch).
+// The eigenvector aliases the returned scratch; the caller must be
+// done with it before putEigenScratch.
+//
+// The walk update is written in gather form, relying on the cross-edge
+// symmetry invariant (u appears in v's slots exactly as often as v in
+// u's): y[v] = x[v]/2 + Σ_{w ∈ slots(v)} x[w]/(2·deg(w)). Each y[v]
+// touches only v's contiguous slot row, so range partitioning races on
+// nothing and the per-coordinate accumulation order is fixed; xs holds
+// the pre-scaled vector x[w]/(2·deg(w)) so the gather's random-index
+// reads touch a single array, and the walk is fused with the Rayleigh
+// quotient <x, Px>_π (P is self-adjoint under π). All worker closures
+// are built once per restart, before the iteration loop, reading the
+// per-iteration scalars through a shared state struct — the loop body
+// itself allocates nothing.
+func (m *Multi) secondEigen(iters int, src *rng.Source, workers int) (float64, []float64, *eigenScratch) {
 	n := m.N
 	if n < 2 {
-		return 0, make([]float64, n)
+		return 0, make([]float64, n), nil
 	}
 	workers = par.Workers(workers)
-	// Stationary distribution of the reversible chain: π ∝ degree, and
-	// the inverse-degree weights the gather-form mat-vec reads.
-	pi := make([]float64, n)
-	invTwoDeg := make([]float64, n)
-	sums := make([]float64, par.Blocks(n))
-	total := par.BlockSum(workers, n, sums, func(lo, hi int) float64 {
-		t := 0.0
-		for u := lo; u < hi; u++ {
-			d := float64(m.deg[u])
-			if d == 0 {
-				d = 1
-			}
-			pi[u] = d
-			invTwoDeg[u] = 1 / (2 * d)
-			t += d
+	sc := getEigenScratch(n)
+	pi, invTwoDeg, xs, sums := sc.pi, sc.invTwoDeg, sc.xs, sc.sums
+	flat, stride := m.FlatSlots()
+	deg := m.deg
+
+	// Per-iteration state the hoisted closures read and write: the
+	// deflation projection, the normalization factor, the iterate pair
+	// (swapped each step), and the blockwise partial accumulator.
+	st := struct {
+		dot, inv float64
+		x, y     []float64
+	}{x: sc.x, y: sc.y}
+	blockAt := func(b int) (int, int) {
+		lo := b * par.RedBlock
+		hi := lo + par.RedBlock
+		if hi > n {
+			hi = n
 		}
-		return t
-	})
-	par.For(workers, n, func(lo, hi int) {
-		for u := lo; u < hi; u++ {
-			pi[u] /= total
-		}
-	})
-	x := make([]float64, n)
-	for u := range x {
-		x[u] = src.Float64() - 0.5
+		return lo, hi
 	}
-	y := make([]float64, n)
-	xs := make([]float64, n)
-	lambda := 0.0
-	for it := 0; it < iters; it++ {
-		// Deflate the top eigenvector (all-ones in the π inner product).
-		dot := par.BlockSum(workers, n, sums, func(lo, hi int) float64 {
+	piBlocks := func(blo, bhi int) {
+		for b := blo; b < bhi; b++ {
+			lo, hi := blockAt(b)
+			t := 0.0
+			for u := lo; u < hi; u++ {
+				d := float64(deg[u])
+				if d == 0 {
+					d = 1
+				}
+				pi[u] = d
+				invTwoDeg[u] = 1 / (2 * d)
+				t += d
+			}
+			sums[b] = t
+		}
+	}
+	dotBlocks := func(blo, bhi int) {
+		x := st.x
+		for b := blo; b < bhi; b++ {
+			lo, hi := blockAt(b)
 			t := 0.0
 			for u := lo; u < hi; u++ {
 				t += pi[u] * x[u]
 			}
-			return t
-		})
-		// Fused pass: subtract the projection and accumulate the π-norm
-		// of the deflated vector.
-		norm := math.Sqrt(par.BlockSum(workers, n, sums, func(lo, hi int) float64 {
+			sums[b] = t
+		}
+	}
+	// Fused: subtract the projection, accumulate the π-norm.
+	deflateBlocks := func(blo, bhi int) {
+		x, dot := st.x, st.dot
+		for b := blo; b < bhi; b++ {
+			lo, hi := blockAt(b)
 			t := 0.0
 			for u := lo; u < hi; u++ {
 				xu := x[u] - dot
 				x[u] = xu
 				t += pi[u] * xu * xu
 			}
-			return t
-		}))
+			sums[b] = t
+		}
+	}
+	// Fused: normalize x and pre-scale it for the gather.
+	scaleRange := func(lo, hi int) {
+		x, inv := st.x, st.inv
+		for u := lo; u < hi; u++ {
+			xu := x[u] * inv
+			x[u] = xu
+			xs[u] = xu * invTwoDeg[u]
+		}
+	}
+	// Fused: apply the lazy walk matrix and accumulate <x, Px>_π.
+	// Self-loop slots are part of A, so graphs that are already lazy
+	// are slowed by at most another factor 2, which only rescales the
+	// gap.
+	walkBlocks := func(blo, bhi int) {
+		x, y := st.x, st.y
+		for b := blo; b < bhi; b++ {
+			lo, hi := blockAt(b)
+			t := 0.0
+			for v := lo; v < hi; v++ {
+				d := int(deg[v])
+				yv := x[v]
+				if d > 0 {
+					sum := 0.0
+					for _, w := range flat[v*stride : v*stride+d] {
+						sum += xs[w]
+					}
+					yv = x[v]/2 + sum
+				}
+				y[v] = yv
+				t += pi[v] * x[v] * yv
+			}
+			sums[b] = t
+		}
+	}
+
+	// Stationary distribution of the reversible chain: π ∝ degree, and
+	// the inverse-degree weights the gather-form mat-vec reads.
+	total := par.SumBlocks(workers, sums, piBlocks)
+	par.For(workers, n, func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			pi[u] /= total
+		}
+	})
+	for u := range st.x {
+		st.x[u] = src.Float64() - 0.5
+	}
+	lambda := 0.0
+	for it := 0; it < iters; it++ {
+		// Deflate the top eigenvector (all-ones in the π inner product).
+		st.dot = par.SumBlocks(workers, sums, dotBlocks)
+		norm := math.Sqrt(par.SumBlocks(workers, sums, deflateBlocks))
 		if norm < 1e-300 {
 			// x collapsed into the top eigenspace; the chain mixes in
 			// one step as far as this start vector can tell.
-			return 0, x
+			return 0, st.x, sc
 		}
-		// Fused pass: normalize x and pre-scale it for the gather.
-		inv := 1 / norm
-		par.For(workers, n, func(lo, hi int) {
-			for u := lo; u < hi; u++ {
-				xu := x[u] * inv
-				x[u] = xu
-				xs[u] = xu * invTwoDeg[u]
-			}
-		})
-		lambda = m.walkStep(x, y, xs, pi, sums, workers)
-		x, y = y, x
+		st.inv = 1 / norm
+		par.For(workers, n, scaleRange)
+		lambda = par.SumBlocks(workers, sums, walkBlocks)
+		st.x, st.y = st.y, st.x
 	}
 	if lambda < 0 {
 		lambda = 0
@@ -163,7 +243,7 @@ func (m *Multi) secondEigen(iters int, src *rng.Source, workers int) (float64, [
 	if lambda > 1 {
 		lambda = 1
 	}
-	return lambda, x
+	return lambda, st.x, sc
 }
 
 // SweepConductance upper-bounds the conductance by sweeping prefixes of
@@ -175,13 +255,14 @@ func (m *Multi) SweepConductance(delta, iters int, src *rng.Source) float64 {
 	if n < 2 {
 		return 1
 	}
-	_, vec := m.secondEigen(iters, src, 0)
+	_, vec, sc := m.secondEigen(iters, src, 0)
 	order := make([]int, n)
 	for i := range order {
 		order[i] = i
 	}
 	// Sort by eigenvector coordinate (insertion-free: simple sort).
 	sortByKey(order, vec)
+	putEigenScratch(sc) // vec (which aliases sc) is consumed by the sort
 
 	inSet := make([]bool, n)
 	cut := 0

@@ -26,9 +26,38 @@ func Workers(w int) int {
 // For runs fn over a partition of [0, n) into at most `workers`
 // contiguous chunks. With workers <= 1 (or trivial n) it runs inline
 // on the calling goroutine. fn must be safe to call concurrently on
-// disjoint ranges.
+// disjoint ranges. Implemented directly rather than via ForChunk so a
+// call allocates no adapter closure — hot iterative callers (the
+// spectral power iteration) invoke it hundreds of times per result.
 func For(workers, n int, fn func(lo, hi int)) {
-	ForChunk(workers, n, func(_, lo, hi int) { fn(lo, hi) })
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		if n > 0 {
+			fn(0, n)
+		}
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for s := 0; s < workers; s++ {
+		lo := s * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
 }
 
 // ForChunk is For with the chunk index exposed: fn(chunk, lo, hi) may
@@ -77,10 +106,12 @@ func Blocks(n int) int { return (n + RedBlock - 1) / RedBlock }
 // BlockSum runs partial(lo, hi) for every RedBlock-aligned block of
 // [0, n) across the pool, storing results in sums (len >= Blocks(n)),
 // and returns their in-order total. partial must itself accumulate
-// sequentially within the block.
+// sequentially within the block. It is SumBlocks with the block loop
+// built for the caller, at the cost of one closure per call; hot
+// iterative callers should pre-build the worker and use SumBlocks.
 func BlockSum(workers, n int, sums []float64, partial func(lo, hi int) float64) float64 {
-	nb := Blocks(n)
-	For(workers, nb, func(blo, bhi int) {
+	sums = sums[:Blocks(n)]
+	return SumBlocks(workers, sums, func(blo, bhi int) {
 		for b := blo; b < bhi; b++ {
 			lo := b * RedBlock
 			hi := lo + RedBlock
@@ -90,8 +121,18 @@ func BlockSum(workers, n int, sums []float64, partial func(lo, hi int) float64) 
 			sums[b] = partial(lo, hi)
 		}
 	})
+}
+
+// SumBlocks is BlockSum for callers that pre-build the block worker:
+// fn(blo, bhi) must fill sums[b] for every b in [blo, bhi), and the
+// in-order total of sums is returned. Because fn is created once by
+// the caller and passed through unchanged, an inline (workers <= 1)
+// call allocates nothing — the shape BlockSum cannot offer since it
+// must wrap partial in a fresh block-loop closure per call.
+func SumBlocks(workers int, sums []float64, fn func(blo, bhi int)) float64 {
+	For(workers, len(sums), fn)
 	total := 0.0
-	for b := 0; b < nb; b++ {
+	for b := range sums {
 		total += sums[b]
 	}
 	return total

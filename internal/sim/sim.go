@@ -8,13 +8,23 @@
 // forwarding identifiers; the engine routes purely by identifier, so
 // "knowing" is exactly possessing the ID, as in the paper.
 //
+// Messages are fixed-width Wire values — the paper's O(log n)-bit
+// messages are a constant number of machine words, and the engine
+// represents them as exactly that ({From, Kind, Units, W [4]uint64}),
+// never as boxed interface objects. Protocol payloads implement
+// Encode(*Wire)/Decode(Wire); receivers dispatch on Wire.Kind. The
+// deprecated SendAny/Ctx.Any shim still routes arbitrary boxed
+// payloads (and serves as the escape hatch for the rare payload wider
+// than four words) through a pointer-bearing side column.
+//
 // The NCC0 capacity restriction is enforced mechanically: messages are
 // unit-counted (an O(log n)-bit message carrying a constant number of
-// identifiers is one unit), a node may send at most SendCap units and
-// receive at most RecvCap units per round, and excess received messages
-// are dropped as "an arbitrary subset" — here a uniformly random subset
-// chosen by the receiver's private stream, which keeps runs
-// reproducible while not favoring any protocol ordering.
+// identifiers is one unit; Wire.Units sizes ℓ-identifier walk tokens),
+// a node may send at most SendCap units and receive at most RecvCap
+// units per round, and excess received messages are dropped as "an
+// arbitrary subset" — here a uniformly random subset chosen by the
+// receiver's private stream, which keeps runs reproducible while not
+// favoring any protocol ordering.
 //
 // Determinism: every node owns a private rng stream split from the run
 // seed; node handlers run concurrently across a worker pool but observe
@@ -24,15 +34,19 @@
 // the order a sequential merge would produce and a run is a pure
 // function of (protocol, seed) regardless of Sequential or Workers.
 //
-// Scale: the engine is built for 100k+-node message-level runs. Inbox
-// and outbox buffers are pooled on the engine and reused every round
-// (amortized zero allocation per round), identifier routing is a
-// binary search over a sorted index rather than a hash map, and an
-// active-set scheduler skips nodes that have halted, so a mostly-halted
-// network costs only its live fraction per round. Consequently a node's
-// inbox slice is only valid for the duration of its Round call, and a
-// halted node's Round is invoked again only when a message arrives for
-// it (a halted node with an empty inbox is not ticked).
+// Scale: the engine is built for 100k+-node message-level runs.
+// Outboxes are columnar (a flat []Wire per sender with a parallel
+// destination column) and each delivery shard scatters into one flat
+// []Wire arena indexed by per-destination offset/count arrays
+// (CSR-style), so a round performs zero per-message allocations and
+// delivery is a cache-linear scan instead of pointer chasing.
+// Identifier routing is a binary search over a sorted index rather
+// than a hash map, and an active-set scheduler skips nodes that have
+// halted, so a mostly-halted network costs only its live fraction per
+// round. Consequently a node's inbox slice is only valid for the
+// duration of its Round call, and a halted node's Round is invoked
+// again only when a message arrives for it (a halted node with an
+// empty inbox is not ticked).
 package sim
 
 import (
@@ -47,20 +61,10 @@ import (
 	"overlay/internal/rng"
 )
 
-// Message is a delivered message. From is the sender's identifier
-// (self-identification is part of the payload contract in the paper:
-// messages are O(log n) bits and can carry a constant number of
-// identifiers, one of which is conventionally the sender's).
-type Message struct {
-	From    ids.ID
-	Payload any
-}
-
-// Sized lets a payload declare its size in message units (one unit =
-// one O(log n)-bit message). Payloads that do not implement Sized count
-// as one unit. The spanning-tree construction (Theorem 1.3) sends
-// walk-annotated tokens of O(ℓ) identifiers; those count ℓ units,
-// matching the paper's "submessages" accounting.
+// Sized lets a SendAny payload declare its size in message units (one
+// unit = one O(log n)-bit message). Payloads that do not implement
+// Sized count as one unit. Wire-native payloads declare multi-unit
+// sizes directly on Wire.Units in their Encode.
 type Sized interface {
 	MsgUnits() int
 }
@@ -70,9 +74,9 @@ type Node interface {
 	// Init runs once before the first round.
 	Init(ctx *Ctx)
 	// Round runs every round with the messages delivered this round.
-	// The inbox slice is owned by the engine and reused; it must not be
-	// retained after Round returns.
-	Round(ctx *Ctx, inbox []Message)
+	// The inbox slice aliases the engine's delivery arena and is
+	// reused; it must not be retained after Round returns.
+	Round(ctx *Ctx, inbox []Wire)
 }
 
 // Halter is an optional Node extension: when every node reports Halted,
@@ -129,10 +133,13 @@ type Engine struct {
 	routeIDs []ids.ID // sorted
 	routeIdx []int32  // routeIdx[k] owns routeIDs[k]
 
-	// Pooled per-destination delivery buffers, reused across rounds.
-	inboxes   [][]Message
-	inUnits   [][]int32 // per-message units, maintained only when RecvCap > 0
-	recvUnits []int     // per-destination unit total for the round (scratch)
+	// Columnar inbox index: node i's inbox is the slice
+	// arena[inOff[i] : inOff[i]+inCnt[i]] of its delivery shard's
+	// arena. inPos is the scatter cursor. Destinations a shard did not
+	// touch keep a stale inOff but an inCnt of zero, reset from the
+	// shard's previous touched list, so per-round work is proportional
+	// to traffic, not to N.
+	inOff, inCnt, inPos []int32
 
 	// Active-set scheduler state. active lists non-halted nodes in
 	// ascending index order; runList is the merge of active with halted
@@ -141,11 +148,19 @@ type Engine struct {
 	runList []int32
 	scratch []int32 // swap space for rebuilding active/runList
 
-	shards []shardState
+	// shards own disjoint contiguous destination ranges of shardSize
+	// indices each: node i's inbox lives in shards[i/shardSize].
+	shards    []shardState
+	shardSize int
 
 	// sendPerm is the scratch permutation for send-cap sampling; the
 	// sender pass is sequential, so one buffer serves every node.
 	sendPerm []int
+
+	// hasAny is set (sticky, in the sequential sender pass) once any
+	// node has used the SendAny shim; only then do delivery shards
+	// maintain the boxed side columns.
+	hasAny bool
 
 	metrics Metrics
 	round   int
@@ -154,9 +169,11 @@ type Engine struct {
 
 // shardState is one delivery worker's private accumulator. Shards own
 // disjoint contiguous destination ranges, so they never contend. The
-// tail padding rounds the struct to 128 bytes (two cache lines) so
-// neighbouring shards' hot fields never share a line.
+// tail padding keeps neighbouring shards' hot fields off a shared
+// cache line.
 type shardState struct {
+	arena   []Wire  // flat inbox storage for the shard's destinations
+	anyCol  []any   // boxed SendAny payloads, aligned with arena
 	touched []int32 // destinations that received messages this round
 	wake    []int32 // halted destinations among touched
 	perm    []int   // scratch permutation for receive-cap sampling
@@ -178,17 +195,15 @@ type Ctx struct {
 	// Rand is the node's private random stream.
 	Rand *rng.Source
 
-	outbox    []routed
+	// Columnar outbox: outW[k] goes to node index outD[k]. outAny is
+	// nil until the first SendAny and aligned with outW afterwards.
+	outW   []Wire
+	outD   []int32
+	outAny []any
+
 	sentUnits int
 	halted    bool
-}
-
-// routed is a queued outgoing message with its destination resolved to
-// a node index at Send time.
-type routed struct {
-	dest  int32
-	units int32
-	msg   Message
+	usedAny   bool
 }
 
 // New builds an engine running the given nodes. Node identifiers are
@@ -200,17 +215,15 @@ func New(cfg Config, nodes []Node) *Engine {
 	}
 	n := cfg.N
 	e := &Engine{
-		cfg:       cfg,
-		nodes:     nodes,
-		halters:   make([]Halter, n),
-		ctxs:      make([]Ctx, n),
-		rands:     make([]rng.Source, n),
-		idents:    make([]ids.ID, n),
-		inboxes:   make([][]Message, n),
-		recvUnits: make([]int, n),
-	}
-	if cfg.RecvCap > 0 {
-		e.inUnits = make([][]int32, n)
+		cfg:     cfg,
+		nodes:   nodes,
+		halters: make([]Halter, n),
+		ctxs:    make([]Ctx, n),
+		rands:   make([]rng.Source, n),
+		idents:  make([]ids.ID, n),
+		inOff:   make([]int32, n),
+		inCnt:   make([]int32, n),
+		inPos:   make([]int32, n),
 	}
 	root := rng.New(cfg.Seed)
 	idStream := root.Split(0xed5)
@@ -258,6 +271,10 @@ func New(cfg Config, nodes []Node) *Engine {
 		w = 1
 	}
 	e.shards = make([]shardState, w)
+	e.shardSize = (n + w - 1) / w
+	if e.shardSize < 1 {
+		e.shardSize = 1
+	}
 	e.metrics.PerNodeSent = make([]int64, n)
 	e.metrics.PerNodeRecv = make([]int64, n)
 	return e
@@ -296,6 +313,11 @@ func (e *Engine) lookup(id ids.ID) (int32, bool) {
 	return 0, false
 }
 
+// panicUnknown reports a send to an identifier outside the simulation.
+func panicUnknown(from, to ids.ID) {
+	panic(fmt.Sprintf("sim: node %v sent to unknown id %v", from, to))
+}
+
 // IDs returns the identifier of every node by index. The slice is owned
 // by the engine; callers must not modify it.
 func (e *Engine) IDs() []ids.ID { return e.idents }
@@ -325,27 +347,15 @@ func (e *Engine) NumActive() int {
 // Metrics returns the accumulated communication metrics.
 func (e *Engine) Metrics() *Metrics { return &e.metrics }
 
-// Send queues a message to the node with identifier to, delivered at
-// the start of the next round. Sending to an unknown identifier is a
-// programming error in this closed-world simulation and panics.
-func (c *Ctx) Send(to ids.ID, payload any) {
-	units := 1
-	if s, ok := payload.(Sized); ok {
-		units = s.MsgUnits()
-		if units < 1 {
-			units = 1
-		}
+// inboxOf returns node i's inbox for the current round: a slice of its
+// delivery shard's arena, capped so appends cannot clobber neighbours.
+func (e *Engine) inboxOf(i int32) []Wire {
+	cnt := e.inCnt[i]
+	if cnt == 0 {
+		return nil
 	}
-	c.sentUnits += units
-	j, ok := c.engine.lookup(to)
-	if !ok {
-		panic(fmt.Sprintf("sim: node %v sent to unknown id %v", c.ID, to))
-	}
-	c.outbox = append(c.outbox, routed{
-		dest:  j,
-		units: int32(units),
-		msg:   Message{From: c.ID, Payload: payload},
-	})
+	off := e.inOff[i]
+	return e.shards[int(i)/e.shardSize].arena[off : off+cnt : off+cnt]
 }
 
 // Halt marks the node as locally terminated. The engine stops when all
@@ -426,14 +436,11 @@ func (e *Engine) step() {
 	run := e.runList
 	e.forEach(len(run), func(k int) {
 		i := run[k]
-		e.nodes[i].Round(&e.ctxs[i], e.inboxes[i])
-		// The inbox is consumed; reset it (keeping capacity) so the
-		// delivery shards can refill it for the next round.
-		e.inboxes[i] = e.inboxes[i][:0]
-		if e.inUnits != nil {
-			e.inUnits[i] = e.inUnits[i][:0]
-		}
+		e.nodes[i].Round(&e.ctxs[i], e.inboxOf(i))
 	})
+	// Inboxes are consumed; the delivery pass resets the arenas (and
+	// the per-destination counts, via each shard's touched list) before
+	// refilling them for the next round.
 	e.deliver()
 }
 
@@ -476,40 +483,42 @@ func (e *Engine) forEach(k int, fn func(int)) {
 // The sender pass is sequential in node-index order (it owns the
 // send-cap rng draws and the sender-side metrics). Delivery itself is
 // sharded: destination indices are partitioned into contiguous ranges,
-// and each shard worker scans all outboxes in (sender-index,
-// send-order) appending only messages routed into its own range, so
-// each inbox is filled in exactly the order the sequential merge
-// produces, with no locking.
+// and each shard worker scans all outbox destination columns in
+// (sender-index, send-order), scattering messages routed into its own
+// range into its flat arena, so each inbox segment is filled in
+// exactly the order the sequential merge produces, with no locking.
 func (e *Engine) deliver() {
 	run := e.runList
 
-	// Sender pass: caps and sender-side metrics.
+	// Sender pass: caps, sender-side metrics, and the sticky SendAny
+	// flag the shards consult for side-column maintenance.
 	roundSentMax := 0
 	for _, i := range run {
 		ctx := &e.ctxs[i]
 		sent := ctx.sentUnits
 		ctx.sentUnits = 0
+		if ctx.usedAny {
+			e.hasAny = true
+		}
 		if e.cfg.SendCap > 0 && sent > e.cfg.SendCap {
 			// Enforce the cap by dropping a random subset of the
 			// sender's messages and record the violation: correct
 			// protocols never hit this.
-			ctx.outbox, sent = capRouted(ctx.outbox, e.cfg.SendCap, ctx.Rand, &e.sendPerm)
+			sent = capOutbox(ctx, e.cfg.SendCap, &e.sendPerm)
 			e.metrics.SendCapViolations++
 		}
 		e.metrics.PerNodeSent[i] += int64(sent)
-		e.metrics.TotalMessages += int64(len(ctx.outbox))
+		e.metrics.TotalMessages += int64(len(ctx.outW))
 		e.metrics.TotalUnits += int64(sent)
 		if sent > roundSentMax {
 			roundSentMax = sent
 		}
 	}
 
-	// Sharded delivery into pooled inboxes.
-	nShards := len(e.shards)
-	shardSize := (e.cfg.N + nShards - 1) / nShards
-	e.forEach(nShards, func(s int) {
-		lo := int32(s * shardSize)
-		hi := lo + int32(shardSize)
+	// Sharded delivery into the flat per-shard arenas.
+	e.forEach(len(e.shards), func(s int) {
+		lo := int32(s * e.shardSize)
+		hi := lo + int32(e.shardSize)
 		if hi > int32(e.cfg.N) {
 			hi = int32(e.cfg.N)
 		}
@@ -528,9 +537,17 @@ func (e *Engine) deliver() {
 	e.metrics.RoundMaxSent = append(e.metrics.RoundMaxSent, roundSentMax)
 	e.metrics.RoundMaxRecv = append(e.metrics.RoundMaxRecv, roundRecvMax)
 
-	// Outboxes are fully drained; reset them keeping capacity.
+	// Outboxes are fully drained; reset them keeping capacity. Wires
+	// are pointer-free, so stale tails pin nothing; only the boxed
+	// side column needs clearing.
 	for _, i := range run {
-		e.ctxs[i].outbox = e.ctxs[i].outbox[:0]
+		ctx := &e.ctxs[i]
+		ctx.outW = ctx.outW[:0]
+		ctx.outD = ctx.outD[:0]
+		if ctx.outAny != nil {
+			clear(ctx.outAny)
+			ctx.outAny = ctx.outAny[:0]
+		}
 	}
 
 	// Rebuild the active set: nodes that ran and are still live. Nodes
@@ -539,17 +556,7 @@ func (e *Engine) deliver() {
 	for _, i := range run {
 		if !e.halted(i) {
 			next = append(next, i)
-			continue
 		}
-		// The node is leaving the active set: zero the stale tails of
-		// its pooled buffers so they do not pin its final round's
-		// payloads for the rest of the run. Freshly delivered wake-up
-		// mail (the live inbox prefix) is preserved. This runs once per
-		// halt, keeping the per-round hot path free of clearing.
-		inb := e.inboxes[i]
-		clear(inb[len(inb):cap(inb)])
-		ob := e.ctxs[i].outbox
-		clear(ob[:cap(ob)])
 	}
 	e.scratch, e.active = e.active, next
 
@@ -575,36 +582,97 @@ func (e *Engine) deliver() {
 	e.runList = merged
 }
 
-// deliverShard scans every sender's outbox in order and appends the
-// messages destined for [lo, hi) to their inboxes, then applies the
-// receive cap and receiver-side metrics for those destinations.
+// deliverShard fills the shard's arena with the messages destined for
+// [lo, hi): a count pass over the destination columns sizes the
+// per-destination segments (CSR-style offsets), a scatter pass copies
+// the wires in (sender-index, send-order), and a final pass applies
+// the receive cap and receiver-side metrics. Per-destination counts
+// from the previous round are zeroed via the shard's old touched list,
+// so the work is proportional to traffic rather than to N.
 func (e *Engine) deliverShard(sc *shardState, run []int32, lo, hi int32) {
+	// Reset the previous round's state. The arena's wires are
+	// pointer-free; only the boxed side column needs clearing.
+	for _, j := range sc.touched {
+		e.inCnt[j] = 0
+	}
 	sc.touched = sc.touched[:0]
+	sc.arena = sc.arena[:0]
+	if sc.anyCol != nil {
+		clear(sc.anyCol)
+		sc.anyCol = sc.anyCol[:0]
+	}
 	sc.wake = sc.wake[:0]
 	sc.maxRecv = 0
 	sc.drops = 0
-	trackUnits := e.inUnits != nil
+
+	// Count pass: scan only the 4-byte destination columns.
+	total := int32(0)
 	for _, i := range run {
-		for _, r := range e.ctxs[i].outbox {
-			j := r.dest
-			if j < lo || j >= hi {
+		for _, d := range e.ctxs[i].outD {
+			if d < lo || d >= hi {
 				continue
 			}
-			if len(e.inboxes[j]) == 0 {
-				sc.touched = append(sc.touched, j)
+			if e.inCnt[d] == 0 {
+				sc.touched = append(sc.touched, d)
 			}
-			e.inboxes[j] = append(e.inboxes[j], r.msg)
-			if trackUnits {
-				e.inUnits[j] = append(e.inUnits[j], r.units)
-			}
-			e.recvUnits[j] += int(r.units)
+			e.inCnt[d]++
+			total++
 		}
 	}
+	if total == 0 {
+		return
+	}
+
+	// Offsets: segments are laid out in first-arrival order; each
+	// destination's segment is contiguous, which is all inboxOf needs.
+	off := int32(0)
 	for _, j := range sc.touched {
-		units := e.recvUnits[j]
-		e.recvUnits[j] = 0
+		e.inOff[j] = off
+		e.inPos[j] = off
+		off += e.inCnt[j]
+	}
+	if cap(sc.arena) < int(total) {
+		sc.arena = make([]Wire, total)
+	} else {
+		sc.arena = sc.arena[:total]
+	}
+	withAny := e.hasAny
+	if withAny {
+		if cap(sc.anyCol) < int(total) {
+			sc.anyCol = make([]any, total)
+		} else {
+			// The reset above cleared the live prefix and scatter
+			// overwrites only boxed slots, so re-clear the full window.
+			sc.anyCol = sc.anyCol[:total]
+			clear(sc.anyCol)
+		}
+	}
+
+	// Scatter pass: cache-linear copies into the arena.
+	for _, i := range run {
+		ctx := &e.ctxs[i]
+		for k, d := range ctx.outD {
+			if d < lo || d >= hi {
+				continue
+			}
+			p := e.inPos[d]
+			sc.arena[p] = ctx.outW[k]
+			if withAny && ctx.outAny != nil {
+				sc.anyCol[p] = ctx.outAny[k]
+			}
+			e.inPos[d] = p + 1
+		}
+	}
+
+	// Cap and metrics pass.
+	for _, j := range sc.touched {
+		seg := sc.arena[e.inOff[j] : e.inOff[j]+e.inCnt[j]]
+		units := 0
+		for k := range seg {
+			units += int(seg[k].Units)
+		}
 		if e.cfg.RecvCap > 0 && units > e.cfg.RecvCap {
-			units = e.capInbox(j, e.cfg.RecvCap, e.ctxs[j].Rand, &sc.perm)
+			units = e.capInbox(sc, j)
 			sc.drops++
 		}
 		e.metrics.PerNodeRecv[j] += int64(units)
@@ -614,55 +682,72 @@ func (e *Engine) deliverShard(sc *shardState, run []int32, lo, hi int32) {
 		// Wake a halted destination only if messages actually survived
 		// the cap: a fully-dropped inbox is no mail, and the contract
 		// says a halted node with an empty inbox is not ticked.
-		if len(e.inboxes[j]) > 0 && e.halted(j) {
+		if e.inCnt[j] > 0 && e.halted(j) {
 			sc.wake = append(sc.wake, j)
 		}
 	}
 }
 
-// capInbox keeps a random subset of destination j's inbox within cap
-// units, preserving arrival order among the kept, and returns the unit
-// count actually delivered.
-func (e *Engine) capInbox(j int32, cap int, src *rng.Source, perm *[]int) int {
-	in := e.inboxes[j]
-	us := e.inUnits[j]
-	keep := chooseWithin(len(in), cap, func(k int) int { return int(us[k]) }, src, perm)
-	kept := in[:0]
-	keptUnits := us[:0]
-	used := 0
-	for k := range in {
-		if keep[k] {
-			kept = append(kept, in[k])
-			keptUnits = append(keptUnits, us[k])
-			used += int(us[k])
+// capInbox keeps a random subset of destination j's arena segment
+// within the receive cap, preserving arrival order among the kept, and
+// returns the unit count actually delivered.
+func (e *Engine) capInbox(sc *shardState, j int32) int {
+	off := int(e.inOff[j])
+	seg := sc.arena[off : off+int(e.inCnt[j])]
+	keep := chooseWithin(len(seg), e.cfg.RecvCap,
+		func(k int) int { return int(seg[k].Units) }, e.ctxs[j].Rand, &sc.perm)
+	withAny := sc.anyCol != nil
+	kept, used := 0, 0
+	for k := range seg {
+		if !keep[k] {
+			continue
+		}
+		seg[kept] = seg[k]
+		if withAny {
+			sc.anyCol[off+kept] = sc.anyCol[off+k]
+		}
+		used += int(seg[k].Units)
+		kept++
+	}
+	if withAny {
+		// Zero the dropped tail so boxed payloads do not leak via the
+		// pooled side column.
+		for k := kept; k < len(seg); k++ {
+			sc.anyCol[off+k] = nil
 		}
 	}
-	// Zero the dropped tail so payloads do not leak via the pooled
-	// backing array.
-	for k := len(kept); k < len(in); k++ {
-		in[k] = Message{}
-	}
-	e.inboxes[j] = kept
-	e.inUnits[j] = keptUnits
+	e.inCnt[j] = int32(kept)
 	return used
 }
 
-// capRouted keeps a random subset of outgoing messages within cap
-// units, preserving emission order among the kept.
-func capRouted(out []routed, cap int, src *rng.Source, perm *[]int) ([]routed, int) {
-	keep := chooseWithin(len(out), cap, func(i int) int { return int(out[i].units) }, src, perm)
-	kept := out[:0]
-	used := 0
-	for i := range out {
-		if keep[i] {
-			kept = append(kept, out[i])
-			used += int(out[i].units)
+// capOutbox keeps a random subset of outgoing messages within cap
+// units, preserving emission order among the kept, compacting all
+// outbox columns in lockstep, and returns the units actually sent.
+func capOutbox(c *Ctx, cap int, perm *[]int) int {
+	keep := chooseWithin(len(c.outW), cap,
+		func(k int) int { return int(c.outW[k].Units) }, c.Rand, perm)
+	kept, used := 0, 0
+	for k := range c.outW {
+		if !keep[k] {
+			continue
 		}
+		c.outW[kept] = c.outW[k]
+		c.outD[kept] = c.outD[k]
+		if c.outAny != nil {
+			c.outAny[kept] = c.outAny[k]
+		}
+		used += int(c.outW[k].Units)
+		kept++
 	}
-	for i := len(kept); i < len(out); i++ {
-		out[i] = routed{}
+	if c.outAny != nil {
+		for k := kept; k < len(c.outAny); k++ {
+			c.outAny[k] = nil
+		}
+		c.outAny = c.outAny[:kept]
 	}
-	return kept, used
+	c.outW = c.outW[:kept]
+	c.outD = c.outD[:kept]
+	return used
 }
 
 // chooseWithin marks a uniformly random subset of n items whose unit

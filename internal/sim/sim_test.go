@@ -7,6 +7,40 @@ import (
 	"overlay/internal/ids"
 )
 
+// Test wire kinds and payloads.
+const (
+	kindVal uint16 = 1 + iota
+	kindWide
+)
+
+// valMsg is a one-word wire payload carrying a counter or token.
+type valMsg struct{ v uint64 }
+
+func (m valMsg) Encode(w *Wire) {
+	w.Kind = kindVal
+	w.W[0] = m.v
+}
+
+func (m *valMsg) Decode(w Wire) { m.v = w.W[0] }
+
+// wideMsg is a wire-native multi-unit payload (an ℓ-identifier token
+// in the paper's accounting): Encode declares its size on Wire.Units.
+type wideMsg struct {
+	v     uint64
+	units int32
+}
+
+func (m wideMsg) Encode(w *Wire) {
+	w.Kind = kindWide
+	w.W[0] = m.v
+	w.Units = m.units
+}
+
+func (m *wideMsg) Decode(w Wire) {
+	m.v = w.W[0]
+	m.units = w.Units
+}
+
 // chainNode floods a counter down a chain of nodes by index order:
 // node i sends its value +1 to node i+1 once it has received.
 type chainNode struct {
@@ -18,17 +52,18 @@ type chainNode struct {
 func (c *chainNode) Init(ctx *Ctx) {
 	if ctx.Index == 0 {
 		c.received = 1
-		ctx.Send(c.all[1], 1)
+		Send(ctx, c.all[1], valMsg{1})
 		c.halted = true
 	}
 }
 
-func (c *chainNode) Round(ctx *Ctx, inbox []Message) {
-	for _, m := range inbox {
-		v := m.Payload.(int)
-		c.received = v
+func (c *chainNode) Round(ctx *Ctx, inbox []Wire) {
+	for _, w := range inbox {
+		var m valMsg
+		m.Decode(w)
+		c.received = int(m.v)
 		if ctx.Index+1 < len(c.all) {
-			ctx.Send(c.all[ctx.Index+1], v+1)
+			Send(ctx, c.all[ctx.Index+1], valMsg{m.v + 1})
 		}
 		c.halted = true
 	}
@@ -67,22 +102,34 @@ func TestChainDelivery(t *testing.T) {
 	}
 }
 
-// spamNode sends `count` messages to a single target at Init and then
-// runs one round to drain its inbox.
+// spamNode sends `count` messages through the deprecated SendAny shim
+// at Init and then runs one round to drain its inbox; it doubles as
+// the shim's regression coverage (boxed payloads must arrive intact
+// and in order, also under capacity drops).
 type spamNode struct {
 	target ids.ID
 	count  int
 	got    int
 	rounds int
+	badAny int
 }
 
 func (s *spamNode) Init(ctx *Ctx) {
 	for i := 0; i < s.count; i++ {
-		ctx.Send(s.target, i)
+		ctx.SendAny(s.target, i)
 	}
 }
 
-func (s *spamNode) Round(ctx *Ctx, inbox []Message) {
+func (s *spamNode) Round(ctx *Ctx, inbox []Wire) {
+	for k, w := range inbox {
+		if w.Kind != KindAny {
+			s.badAny++
+			continue
+		}
+		if _, ok := ctx.Any(k).(int); !ok {
+			s.badAny++
+		}
+	}
 	s.got += len(inbox)
 	s.rounds++
 }
@@ -108,6 +155,9 @@ func TestRecvCapDropsExcess(t *testing.T) {
 	e.Run(2)
 	if got := spams[senders].got; got != cap {
 		t.Errorf("receiver got %d messages, want exactly cap %d", got, cap)
+	}
+	if spams[senders].badAny != 0 {
+		t.Errorf("%d boxed payloads arrived corrupted", spams[senders].badAny)
 	}
 	if e.Metrics().RecvDrops != 1 {
 		t.Errorf("RecvDrops = %d, want 1", e.Metrics().RecvDrops)
@@ -137,49 +187,58 @@ func (s sizedPayload) MsgUnits() int { return s.units }
 type sizedSender struct {
 	target ids.ID
 	units  int
+	wire   bool // send as wire-native wideMsg instead of SendAny+Sized
 	got    int
 	rounds int
 }
 
 func (s *sizedSender) Init(ctx *Ctx) {
 	if s.units > 0 {
-		ctx.Send(s.target, sizedPayload{s.units})
+		if s.wire {
+			Send(ctx, s.target, wideMsg{v: 1, units: int32(s.units)})
+		} else {
+			ctx.SendAny(s.target, sizedPayload{s.units})
+		}
 	}
 }
 
-func (s *sizedSender) Round(ctx *Ctx, inbox []Message) {
+func (s *sizedSender) Round(ctx *Ctx, inbox []Wire) {
 	s.got += len(inbox)
 	s.rounds++
 }
 func (s *sizedSender) Halted() bool { return s.rounds >= 1 }
 
 func TestSizedPayloadAccounting(t *testing.T) {
-	nodes := []Node{&sizedSender{units: 5}, &sizedSender{}}
-	e := New(Config{N: 2, Seed: 7}, nodes)
-	nodes[0].(*sizedSender).target = e.IDs()[1]
-	nodes[1].(*sizedSender).target = e.IDs()[0]
-	e.Run(1)
-	m := e.Metrics()
-	if m.TotalUnits != 5 {
-		t.Errorf("TotalUnits = %d, want 5", m.TotalUnits)
-	}
-	if m.TotalMessages != 1 {
-		t.Errorf("TotalMessages = %d, want 1", m.TotalMessages)
-	}
-	if m.PerNodeSent[0] != 5 || m.PerNodeRecv[1] != 5 {
-		t.Errorf("per-node units: sent=%v recv=%v", m.PerNodeSent, m.PerNodeRecv)
+	for _, wire := range []bool{false, true} {
+		nodes := []Node{&sizedSender{units: 5, wire: wire}, &sizedSender{}}
+		e := New(Config{N: 2, Seed: 7}, nodes)
+		nodes[0].(*sizedSender).target = e.IDs()[1]
+		nodes[1].(*sizedSender).target = e.IDs()[0]
+		e.Run(1)
+		m := e.Metrics()
+		if m.TotalUnits != 5 {
+			t.Errorf("wire=%v: TotalUnits = %d, want 5", wire, m.TotalUnits)
+		}
+		if m.TotalMessages != 1 {
+			t.Errorf("wire=%v: TotalMessages = %d, want 1", wire, m.TotalMessages)
+		}
+		if m.PerNodeSent[0] != 5 || m.PerNodeRecv[1] != 5 {
+			t.Errorf("wire=%v: per-node units: sent=%v recv=%v", wire, m.PerNodeSent, m.PerNodeRecv)
+		}
 	}
 }
 
 func TestSizedPayloadBlockedByRecvCap(t *testing.T) {
 	// A 5-unit payload cannot fit a 4-unit receive cap and is dropped.
-	nodes := []Node{&sizedSender{units: 5}, &sizedSender{}}
-	e := New(Config{N: 2, Seed: 7, RecvCap: 4}, nodes)
-	nodes[0].(*sizedSender).target = e.IDs()[1]
-	nodes[1].(*sizedSender).target = e.IDs()[0]
-	e.Run(1)
-	if got := nodes[1].(*sizedSender).got; got != 0 {
-		t.Errorf("oversized payload delivered (%d msgs)", got)
+	for _, wire := range []bool{false, true} {
+		nodes := []Node{&sizedSender{units: 5, wire: wire}, &sizedSender{}}
+		e := New(Config{N: 2, Seed: 7, RecvCap: 4}, nodes)
+		nodes[0].(*sizedSender).target = e.IDs()[1]
+		nodes[1].(*sizedSender).target = e.IDs()[0]
+		e.Run(1)
+		if got := nodes[1].(*sizedSender).got; got != 0 {
+			t.Errorf("wire=%v: oversized payload delivered (%d msgs)", wire, got)
+		}
 	}
 }
 
@@ -194,9 +253,11 @@ func (g *gossipNode) Init(ctx *Ctx) {
 	g.send(ctx)
 }
 
-func (g *gossipNode) Round(ctx *Ctx, inbox []Message) {
-	for _, m := range inbox {
-		g.sum += m.Payload.(uint64)
+func (g *gossipNode) Round(ctx *Ctx, inbox []Wire) {
+	for _, w := range inbox {
+		var m valMsg
+		m.Decode(w)
+		g.sum += m.v
 	}
 	g.turns++
 	if g.turns < 5 {
@@ -206,7 +267,7 @@ func (g *gossipNode) Round(ctx *Ctx, inbox []Message) {
 
 func (g *gossipNode) send(ctx *Ctx) {
 	to := g.peers[ctx.Rand.Intn(len(g.peers))]
-	ctx.Send(to, ctx.Rand.Uint64())
+	Send(ctx, to, valMsg{ctx.Rand.Uint64()})
 }
 
 func (g *gossipNode) Halted() bool { return g.turns >= 5 }
@@ -279,12 +340,15 @@ func runGossipMetrics(cfg Config, recvCap int) ([]uint64, *Metrics) {
 // and bit-for-bit identical Metrics for the same seed.
 func TestShardedDeliveryMatchesSequential(t *testing.T) {
 	seqSums, seqM := runGossipMetrics(Config{Seed: 42, Sequential: true}, 0)
-	parSums, parM := runGossipMetrics(Config{Seed: 42, Workers: 4}, 0)
-	if !reflect.DeepEqual(seqSums, parSums) {
-		t.Error("sequential and sharded runs diverged in node state")
-	}
-	if !reflect.DeepEqual(seqM, parM) {
-		t.Errorf("sequential and sharded runs diverged in metrics:\nseq: %+v\npar: %+v", seqM, parM)
+	for _, workers := range []int{2, 4, 16} {
+		parSums, parM := runGossipMetrics(Config{Seed: 42, Workers: workers}, 0)
+		if !reflect.DeepEqual(seqSums, parSums) {
+			t.Errorf("workers=%d: sequential and sharded runs diverged in node state", workers)
+		}
+		if !reflect.DeepEqual(seqM, parM) {
+			t.Errorf("workers=%d: sequential and sharded runs diverged in metrics:\nseq: %+v\npar: %+v",
+				workers, seqM, parM)
+		}
 	}
 }
 
@@ -321,7 +385,7 @@ type wakeNode struct {
 
 func (w *wakeNode) Init(ctx *Ctx) { ctx.Halt() }
 func (w *wakeNode) Halted() bool  { return true }
-func (w *wakeNode) Round(ctx *Ctx, inbox []Message) {
+func (w *wakeNode) Round(ctx *Ctx, inbox []Wire) {
 	w.calls++
 	w.got += len(inbox)
 }
@@ -331,9 +395,9 @@ func (w *wakeNode) Round(ctx *Ctx, inbox []Message) {
 type pingNode struct{ target ids.ID }
 
 func (p *pingNode) Init(ctx *Ctx) {}
-func (p *pingNode) Round(ctx *Ctx, inbox []Message) {
+func (p *pingNode) Round(ctx *Ctx, inbox []Wire) {
 	if ctx.Round() == 3 {
-		ctx.Send(p.target, uint64(1))
+		Send(ctx, p.target, valMsg{1})
 	}
 	if ctx.Round() >= 5 {
 		ctx.Halt()
@@ -367,9 +431,9 @@ func TestActiveSetSkipsHaltedUntilMessage(t *testing.T) {
 type pingAndDieNode struct{ target ids.ID }
 
 func (p *pingAndDieNode) Init(ctx *Ctx) {}
-func (p *pingAndDieNode) Round(ctx *Ctx, inbox []Message) {
+func (p *pingAndDieNode) Round(ctx *Ctx, inbox []Wire) {
 	if ctx.Round() == 2 {
-		ctx.Send(p.target, uint64(7))
+		Send(ctx, p.target, valMsg{7})
 		ctx.Halt()
 	}
 }
@@ -417,9 +481,9 @@ func TestNoSpuriousWakeWhenCapDropsEverything(t *testing.T) {
 type bigPingNode struct{ target ids.ID }
 
 func (p *bigPingNode) Init(ctx *Ctx) {}
-func (p *bigPingNode) Round(ctx *Ctx, inbox []Message) {
+func (p *bigPingNode) Round(ctx *Ctx, inbox []Wire) {
 	if ctx.Round() == 2 {
-		ctx.Send(p.target, sizedPayload{5})
+		Send(ctx, p.target, wideMsg{v: 9, units: 5})
 	}
 	if ctx.Round() >= 5 {
 		ctx.Halt()
@@ -463,7 +527,7 @@ func TestHaltStopsEngine(t *testing.T) {
 type haltingNode struct{ r int }
 
 func (h *haltingNode) Init(ctx *Ctx) {}
-func (h *haltingNode) Round(ctx *Ctx, inbox []Message) {
+func (h *haltingNode) Round(ctx *Ctx, inbox []Wire) {
 	h.r++
 	if h.r >= 3 {
 		ctx.Halt()

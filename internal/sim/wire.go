@@ -1,0 +1,154 @@
+package sim
+
+import "overlay/internal/ids"
+
+// Wire is the fixed-width wire format of a message: the model's
+// O(log n)-bit message is a constant number of machine words, and Wire
+// makes that literal. From is the sender's identifier (messages
+// conventionally carry it, see the package comment), Kind is the
+// protocol-level message tag, Units is the message's size in capacity
+// units (an O(ℓ)-identifier walk token is ℓ units), and W holds up to
+// four payload words — enough for a constant number of identifiers,
+// which is exactly what the paper's messages contain.
+//
+// A Wire is a pure value: it contains no pointers, so outboxes and
+// inboxes are flat arrays the delivery shards scan and copy without
+// allocating, boxing, or dragging the GC through per-message objects.
+type Wire struct {
+	// From is the sender's identifier, stamped by SendWire.
+	From ids.ID
+	// Kind tags the payload so receivers dispatch without type
+	// assertions. Kinds are protocol-local; KindAny is reserved.
+	Kind uint16
+	// Units is the message's size in capacity units (see Sized).
+	// SendWire treats values <= 0 as 1.
+	Units int32
+	// W holds the payload words written by Payload.Encode.
+	W [4]uint64
+}
+
+// KindAny tags a message sent through the deprecated SendAny shim; its
+// boxed payload travels in a side column and is read with Ctx.Any.
+const KindAny = ^uint16(0)
+
+// Payload is a message that knows how to serialize itself onto a Wire.
+// Encode must set Kind and the W words it uses, and may set Units for
+// multi-unit messages (0 means 1). The inverse is conventionally a
+// Decode(Wire) method on the pointer receiver; see Decoder.
+type Payload interface {
+	Encode(*Wire)
+}
+
+// Decoder is the conventional inverse of Payload, implemented on the
+// pointer receiver. The engine never calls it — receivers dispatch on
+// Wire.Kind and decode explicitly — but the symmetry gives every
+// payload a round-trip property that wire_test files fuzz.
+type Decoder interface {
+	Decode(Wire)
+}
+
+// Send encodes p and queues it to the node with identifier to. The
+// generic instantiation never boxes p, and Encode writes straight into
+// the outbox slot (a stack-local Wire would be forced to the heap by
+// the indirect Encode call), so a send costs zero allocations.
+// Encode implementations must not themselves send.
+func Send[P Payload](c *Ctx, to ids.ID, p P) {
+	j, ok := c.engine.lookup(to)
+	if !ok {
+		panicUnknown(c.ID, to)
+	}
+	c.ensureOut()
+	c.outW = append(c.outW, Wire{})
+	w := &c.outW[len(c.outW)-1]
+	p.Encode(w)
+	if w.Units <= 0 {
+		w.Units = 1
+	}
+	w.From = c.ID
+	c.sentUnits += int(w.Units)
+	c.outD = append(c.outD, j)
+	if c.outAny != nil {
+		c.outAny = append(c.outAny, nil)
+	}
+}
+
+// SendWire queues an already-encoded wire message to the node with
+// identifier to, delivered at the start of the next round. From is
+// overwritten with the sender's identifier and Units values <= 0
+// count as 1. Re-sending a received Wire verbatim is the idiomatic
+// zero-cost forward (the walk tokens of CreateExpander do this).
+// Sending to an unknown identifier is a programming error in this
+// closed-world simulation and panics.
+func (c *Ctx) SendWire(to ids.ID, w Wire) {
+	if w.Units <= 0 {
+		w.Units = 1
+	}
+	w.From = c.ID
+	c.sentUnits += int(w.Units)
+	j, ok := c.engine.lookup(to)
+	if !ok {
+		panicUnknown(c.ID, to)
+	}
+	c.ensureOut()
+	c.outW = append(c.outW, w)
+	c.outD = append(c.outD, j)
+	if c.outAny != nil {
+		c.outAny = append(c.outAny, nil)
+	}
+}
+
+// ensureOut lazily sizes the outbox columns: first use starts at a
+// capacity that lets typical O(log n)-fan-out senders reach their
+// steady state in one or two growths instead of doubling up from 1.
+func (c *Ctx) ensureOut() {
+	if c.outW == nil {
+		c.outW = make([]Wire, 0, 16)
+		c.outD = make([]int32, 0, 16)
+	}
+}
+
+// SendAny queues an arbitrary boxed payload.
+//
+// Deprecated: SendAny is the transition shim for Node implementations
+// that predate the wire format (and the escape hatch for the rare
+// payload that does not fit Wire's four words). It boxes the payload
+// and routes it in a pointer-bearing side column, costing exactly the
+// allocations the wire plane exists to avoid. The payload arrives as a
+// Wire with Kind == KindAny; read it with Ctx.Any. Payloads may
+// implement Sized to declare a multi-unit size.
+func (c *Ctx) SendAny(to ids.ID, payload any) {
+	units := 1
+	if s, ok := payload.(Sized); ok {
+		units = s.MsgUnits()
+		if units < 1 {
+			units = 1
+		}
+	}
+	c.sentUnits += units
+	j, ok := c.engine.lookup(to)
+	if !ok {
+		panicUnknown(c.ID, to)
+	}
+	c.ensureOut()
+	if c.outAny == nil {
+		// Backfill alignment with the wires already queued this round;
+		// from here on every SendWire appends a nil alongside.
+		c.outAny = make([]any, len(c.outW), cap(c.outW)+1)
+		c.usedAny = true
+	}
+	c.outW = append(c.outW, Wire{Kind: KindAny, Units: int32(units), From: c.ID})
+	c.outD = append(c.outD, j)
+	c.outAny = append(c.outAny, payload)
+}
+
+// Any returns the boxed payload of inbox[k] for a Wire with Kind ==
+// KindAny, or nil for wire-native messages. Like the inbox itself, the
+// value is only guaranteed valid for the duration of the Round call.
+func (c *Ctx) Any(k int) any {
+	e := c.engine
+	sc := &e.shards[c.Index/e.shardSize]
+	if sc.anyCol == nil {
+		return nil
+	}
+	return sc.anyCol[int(e.inOff[c.Index])+k]
+}

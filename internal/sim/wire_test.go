@@ -1,0 +1,154 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"overlay/internal/ids"
+)
+
+// TestSendWireDefaults pins the SendWire contract: From is stamped
+// with the sender's identifier regardless of what the caller wrote,
+// and Units <= 0 counts as one unit.
+func TestSendWireDefaults(t *testing.T) {
+	recv := &recorderNode{}
+	send := &rawWireNode{}
+	e := New(Config{N: 2, Seed: 3}, []Node{recv, send})
+	send.target = e.IDs()[0]
+	send.self = e.IDs()[1]
+	e.Run(2)
+	if len(recv.wires) != 2 {
+		t.Fatalf("got %d wires, want 2", len(recv.wires))
+	}
+	for k, w := range recv.wires {
+		if w.From != send.self {
+			t.Errorf("wire %d: From = %v, want sender id %v (must be restamped)", k, w.From, send.self)
+		}
+		if w.Units != 1 {
+			t.Errorf("wire %d: Units = %d, want 1 (defaulted)", k, w.Units)
+		}
+	}
+	if e.Metrics().TotalUnits != 2 {
+		t.Errorf("TotalUnits = %d, want 2", e.Metrics().TotalUnits)
+	}
+}
+
+// rawWireNode sends wires with a forged From and zero/negative Units.
+type rawWireNode struct {
+	target, self ids.ID
+	r            int
+}
+
+func (n *rawWireNode) Init(ctx *Ctx) {
+	ctx.SendWire(n.target, Wire{From: ids.ID(0xdead), Kind: kindVal, Units: 0})
+	ctx.SendWire(n.target, Wire{From: ids.ID(0xbeef), Kind: kindVal, Units: -7})
+}
+func (n *rawWireNode) Round(ctx *Ctx, inbox []Wire) { n.r++ }
+func (n *rawWireNode) Halted() bool                 { return n.r >= 1 }
+
+// recorderNode copies its first inbox for inspection.
+type recorderNode struct {
+	wires []Wire
+	anys  []any
+	r     int
+}
+
+func (n *recorderNode) Init(ctx *Ctx) {}
+func (n *recorderNode) Round(ctx *Ctx, inbox []Wire) {
+	if len(inbox) > 0 && n.wires == nil {
+		n.wires = append(n.wires, inbox...)
+		for k := range inbox {
+			n.anys = append(n.anys, ctx.Any(k))
+		}
+	}
+	n.r++
+}
+func (n *recorderNode) Halted() bool { return n.r >= 2 }
+
+// mixedNode interleaves wire-native sends with SendAny shim sends to
+// exercise the boxed side column's alignment: the any column backfills
+// when the first SendAny happens mid-round.
+type mixedNode struct {
+	target ids.ID
+	r      int
+}
+
+func (n *mixedNode) Init(ctx *Ctx) {
+	Send(ctx, n.target, valMsg{10})
+	ctx.SendAny(n.target, "box-a")
+	Send(ctx, n.target, valMsg{20})
+	ctx.SendAny(n.target, "box-b")
+}
+func (n *mixedNode) Round(ctx *Ctx, inbox []Wire) { n.r++ }
+func (n *mixedNode) Halted() bool                 { return n.r >= 1 }
+
+func TestMixedWireAndAnyAlignment(t *testing.T) {
+	recv := &recorderNode{}
+	send := &mixedNode{}
+	e := New(Config{N: 2, Seed: 9}, []Node{recv, send})
+	send.target = e.IDs()[0]
+	e.Run(3)
+	wantKinds := []uint16{kindVal, KindAny, kindVal, KindAny}
+	wantAnys := []any{nil, "box-a", nil, "box-b"}
+	if len(recv.wires) != len(wantKinds) {
+		t.Fatalf("got %d wires, want %d", len(recv.wires), len(wantKinds))
+	}
+	for k := range wantKinds {
+		if recv.wires[k].Kind != wantKinds[k] {
+			t.Errorf("wire %d: kind %d, want %d", k, recv.wires[k].Kind, wantKinds[k])
+		}
+	}
+	if !reflect.DeepEqual(recv.anys, wantAnys) {
+		t.Errorf("boxed column misaligned: got %v, want %v", recv.anys, wantAnys)
+	}
+}
+
+// TestAnyShimShardedDeterminism runs a many-sender SendAny workload
+// under sequential and forced-parallel delivery with a tight receive
+// cap, checking the boxed payloads that survive are identical: the
+// shim's side column must ride the same deterministic merge and cap
+// sampling as the wires.
+func TestAnyShimShardedDeterminism(t *testing.T) {
+	run := func(cfg Config) []any {
+		const n = 64
+		cfg.N = n
+		cfg.RecvCap = 3
+		nodes := make([]Node, n)
+		recv := &recorderNode{}
+		nodes[0] = recv
+		for i := 1; i < n; i++ {
+			nodes[i] = &anySprayNode{payload: i}
+		}
+		e := New(cfg, nodes)
+		for i := 1; i < n; i++ {
+			nodes[i].(*anySprayNode).target = e.IDs()[0]
+		}
+		e.Run(3)
+		if e.Metrics().RecvDrops == 0 {
+			t.Fatal("test needs drops to exercise cap compaction of the side column")
+		}
+		return recv.anys
+	}
+	seq := run(Config{Seed: 5, Sequential: true})
+	for _, w := range []int{2, 8, 16} {
+		par := run(Config{Seed: 5, Workers: w})
+		if !reflect.DeepEqual(seq, par) {
+			t.Errorf("workers=%d: surviving boxed payloads diverged: %v vs %v", w, seq, par)
+		}
+	}
+	if len(seq) == 0 {
+		t.Error("no boxed payloads survived the cap")
+	}
+}
+
+type anySprayNode struct {
+	target  ids.ID
+	payload int
+	r       int
+}
+
+func (n *anySprayNode) Init(ctx *Ctx) {
+	ctx.SendAny(n.target, n.payload)
+}
+func (n *anySprayNode) Round(ctx *Ctx, inbox []Wire) { n.r++ }
+func (n *anySprayNode) Halted() bool                 { return n.r >= 1 }

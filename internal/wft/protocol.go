@@ -2,6 +2,7 @@ package wft
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"overlay/internal/graphx"
@@ -31,15 +32,53 @@ import (
 //
 // F is the flood budget (≥ the graph's diameter; the expander gives
 // O(log n)) and K = ⌈log₂ n⌉.
+//
+// Every message is a fixed-width sim.Wire — at most four payload words
+// (one or two identifiers plus small integers), matching the model's
+// O(log n)-bit messages — dispatched on Wire.Kind; nothing is boxed.
+
+// Wire kinds of the tree protocol.
+const (
+	kindFlood uint16 = 1 + iota
+	kindAdopt
+	kindSize
+	kindInterval
+	kindJumpReq
+	kindJumpResp
+	kindFind
+	kindChildAck
+)
 
 type floodMsg struct {
 	root ids.ID
 	dist int
 }
 
+func (m floodMsg) Encode(w *sim.Wire) {
+	w.Kind = kindFlood
+	w.W[0] = uint64(m.root)
+	w.W[1] = uint64(m.dist)
+}
+
+func (m *floodMsg) Decode(w sim.Wire) {
+	m.root = ids.ID(w.W[0])
+	m.dist = int(w.W[1])
+}
+
 type adoptMsg struct{}
 
+func (adoptMsg) Encode(w *sim.Wire) { w.Kind = kindAdopt }
+
+func (*adoptMsg) Decode(sim.Wire) {}
+
 type sizeMsg struct{ size int }
+
+func (m sizeMsg) Encode(w *sim.Wire) {
+	w.Kind = kindSize
+	w.W[0] = uint64(m.size)
+}
+
+func (m *sizeMsg) Decode(w sim.Wire) { m.size = int(w.W[0]) }
 
 type intervalMsg struct {
 	lo, hi int
@@ -47,11 +86,44 @@ type intervalMsg struct {
 	total  int    // n, learned from the root
 }
 
+func (m intervalMsg) Encode(w *sim.Wire) {
+	w.Kind = kindInterval
+	w.W[0] = uint64(m.lo)
+	w.W[1] = uint64(m.hi)
+	w.W[2] = uint64(m.after)
+	w.W[3] = uint64(m.total)
+}
+
+func (m *intervalMsg) Decode(w sim.Wire) {
+	m.lo = int(w.W[0])
+	m.hi = int(w.W[1])
+	m.after = ids.ID(w.W[2])
+	m.total = int(w.W[3])
+}
+
 type jumpReq struct{ level int }
+
+func (m jumpReq) Encode(w *sim.Wire) {
+	w.Kind = kindJumpReq
+	w.W[0] = uint64(m.level)
+}
+
+func (m *jumpReq) Decode(w sim.Wire) { m.level = int(w.W[0]) }
 
 type jumpResp struct {
 	level int
 	id    ids.ID
+}
+
+func (m jumpResp) Encode(w *sim.Wire) {
+	w.Kind = kindJumpResp
+	w.W[0] = uint64(m.level)
+	w.W[1] = uint64(m.id)
+}
+
+func (m *jumpResp) Decode(w sim.Wire) {
+	m.level = int(w.W[0])
+	m.id = ids.ID(w.W[1])
 }
 
 type findMsg struct {
@@ -59,7 +131,22 @@ type findMsg struct {
 	origin ids.ID
 }
 
+func (m findMsg) Encode(w *sim.Wire) {
+	w.Kind = kindFind
+	w.W[0] = uint64(m.target)
+	w.W[1] = uint64(m.origin)
+}
+
+func (m *findMsg) Decode(w sim.Wire) {
+	m.target = int(w.W[0])
+	m.origin = ids.ID(w.W[1])
+}
+
 type childAck struct{}
+
+func (childAck) Encode(w *sim.Wire) { w.Kind = kindChildAck }
+
+func (*childAck) Decode(sim.Wire) {}
 
 // Protocol is the per-node state machine. Build with BuildEngine.
 type Protocol struct {
@@ -72,9 +159,12 @@ type Protocol struct {
 	bestDist int
 	parent   ids.ID
 
-	// Tree state.
+	// Tree state. children is sorted ascending after phase B and
+	// childSize is aligned with it (a parallel column instead of a
+	// per-node map; sizeKnown counts the filled entries).
 	children  []ids.ID
-	childSize map[ids.ID]int
+	childSize []int
+	sizeKnown int
 	sizeSent  bool
 	subtree   int
 
@@ -111,19 +201,26 @@ func BuildEngine(g *graphx.Graph, floodRounds int, cfg sim.Config) (*sim.Engine,
 	}
 	eng := sim.New(cfg, nodes)
 	idOf := eng.IDs()
+	// Neighbor lists share one flat arena (CSR-style, like the graph
+	// they come from) instead of one slice per node. Deduplicate and
+	// drop self-loops up front (preserving first occurrence order) so
+	// broadcasts can iterate without a set; degrees are O(log n), so
+	// the linear containment scan beats a per-node hash set.
+	totalDeg := 0
+	for i := range protos {
+		totalDeg += g.Degree(i)
+	}
+	arena := make([]ids.ID, 0, totalDeg)
 	for i, p := range protos {
-		// Deduplicate and drop self-loops up front (preserving first
-		// occurrence order) so broadcasts can iterate without a set.
-		p.neighbors = make([]ids.ID, 0, g.Degree(i))
-		seen := ids.NewSet()
+		start := len(arena)
 		for _, v := range g.Neighbors(i) {
 			nb := idOf[v]
-			if int(v) == i || seen.Has(nb) {
+			if int(v) == i || slices.Contains(arena[start:], nb) {
 				continue
 			}
-			seen.Add(nb)
-			p.neighbors = append(p.neighbors, nb)
+			arena = append(arena, nb)
 		}
+		p.neighbors = arena[start:len(arena):len(arena)]
 	}
 	return eng, protos
 }
@@ -148,23 +245,23 @@ func (p *Protocol) Init(ctx *sim.Ctx) {
 	p.bestRoot = ctx.ID
 	p.bestDist = 0
 	p.parent = ids.Nil
-	p.childSize = make(map[ids.ID]int)
 	p.HeapParent = ids.Nil
 	p.rank = -1
 	p.broadcast(ctx, floodMsg{root: ctx.ID, dist: 0})
 }
 
 func (p *Protocol) broadcast(ctx *sim.Ctx, m floodMsg) {
-	// Box the payload once for the whole broadcast; neighbors is
-	// deduplicated and self-loop-free at BuildEngine time.
-	var payload any = m
+	// Encode once for the whole broadcast; neighbors is deduplicated
+	// and self-loop-free at BuildEngine time.
+	var w sim.Wire
+	m.Encode(&w)
 	for _, nb := range p.neighbors {
-		ctx.Send(nb, payload)
+		ctx.SendWire(nb, w)
 	}
 }
 
 // Round advances the schedule.
-func (p *Protocol) Round(ctx *sim.Ctx, inbox []sim.Message) {
+func (p *Protocol) Round(ctx *sim.Ctx, inbox []sim.Wire) {
 	if p.done {
 		return
 	}
@@ -182,23 +279,31 @@ func (p *Protocol) Round(ctx *sim.Ctx, inbox []sim.Message) {
 		// Drain any last flood messages, then adopt the parent.
 		p.handleFlood(ctx, inbox)
 		if p.parent != ids.Nil {
-			ctx.Send(p.parent, adoptMsg{})
+			sim.Send(ctx, p.parent, adoptMsg{})
 		}
 	case r == f+1:
 		// Children are now known; leaves start the size aggregation.
-		for _, m := range inbox {
-			if _, ok := m.Payload.(adoptMsg); ok {
-				p.children = append(p.children, m.From)
+		for _, w := range inbox {
+			if w.Kind == kindAdopt {
+				p.children = append(p.children, w.From)
 			}
 		}
 		sort.Slice(p.children, func(i, j int) bool { return p.children[i] < p.children[j] })
+		p.childSize = make([]int, len(p.children))
 		p.maybeSendSize(ctx)
 	case r < phaseE:
-		for _, m := range inbox {
-			switch msg := m.Payload.(type) {
-			case sizeMsg:
-				p.childSize[m.From] = msg.size
-			case intervalMsg:
+		for _, w := range inbox {
+			switch w.Kind {
+			case kindSize:
+				var msg sizeMsg
+				msg.Decode(w)
+				if c := p.childIndex(w.From); c >= 0 && p.childSize[c] == 0 {
+					p.childSize[c] = msg.size
+					p.sizeKnown++
+				}
+			case kindInterval:
+				var msg intervalMsg
+				msg.Decode(w)
 				p.applyInterval(ctx, msg)
 			}
 		}
@@ -217,24 +322,42 @@ func (p *Protocol) Round(ctx *sim.Ctx, inbox []sim.Message) {
 	}
 }
 
-func (p *Protocol) handleFlood(ctx *sim.Ctx, inbox []sim.Message) {
+// childIndex locates a child by identifier in the sorted children list.
+func (p *Protocol) childIndex(id ids.ID) int {
+	lo, hi := 0, len(p.children)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if p.children[mid] < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(p.children) && p.children[lo] == id {
+		return lo
+	}
+	return -1
+}
+
+func (p *Protocol) handleFlood(ctx *sim.Ctx, inbox []sim.Wire) {
 	improved := false
-	for _, m := range inbox {
-		fm, ok := m.Payload.(floodMsg)
-		if !ok {
+	for _, w := range inbox {
+		if w.Kind != kindFlood {
 			continue
 		}
+		var fm floodMsg
+		fm.Decode(w)
 		cand := floodMsg{root: fm.root, dist: fm.dist + 1}
 		switch {
 		case cand.root < p.bestRoot,
 			cand.root == p.bestRoot && cand.dist < p.bestDist,
-			cand.root == p.bestRoot && cand.dist == p.bestDist && p.parent != ids.Nil && m.From < p.parent:
+			cand.root == p.bestRoot && cand.dist == p.bestDist && p.parent != ids.Nil && w.From < p.parent:
 			// Adopt strictly better candidates; among equal (root,
 			// dist) prefer the lowest sender ID so the BFS tree is the
 			// deterministic one FromGraph builds.
 			p.bestRoot = cand.root
 			p.bestDist = cand.dist
-			p.parent = m.From
+			p.parent = w.From
 			improved = true
 		}
 	}
@@ -245,13 +368,13 @@ func (p *Protocol) handleFlood(ctx *sim.Ctx, inbox []sim.Message) {
 
 // maybeSendSize fires once all children reported (leaves immediately).
 func (p *Protocol) maybeSendSize(ctx *sim.Ctx) {
-	if p.sizeSent || len(p.childSize) < len(p.children) {
+	if p.sizeSent || p.sizeKnown < len(p.children) {
 		return
 	}
 	p.sizeSent = true
 	p.subtree = 1
-	for _, c := range p.children {
-		p.subtree += p.childSize[c]
+	for _, s := range p.childSize {
+		p.subtree += s
 	}
 	if p.bestRoot == ctx.ID {
 		// Root: start interval distribution. Its own interval is
@@ -259,7 +382,7 @@ func (p *Protocol) maybeSendSize(ctx *sim.Ctx) {
 		p.applyInterval(ctx, intervalMsg{lo: 0, hi: p.subtree, after: ctx.ID, total: p.subtree})
 		return
 	}
-	ctx.Send(p.parent, sizeMsg{size: p.subtree})
+	sim.Send(ctx, p.parent, sizeMsg{size: p.subtree})
 }
 
 // applyInterval fixes the node's pre-order rank and forwards child
@@ -268,14 +391,18 @@ func (p *Protocol) applyInterval(ctx *sim.Ctx, msg intervalMsg) {
 	p.rank = msg.lo
 	p.total = msg.total
 	p.after = msg.after
+	if p.jump == nil {
+		// One exact allocation for the whole jump table (≤ K+1 levels).
+		p.jump = make([]ids.ID, 0, ctx.LogBound()+1)
+	}
 	lo := msg.lo + 1
 	for i, c := range p.children {
-		hi := lo + p.childSize[c]
+		hi := lo + p.childSize[i]
 		after := msg.after
 		if i+1 < len(p.children) {
 			after = p.children[i+1]
 		}
-		ctx.Send(c, intervalMsg{lo: lo, hi: hi, after: after, total: msg.total})
+		sim.Send(ctx, c, intervalMsg{lo: lo, hi: hi, after: after, total: msg.total})
 		lo = hi
 	}
 	if len(p.children) > 0 {
@@ -288,12 +415,16 @@ func (p *Protocol) applyInterval(ctx *sim.Ctx, msg intervalMsg) {
 // handleJump runs the level-locked pointer jumping: at phaseE + 2k the
 // whole network sends level-k requests; responses arrive one round
 // later; jump[k+1] is installed the round after.
-func (p *Protocol) handleJump(ctx *sim.Ctx, inbox []sim.Message, r, phaseE, k int) {
-	for _, m := range inbox {
-		switch msg := m.Payload.(type) {
-		case jumpReq:
-			ctx.Send(m.From, jumpResp{level: msg.level, id: p.jump[msg.level]})
-		case jumpResp:
+func (p *Protocol) handleJump(ctx *sim.Ctx, inbox []sim.Wire, r, phaseE, k int) {
+	for _, w := range inbox {
+		switch w.Kind {
+		case kindJumpReq:
+			var msg jumpReq
+			msg.Decode(w)
+			sim.Send(ctx, w.From, jumpResp{level: msg.level, id: p.jump[msg.level]})
+		case kindJumpResp:
+			var msg jumpResp
+			msg.Decode(w)
 			for len(p.jump) <= msg.level+1 {
 				p.jump = append(p.jump, ids.Nil)
 			}
@@ -311,12 +442,12 @@ func (p *Protocol) handleJump(ctx *sim.Ctx, inbox []sim.Message, r, phaseE, k in
 		p.jump = append(p.jump[:0], p.succ)
 	}
 	if level < len(p.jump) && p.jump[level] != ids.Nil {
-		ctx.Send(p.jump[level], jumpReq{level: level})
+		sim.Send(ctx, p.jump[level], jumpReq{level: level})
 	}
 }
 
 // handleFind emits and routes the heap-edge discovery messages.
-func (p *Protocol) handleFind(ctx *sim.Ctx, inbox []sim.Message) {
+func (p *Protocol) handleFind(ctx *sim.Ctx, inbox []sim.Wire) {
 	// Emission happens exactly once, on the first find-phase round.
 	if !p.findStartedFlag {
 		p.findStartedFlag = true
@@ -326,12 +457,14 @@ func (p *Protocol) handleFind(ctx *sim.Ctx, inbox []sim.Message) {
 			}
 		}
 	}
-	for _, m := range inbox {
-		switch msg := m.Payload.(type) {
-		case findMsg:
+	for _, w := range inbox {
+		switch w.Kind {
+		case kindFind:
+			var msg findMsg
+			msg.Decode(w)
 			p.routeFind(ctx, msg)
-		case childAck:
-			p.HeapKids = append(p.HeapKids, m.From)
+		case kindChildAck:
+			p.HeapKids = append(p.HeapKids, w.From)
 		}
 	}
 }
@@ -341,7 +474,7 @@ func (p *Protocol) handleFind(ctx *sim.Ctx, inbox []sim.Message) {
 func (p *Protocol) routeFind(ctx *sim.Ctx, msg findMsg) {
 	if msg.target == p.rank {
 		p.HeapParent = msg.origin
-		ctx.Send(msg.origin, childAck{})
+		sim.Send(ctx, msg.origin, childAck{})
 		return
 	}
 	d := msg.target - p.rank
@@ -352,7 +485,7 @@ func (p *Protocol) routeFind(ctx *sim.Ctx, msg findMsg) {
 	for (1<<(level+1)) <= d && level+1 < len(p.jump) {
 		level++
 	}
-	ctx.Send(p.jump[level], msg)
+	sim.Send(ctx, p.jump[level], msg)
 }
 
 // ExtractTree converts the finished protocol state into a Tree using

@@ -146,6 +146,11 @@ type BuildStats struct {
 	// MaxMessagesTotal is the largest per-node total (Theorem 1.1
 	// bounds it by O(log² n); message-level path only).
 	MaxMessagesTotal int64
+	// TotalMessages counts every wire message individually simulated
+	// across both engine phases (message-level path only; the fast
+	// path simulates none). Bench harnesses divide it by wall time to
+	// report engine throughput.
+	TotalMessages int64
 	// ExpanderDiameter is the diameter of the final evolved graph.
 	ExpanderDiameter int
 	// SpectralGap estimates the final graph's conductance bracket.
@@ -290,6 +295,7 @@ func buildMessageLevel(m *graphx.Multi, ep expander.Params, opt *Options) (*Buil
 			Rounds:              eng1.Round() + eng2.Round(),
 			MaxMessagesPerRound: maxRound,
 			MaxMessagesTotal:    m1.MaxPerNodeSent() + m2.MaxPerNodeSent(),
+			TotalMessages:       m1.TotalMessages + m2.TotalMessages,
 			ExpanderDiameter:    s.DiameterEstimate(),
 			SpectralGap:         final.SpectralGapWorkers(200, src.Split(0x9a9), ep.Workers),
 			CapacityDrops:       m1.RecvDrops + m2.RecvDrops,

@@ -1,0 +1,69 @@
+package overlay
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+)
+
+// TestMessageLevelMatchesPreMigrationEngine pins the wire-format
+// message plane to the boxed-payload engine it replaced: the expected
+// values below (round counts, peak per-node per-round units, peak
+// per-node totals, and an FNV-1a fingerprint of the tree's parent and
+// rank arrays) were captured from the pre-migration engine (PR 2 HEAD,
+// boxed `Message{From, Payload any}` inboxes) running full
+// message-level builds at these seeds. The wire plane must reproduce
+// every run bit-for-bit — the zero-boxing refactor changed the
+// representation of messages, not a single delivered bit or rng draw.
+func TestMessageLevelMatchesPreMigrationEngine(t *testing.T) {
+	cases := []struct {
+		n        int
+		seed     uint64
+		rounds   int
+		maxRound int
+		maxTotal int64
+		hash     uint64
+	}{
+		{64, 1, 278, 17, 1568, 0xa45658835cc35b1b},
+		{64, 2021, 278, 17, 1434, 0xe0d15bc986a1daa0},
+		{257, 1, 407, 27, 3220, 0xdd755ae96143b740},
+		{257, 2021, 407, 27, 3159, 0x4164bb66fa23b96c},
+		{1024, 1, 450, 31, 3988, 0xf93d7568ab56fce3},
+		{1024, 2021, 450, 30, 3932, 0x88b8c754fda1c4b8},
+	}
+	for _, c := range cases {
+		g := NewGraph(c.n)
+		for i := 0; i+1 < c.n; i++ {
+			g.AddEdge(i, i+1)
+		}
+		res, err := BuildTree(g, &Options{Seed: c.seed, MessageLevel: true})
+		if err != nil {
+			t.Fatalf("n=%d seed=%d: %v", c.n, c.seed, err)
+		}
+		if res.Stats.Rounds != c.rounds {
+			t.Errorf("n=%d seed=%d: rounds = %d, want %d", c.n, c.seed, res.Stats.Rounds, c.rounds)
+		}
+		if res.Stats.MaxMessagesPerRound != c.maxRound {
+			t.Errorf("n=%d seed=%d: max/round = %d, want %d",
+				c.n, c.seed, res.Stats.MaxMessagesPerRound, c.maxRound)
+		}
+		if res.Stats.MaxMessagesTotal != c.maxTotal {
+			t.Errorf("n=%d seed=%d: max total = %d, want %d",
+				c.n, c.seed, res.Stats.MaxMessagesTotal, c.maxTotal)
+		}
+		h := fnv.New64a()
+		for _, p := range res.Tree.Parent {
+			fmt.Fprintf(h, "%d,", p)
+		}
+		for _, rk := range res.Tree.Rank {
+			fmt.Fprintf(h, "%d;", rk)
+		}
+		if got := h.Sum64(); got != c.hash {
+			t.Errorf("n=%d seed=%d: tree fingerprint 0x%016x, want 0x%016x",
+				c.n, c.seed, got, c.hash)
+		}
+		if res.Stats.TotalMessages == 0 {
+			t.Errorf("n=%d seed=%d: TotalMessages not populated", c.n, c.seed)
+		}
+	}
+}
