@@ -3,7 +3,11 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-guard bench-scale profile fmt fmt-fix vet ci
+.PHONY: all build test race bench bench-json bench-guard bench-scale profile fmt fmt-fix vet cover scenario-smoke ci
+
+# The committed coverage floor (total statement coverage, percent).
+# Raise it when coverage rises; CI fails below it.
+COVER_FLOOR = 75
 
 all: build test
 
@@ -42,6 +46,17 @@ profile:
 	$(GO) run ./cmd/benchharness -quick -only E12 -cpuprofile cpu.pprof -memprofile mem.pprof
 	@echo "wrote cpu.pprof and mem.pprof; inspect with: go tool pprof cpu.pprof"
 
+# Coverage with the committed floor: the profile is written to
+# coverage.out and cmd/covguard fails the build below $(COVER_FLOOR)%.
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	$(GO) run ./cmd/covguard -profile coverage.out -min $(COVER_FLOOR)
+
+# The scenario smoke: the canned fault scenarios (crash-stop churn and
+# a lossy delayed network) at n=4096 under the race detector.
+scenario-smoke:
+	SCENARIO_N=4096 $(GO) test -race -run 'TestCannedScenarios' -v ./internal/scenario
+
 # Fail (like CI) when any file needs formatting.
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; fi
@@ -52,4 +67,4 @@ fmt-fix:
 vet:
 	$(GO) vet ./...
 
-ci: fmt vet build race bench bench-guard
+ci: fmt vet build race bench bench-guard cover scenario-smoke

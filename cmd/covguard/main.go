@@ -1,0 +1,102 @@
+// Command covguard enforces the repository's test-coverage floor: it
+// parses a go test -coverprofile file, computes total statement
+// coverage (the same figure go tool cover -func reports as "total"),
+// and exits nonzero when it falls below the committed minimum. CI runs
+// it after the coverage step so the floor can only move up on purpose.
+//
+//	go test -coverprofile=coverage.out ./...
+//	go run ./cmd/covguard -profile coverage.out -min 70
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	log.SetFlags(0)
+	profile := flag.String("profile", "coverage.out", "coverage profile written by go test -coverprofile")
+	min := flag.Float64("min", 0, "minimum total statement coverage in percent; fail below this")
+	flag.Parse()
+
+	pct, err := totalCoverage(*profile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("total statement coverage: %.1f%% (floor %.1f%%)\n", pct, *min)
+	if pct < *min {
+		log.Fatalf("coverage %.1f%% is below the committed floor %.1f%%", pct, *min)
+	}
+}
+
+// totalCoverage aggregates a coverprofile by block: a statement block
+// counts as covered when any profile line recorded a positive count
+// for it (merging the per-package lines exactly as go tool cover does).
+func totalCoverage(path string) (float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+
+	type block struct {
+		stmts   int
+		covered bool
+	}
+	blocks := make(map[string]*block)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	first := true
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if first {
+			first = false
+			if strings.HasPrefix(line, "mode:") {
+				continue
+			}
+		}
+		if line == "" {
+			continue
+		}
+		// file.go:sl.sc,el.ec numStmts count
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return 0, fmt.Errorf("covguard: malformed profile line %q", line)
+		}
+		stmts, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return 0, fmt.Errorf("covguard: bad statement count in %q: %v", line, err)
+		}
+		count, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return 0, fmt.Errorf("covguard: bad hit count in %q: %v", line, err)
+		}
+		b := blocks[fields[0]]
+		if b == nil {
+			b = &block{stmts: stmts}
+			blocks[fields[0]] = b
+		}
+		if count > 0 {
+			b.covered = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return 0, err
+	}
+	total, covered := 0, 0
+	for _, b := range blocks {
+		total += b.stmts
+		if b.covered {
+			covered += b.stmts
+		}
+	}
+	if total == 0 {
+		return 0, fmt.Errorf("covguard: profile %s contains no statements", path)
+	}
+	return 100 * float64(covered) / float64(total), nil
+}

@@ -4,9 +4,14 @@
 // Usage:
 //
 //	overlaycli -topology line -n 1024 -seed 7 [-message-level] [-cap 10]
+//	overlaycli -topology ring -n 4096 -faults 'drop=0.001,crashfrac=0.03@30'
 //
-// Topologies: line, ring, tree, grid, star (star implies the hybrid
-// algorithms; the NCC0 build requires bounded degree).
+// Topologies: line, ring, tree, grid. The -faults flag installs a
+// fault schedule (message drops/delays, crash-stop failures,
+// partitions; see overlay.ParseFaultPlan for the grammar) and implies
+// -message-level; the run then either reports a well-formed tree over
+// the survivors or an explicit abort, and the scenario invariant
+// checker's verdict is printed either way.
 package main
 
 import (
@@ -16,6 +21,7 @@ import (
 	"os"
 
 	"overlay"
+	"overlay/internal/scenario"
 )
 
 func main() {
@@ -27,21 +33,34 @@ func main() {
 		msgLvl  = flag.Bool("message-level", false, "run the real distributed protocol on the NCC0 engine")
 		capFac  = flag.Int("cap", 0, "NCC0 capacity factor κ (per-round cap κ·log n; 0 = uncapped)")
 		derived = flag.Bool("derived", false, "also print derived overlay sizes")
+		faults  = flag.String("faults", "", "fault schedule, e.g. 'drop=0.01,delay=0.05,delaymax=3,crash=17@40,crashfrac=0.1@100,cut=0-99@30-60,seed=9' (implies -message-level)")
 	)
 	flag.Parse()
 	if *n < 1 {
 		log.Fatal("-n must be >= 1")
 	}
 
-	g, err := makeTopology(*topo, *n)
+	g, err := scenario.BuildTopology(*topo, *n)
 	if err != nil {
-		log.Fatal(err)
+		fmt.Fprintln(os.Stderr, err)
+		flag.Usage()
+		os.Exit(2)
 	}
-	res, err := overlay.BuildTree(g, &overlay.Options{
+	var plan *overlay.FaultPlan
+	if *faults != "" {
+		plan, err = overlay.ParseFaultPlan(*faults)
+		if err != nil {
+			log.Fatal(err)
+		}
+		*msgLvl = true
+	}
+	opts := &overlay.Options{
 		Seed:         *seed,
 		MessageLevel: *msgLvl,
 		CapFactor:    *capFac,
-	})
+		Faults:       plan,
+	}
+	res, err := overlay.BuildTree(g, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -52,7 +71,19 @@ func main() {
 	}
 	fmt.Printf("topology        %s, n=%d\n", *topo, g.N)
 	fmt.Printf("mode            %s\n", mode)
-	fmt.Printf("tree            root=%d depth=%d degree<=3\n", res.Tree.Root, res.Tree.Depth())
+	if plan != nil {
+		fmt.Printf("faults          %s\n", *faults)
+	}
+	if res.Aborted {
+		fmt.Printf("result          ABORTED: %s\n", res.AbortReason)
+	} else {
+		survivors := g.N
+		if res.Survivors != nil {
+			survivors = len(res.Survivors)
+		}
+		fmt.Printf("tree            root=%d depth=%d degree<=3 over %d/%d nodes\n",
+			res.Tree.Root, res.Tree.Depth(), survivors, g.N)
+	}
 	fmt.Printf("rounds          %d\n", res.Stats.Rounds)
 	fmt.Printf("expander        diameter=%d spectral gap=%.4f\n",
 		res.Stats.ExpanderDiameter, res.Stats.SpectralGap)
@@ -60,52 +91,20 @@ func main() {
 		fmt.Printf("messages        max/node/round=%d max/node total=%d drops=%d\n",
 			res.Stats.MaxMessagesPerRound, res.Stats.MaxMessagesTotal, res.Stats.CapacityDrops)
 	}
-	if *derived {
+	if plan != nil {
+		fmt.Printf("fault plane     dropped=%d delayed=%d protocol anomalies=%d\n",
+			res.Stats.FaultDrops, res.Stats.FaultDelays, res.Stats.ProtocolAnomalies)
+		spec := scenario.Spec{Name: "cli", Topology: *topo, N: *n, Seed: *seed, CapFactor: *capFac, Faults: plan}
+		if viols := scenario.CheckInvariants(&spec, g, res); len(viols) == 0 {
+			fmt.Println("invariants      all hold")
+		} else {
+			for _, v := range viols {
+				fmt.Printf("invariants      VIOLATED: %s\n", v)
+			}
+		}
+	}
+	if *derived && !res.Aborted {
 		fmt.Printf("derived         ring=%d chord=%d hypercube=%d debruijn=%d edges\n",
 			len(res.Ring()), len(res.Chord()), len(res.Hypercube()), len(res.DeBruijn()))
 	}
-}
-
-func makeTopology(name string, n int) (*overlay.Graph, error) {
-	g := overlay.NewGraph(n)
-	switch name {
-	case "line":
-		for i := 0; i+1 < n; i++ {
-			g.AddEdge(i, i+1)
-		}
-	case "ring":
-		for i := 0; i < n && n > 1; i++ {
-			g.AddEdge(i, (i+1)%n)
-		}
-	case "tree":
-		for i := 0; i < n; i++ {
-			if l := 2*i + 1; l < n {
-				g.AddEdge(i, l)
-			}
-			if r := 2*i + 2; r < n {
-				g.AddEdge(i, r)
-			}
-		}
-	case "grid":
-		side := 1
-		for side*side < n {
-			side++
-		}
-		g = overlay.NewGraph(side * side)
-		for r := 0; r < side; r++ {
-			for c := 0; c < side; c++ {
-				if c+1 < side {
-					g.AddEdge(r*side+c, r*side+c+1)
-				}
-				if r+1 < side {
-					g.AddEdge(r*side+c, (r+1)*side+c)
-				}
-			}
-		}
-	default:
-		fmt.Fprintf(os.Stderr, "unknown topology %q\n", name)
-		flag.Usage()
-		os.Exit(2)
-	}
-	return g, nil
 }

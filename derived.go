@@ -9,34 +9,58 @@ import (
 // has assigned every node a unique rank, any overlay whose neighbor
 // sets are rank arithmetic can be established in O(log n) additional
 // rounds. These methods return the derived overlay's undirected edges
-// as (u, v) node-index pairs.
+// as (u, v) pairs of tree node indices — input node indices for
+// fault-free builds, survivor-local indices when Survivors is non-nil
+// (map through Survivors[v] to recover input nodes). On an Aborted
+// result there is no tree and every method returns nil.
 
 // Ring returns the rank ring: rank r ↔ r+1 (mod n). Degree 2.
 func (r *BuildResult) Ring() [][2]int {
+	if r.Tree == nil {
+		return nil
+	}
 	return edgePairs(overlays.Ring(r.Tree.NodeAt))
 }
 
 // Chord returns the finger ring (rank r to ranks r+2^k mod n): degree
 // and diameter O(log n), the routing substrate used by RouteLookup.
 func (r *BuildResult) Chord() [][2]int {
+	if r.Tree == nil {
+		return nil
+	}
 	return edgePairs(overlays.Chord(r.Tree.NodeAt))
 }
 
 // Hypercube returns the (possibly incomplete) hypercube over ranks.
 func (r *BuildResult) Hypercube() [][2]int {
+	if r.Tree == nil {
+		return nil
+	}
 	return edgePairs(overlays.Hypercube(r.Tree.NodeAt))
 }
 
 // DeBruijn returns the binary De Bruijn overlay over ranks: constant
 // degree, O(log n) diameter.
 func (r *BuildResult) DeBruijn() [][2]int {
+	if r.Tree == nil {
+		return nil
+	}
 	return edgePairs(overlays.DeBruijn(r.Tree.NodeAt))
 }
 
-// RouteLookup returns the greedy Chord routing path between two nodes
-// as a node-index sequence of length O(log n).
+// RouteLookup returns the greedy Chord routing path between two tree
+// nodes (survivor-local indices when Survivors is non-nil) as a
+// node-index sequence of length O(log n) in the same index space.
+// It returns nil on an Aborted result or out-of-range endpoints.
 func (r *BuildResult) RouteLookup(from, to int) []int {
-	ranks := overlays.RouteChord(len(r.Tree.Rank), r.Tree.Rank[from], r.Tree.Rank[to])
+	if r.Tree == nil {
+		return nil
+	}
+	n := len(r.Tree.Rank)
+	if from < 0 || from >= n || to < 0 || to >= n {
+		return nil
+	}
+	ranks := overlays.RouteChord(n, r.Tree.Rank[from], r.Tree.Rank[to])
 	path := make([]int, len(ranks))
 	for i, rk := range ranks {
 		path[i] = r.Tree.NodeAt[rk]

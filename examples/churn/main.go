@@ -1,9 +1,13 @@
 // Churn robustness (Section 5's outlook): the paper argues the evolved
-// expander should survive random node failures far better than the
-// input topology, because every cut grows to Θ(log n) edges over
-// distinct neighbors. This example measures that: kill a random
-// p-fraction of nodes in (a) the input line and (b) the constructed
-// expander, and compare how the survivors fragment.
+// expander should survive node failures far better than the input
+// topology, because every cut grows to Θ(log n) edges over distinct
+// neighbors. This example probes that claim *mid-protocol* on the
+// scenario harness: a random p-fraction of the nodes crash-stop while
+// the build is still evolving the expander, and the run either
+// completes a machine-checked well-formed tree over the survivors or
+// reports exactly why it could not. A post-hoc comparison against the
+// input line follows: the same failure set is applied to the finished
+// expander and to the line, and the surviving fragments are compared.
 //
 //	go run ./examples/churn [n] [failpercent]
 package main
@@ -15,6 +19,7 @@ import (
 	"strconv"
 
 	"overlay"
+	"overlay/internal/scenario"
 )
 
 func main() {
@@ -35,34 +40,48 @@ func main() {
 		failPct = v
 	}
 
-	g := overlay.NewGraph(n)
-	for i := 0; i+1 < n; i++ {
-		g.AddEdge(i, i+1)
+	// Mid-protocol churn: the crash round lands inside the expander
+	// evolutions, so the failures hit a protocol in flight, not a
+	// finished artifact.
+	plan := &overlay.FaultPlan{
+		Seed:           42,
+		CrashFrac:      float64(failPct) / 100,
+		CrashFracRound: 30,
 	}
-	res, err := overlay.BuildTree(g, &overlay.Options{Seed: 99})
-	if err != nil {
-		log.Fatal(err)
+	spec := scenario.Spec{
+		Name:     fmt.Sprintf("churn-%d%%", failPct),
+		Topology: "line",
+		N:        n,
+		Seed:     99,
+		Faults:   plan,
+	}
+	rep := scenario.Run(spec)
+	fmt.Printf("mid-protocol churn: %s\n", rep)
+	if rep.Err != nil {
+		log.Fatal(rep.Err)
+	}
+	res := rep.Result
+	if res.Aborted {
+		fmt.Println("the adversary won this one — rerun with fewer failures")
+		return
 	}
 
-	// Deterministic failure set.
-	state := uint64(0xdeadbeefcafef00d)
-	next := func(m int) int {
-		state ^= state << 13
-		state ^= state >> 7
-		state ^= state << 17
-		return int(state % uint64(m))
-	}
+	// Post-hoc comparison on the same failure set: how do the finished
+	// expander and the input line fragment when the crashed nodes are
+	// removed?
 	dead := make([]bool, n)
-	for k := 0; k < n*failPct/100; k++ {
-		dead[next(n)] = true
-	}
 	alive := 0
-	for _, d := range dead {
-		if !d {
-			alive++
+	if res.Survivors != nil {
+		for i := range dead {
+			dead[i] = true
 		}
+		for _, v := range res.Survivors {
+			dead[v] = false
+		}
+		alive = len(res.Survivors)
+	} else {
+		alive = n
 	}
-
 	lineEdges := make([][2]int, 0, n-1)
 	for i := 0; i+1 < n; i++ {
 		lineEdges = append(lineEdges, [2]int{i, i + 1})
@@ -70,7 +89,8 @@ func main() {
 	lineComp, lineLargest := survivors(n, lineEdges, dead)
 	expComp, expLargest := survivors(n, res.ExpanderEdges(), dead)
 
-	fmt.Printf("n=%d, %d%% random failures -> %d survivors\n", n, failPct, alive)
+	fmt.Printf("n=%d, %d%% crash-stop at round %d -> %d survivors\n",
+		n, failPct, plan.CrashFracRound, alive)
 	fmt.Printf("%-18s %12s %18s\n", "topology", "fragments", "largest fragment")
 	fmt.Printf("%-18s %12d %17d%%\n", "input line", lineComp, 100*lineLargest/max(alive, 1))
 	fmt.Printf("%-18s %12d %17d%%\n", "built expander", expComp, 100*expLargest/max(alive, 1))

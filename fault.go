@@ -1,0 +1,282 @@
+package overlay
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"overlay/internal/rng"
+	"overlay/internal/sim"
+)
+
+// FaultPlan is the overlay-level fault schedule for message-level
+// builds (Options.Faults). Rounds are counted on the global build
+// clock: the expander phase occupies rounds 1..R1 and the tree phase
+// continues from R1+1, so a single plan spans both engines — the build
+// translates it into per-engine sim.Adversary schedules, shifting
+// rounds by the measured phase boundary.
+//
+// Runs with a plan installed remain a pure function of (input graph,
+// Options.Seed, plan) at every worker count. A plan whose every field
+// is zero still installs the fault plane (exercising the checked
+// delivery path) but faults nothing, reproducing the fault-free build
+// bit for bit; Options.Faults == nil skips the fault plane entirely.
+type FaultPlan struct {
+	// Seed drives every probabilistic fault fate and the CrashFrac node
+	// selection. Independent of Options.Seed.
+	Seed uint64
+	// DropProb is the per-message loss probability in [0, 1].
+	DropProb float64
+	// DelayProb delays each surviving message with this probability by
+	// a uniform 1..DelayMax rounds (DelayMax <= 0 means 1).
+	DelayProb float64
+	DelayMax  int
+	// Crashes lists crash-stop faults: Node stops executing at the
+	// start of global round Round and becomes unreachable. Round <= 0
+	// means the node never participates.
+	Crashes []Crash
+	// CrashFrac crash-stops a uniformly chosen ⌊CrashFrac·n⌋-node
+	// subset (drawn from Seed) at round CrashFracRound, composing with
+	// the explicit Crashes list.
+	CrashFrac      float64
+	CrashFracRound int
+	// Partitions lists temporary cuts: during global rounds
+	// [From, Until) no message crosses between Side and its complement.
+	Partitions []Partition
+}
+
+// Crash is a crash-stop fault at a global build round.
+type Crash struct {
+	Node  int
+	Round int
+}
+
+// Partition cuts the node set Side off from the rest of the network
+// during global build rounds [From, Until).
+type Partition struct {
+	From, Until int
+	Side        []int
+}
+
+// validate rejects plans that reference nodes outside the n-node
+// build or carry out-of-range probabilities: a mistyped schedule must
+// fail loudly, not silently run as a weaker adversary.
+func (p *FaultPlan) validate(n int) error {
+	if p.DropProb < 0 || p.DropProb > 1 {
+		return fmt.Errorf("overlay: FaultPlan.DropProb %v outside [0,1]", p.DropProb)
+	}
+	if p.DelayProb < 0 || p.DelayProb > 1 {
+		return fmt.Errorf("overlay: FaultPlan.DelayProb %v outside [0,1]", p.DelayProb)
+	}
+	if p.CrashFrac < 0 || p.CrashFrac > 1 {
+		return fmt.Errorf("overlay: FaultPlan.CrashFrac %v outside [0,1]", p.CrashFrac)
+	}
+	for _, c := range p.Crashes {
+		if c.Node < 0 || c.Node >= n {
+			return fmt.Errorf("overlay: FaultPlan crashes node %d, but the build has %d nodes", c.Node, n)
+		}
+	}
+	for i, pt := range p.Partitions {
+		if pt.Until <= pt.From {
+			return fmt.Errorf("overlay: FaultPlan partition %d has empty window [%d,%d)", i, pt.From, pt.Until)
+		}
+		if len(pt.Side) == 0 {
+			return fmt.Errorf("overlay: FaultPlan partition %d has an empty side", i)
+		}
+		for _, v := range pt.Side {
+			if v < 0 || v >= n {
+				return fmt.Errorf("overlay: FaultPlan partition %d cuts node %d, but the build has %d nodes", i, v, n)
+			}
+		}
+	}
+	return nil
+}
+
+// materializeCrashes resolves CrashFrac into explicit crashes and
+// returns the full, deterministic crash list for an n-node build.
+func (p *FaultPlan) materializeCrashes(n int) []Crash {
+	crashes := append([]Crash(nil), p.Crashes...)
+	if p.CrashFrac > 0 && n > 0 {
+		k := int(p.CrashFrac * float64(n))
+		if k > n {
+			k = n
+		}
+		picked := rng.New(p.Seed).Split(0xc4a5).SampleWithoutReplacement(n, k)
+		sort.Ints(picked)
+		for _, v := range picked {
+			crashes = append(crashes, Crash{Node: v, Round: p.CrashFracRound})
+		}
+	}
+	return crashes
+}
+
+// adversary compiles the plan into a sim.Adversary for an engine whose
+// round 1 corresponds to global round offset+1. phase disambiguates
+// the fate streams of the two engines so a message delayed in the
+// expander phase and one in the tree phase never share a fate draw.
+func (p *FaultPlan) adversary(offset, phase int, crashes []Crash) *sim.Adversary {
+	adv := &sim.Adversary{
+		Seed:      rng.New(p.Seed).Split(uint64(phase) + 0xfa).Uint64(),
+		DropProb:  p.DropProb,
+		DelayProb: p.DelayProb,
+		DelayMax:  p.DelayMax,
+	}
+	for _, c := range crashes {
+		r := c.Round - offset
+		if r < 0 {
+			r = 0
+		}
+		adv.Crashes = append(adv.Crashes, sim.Crash{Node: c.Node, Round: r})
+	}
+	for _, pt := range p.Partitions {
+		from, until := pt.From-offset, pt.Until-offset
+		if until <= 1 {
+			continue // window wholly in a previous phase
+		}
+		adv.Partitions = append(adv.Partitions, sim.Partition{From: from, Until: until, Side: pt.Side})
+	}
+	return adv
+}
+
+// aliveAfter returns the survivor mask at the end of a build that ran
+// totalRounds global rounds, plus the count of the dead.
+func aliveAfter(crashes []Crash, n, totalRounds int) ([]bool, int) {
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	dead := 0
+	for _, c := range crashes {
+		if c.Node >= 0 && c.Node < n && c.Round <= totalRounds && alive[c.Node] {
+			alive[c.Node] = false
+			dead++
+		}
+	}
+	return alive, dead
+}
+
+// ParseFaultPlan parses the CLI fault specification: a comma-separated
+// list of directives. An empty string yields an empty (but installed)
+// plan.
+//
+//	seed=S             fault seed (uint64)
+//	drop=P             per-message drop probability
+//	delay=P            per-message delay probability
+//	delaymax=K         maximum delay in rounds (default 1)
+//	crash=NODE@ROUND   crash-stop NODE at global round ROUND (repeatable)
+//	crashfrac=F@ROUND  crash a random F-fraction of nodes at ROUND
+//	cut=LO-HI@FROM-TO  partition nodes LO..HI (inclusive) away from the
+//	                   rest during global rounds [FROM, TO) (repeatable)
+//
+// Example: "drop=0.01,delay=0.05,delaymax=3,crash=17@40,cut=0-99@30-60".
+func ParseFaultPlan(spec string) (*FaultPlan, error) {
+	plan := &FaultPlan{}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("overlay: fault directive %q is not key=value", part)
+		}
+		switch key {
+		case "seed":
+			v, err := strconv.ParseUint(val, 0, 64)
+			if err != nil {
+				return nil, fmt.Errorf("overlay: bad fault seed %q: %v", val, err)
+			}
+			plan.Seed = v
+		case "drop", "delay":
+			v, err := strconv.ParseFloat(val, 64)
+			if err != nil || v < 0 || v > 1 {
+				return nil, fmt.Errorf("overlay: %s=%q is not a probability in [0,1]", key, val)
+			}
+			if key == "drop" {
+				plan.DropProb = v
+			} else {
+				plan.DelayProb = v
+			}
+		case "delaymax":
+			v, err := strconv.Atoi(val)
+			if err != nil || v < 1 {
+				return nil, fmt.Errorf("overlay: delaymax=%q is not a positive round count", val)
+			}
+			plan.DelayMax = v
+		case "crash":
+			node, round, err := parseAtPair(val)
+			if err != nil {
+				return nil, fmt.Errorf("overlay: crash=%q: want NODE@ROUND: %v", val, err)
+			}
+			plan.Crashes = append(plan.Crashes, Crash{Node: node, Round: round})
+		case "crashfrac":
+			fs, rs, ok := strings.Cut(val, "@")
+			if !ok {
+				return nil, fmt.Errorf("overlay: crashfrac=%q: want FRAC@ROUND", val)
+			}
+			f, err := strconv.ParseFloat(fs, 64)
+			if err != nil || f < 0 || f > 1 {
+				return nil, fmt.Errorf("overlay: crashfrac fraction %q is not in [0,1]", fs)
+			}
+			r, err := strconv.Atoi(rs)
+			if err != nil {
+				return nil, fmt.Errorf("overlay: crashfrac round %q: %v", rs, err)
+			}
+			plan.CrashFrac, plan.CrashFracRound = f, r
+		case "cut":
+			rangeSpec, window, ok := strings.Cut(val, "@")
+			if !ok {
+				return nil, fmt.Errorf("overlay: cut=%q: want LO-HI@FROM-TO", val)
+			}
+			lo, hi, err := parseDashPair(rangeSpec)
+			if err != nil || lo > hi {
+				return nil, fmt.Errorf("overlay: cut node range %q: want LO-HI with LO <= HI", rangeSpec)
+			}
+			from, until, err := parseDashPair(window)
+			if err != nil || until <= from {
+				return nil, fmt.Errorf("overlay: cut window %q: want FROM-TO with FROM < TO", window)
+			}
+			side := make([]int, 0, hi-lo+1)
+			for v := lo; v <= hi; v++ {
+				side = append(side, v)
+			}
+			plan.Partitions = append(plan.Partitions, Partition{From: from, Until: until, Side: side})
+		default:
+			return nil, fmt.Errorf("overlay: unknown fault directive %q", key)
+		}
+	}
+	return plan, nil
+}
+
+func parseAtPair(s string) (int, int, error) {
+	a, b, ok := strings.Cut(s, "@")
+	if !ok {
+		return 0, 0, fmt.Errorf("missing @")
+	}
+	x, err := strconv.Atoi(a)
+	if err != nil {
+		return 0, 0, err
+	}
+	y, err := strconv.Atoi(b)
+	if err != nil {
+		return 0, 0, err
+	}
+	return x, y, nil
+}
+
+func parseDashPair(s string) (int, int, error) {
+	a, b, ok := strings.Cut(s, "-")
+	if !ok {
+		return 0, 0, fmt.Errorf("missing -")
+	}
+	x, err := strconv.Atoi(a)
+	if err != nil {
+		return 0, 0, err
+	}
+	y, err := strconv.Atoi(b)
+	if err != nil {
+		return 0, 0, err
+	}
+	return x, y, nil
+}

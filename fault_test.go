@@ -1,0 +1,292 @@
+package overlay
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+)
+
+// lineGraph builds the n-node path used throughout the fault tests.
+func lineGraph(n int) *Graph {
+	g := NewGraph(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+// fingerprintResult hashes everything observable about a build result,
+// so two runs compare bit-for-bit.
+func fingerprintResult(res *BuildResult) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "aborted=%v reason=%q|", res.Aborted, res.AbortReason)
+	fmt.Fprintf(h, "stats=%+v|", res.Stats)
+	for _, v := range res.Survivors {
+		fmt.Fprintf(h, "s%d,", v)
+	}
+	if res.Tree != nil {
+		fmt.Fprintf(h, "root=%d|", res.Tree.Root)
+		for _, p := range res.Tree.Parent {
+			fmt.Fprintf(h, "%d,", p)
+		}
+		for _, r := range res.Tree.Rank {
+			fmt.Fprintf(h, "%d;", r)
+		}
+	}
+	return h.Sum64()
+}
+
+// TestZeroFaultPlanMatchesFaultFree is the metamorphic pin for the
+// fault plane: installing a FaultPlan that faults nothing must
+// reproduce the fault-free message-level build bit for bit — same
+// trees, same rounds, same message accounting — at every golden
+// (n, seed) pair of wire_golden_test.go. The zero plan still routes
+// every message through the checked fault delivery path, so this test
+// proves that path is a true no-op, not merely unused.
+func TestZeroFaultPlanMatchesFaultFree(t *testing.T) {
+	cases := []struct {
+		n    int
+		seed uint64
+	}{
+		{64, 1}, {64, 2021}, {257, 1}, {257, 2021}, {1024, 1}, {1024, 2021},
+	}
+	for _, c := range cases {
+		plain, err := BuildTree(lineGraph(c.n), &Options{Seed: c.seed, MessageLevel: true})
+		if err != nil {
+			t.Fatalf("n=%d seed=%d: %v", c.n, c.seed, err)
+		}
+		zero, err := BuildTree(lineGraph(c.n), &Options{Seed: c.seed, MessageLevel: true, Faults: &FaultPlan{}})
+		if err != nil {
+			t.Fatalf("n=%d seed=%d zero plan: %v", c.n, c.seed, err)
+		}
+		if zero.Aborted {
+			t.Fatalf("n=%d seed=%d: zero plan aborted: %s", c.n, c.seed, zero.AbortReason)
+		}
+		if a, b := fingerprintResult(plain), fingerprintResult(zero); a != b {
+			t.Errorf("n=%d seed=%d: zero-fault build diverged from fault-free build (%016x vs %016x)\nplain: %+v\nzero:  %+v",
+				c.n, c.seed, a, b, plain.Stats, zero.Stats)
+		}
+		if zero.Stats.FaultDrops != 0 || zero.Stats.FaultDelays != 0 {
+			t.Errorf("n=%d seed=%d: zero plan faulted: %+v", c.n, c.seed, zero.Stats)
+		}
+	}
+}
+
+// TestFaultedBuildDeterministicAcrossWorkers extends the determinism
+// sweep to the fault plane at the public API: a seeded adversary with
+// drops, delays, crashes, and a partition must produce the identical
+// BuildResult (tree or abort, survivors, and statistics) at every
+// worker count, sequential execution included.
+func TestFaultedBuildDeterministicAcrossWorkers(t *testing.T) {
+	const n = 257
+	plan := &FaultPlan{
+		Seed:           5,
+		DropProb:       0.002,
+		DelayProb:      0.01,
+		DelayMax:       3,
+		Crashes:        []Crash{{Node: 11, Round: 60}, {Node: 200, Round: 150}},
+		CrashFrac:      0.02,
+		CrashFracRound: 120,
+		Partitions:     []Partition{{From: 40, Until: 44, Side: []int{0, 1, 2, 3, 4, 5, 6, 7}}},
+	}
+	var want uint64
+	for i, opt := range []*Options{
+		{Seed: 3, MessageLevel: true, Faults: plan, Workers: 1},
+		{Seed: 3, MessageLevel: true, Faults: plan, Sequential: true},
+		{Seed: 3, MessageLevel: true, Faults: plan, Workers: 2},
+		{Seed: 3, MessageLevel: true, Faults: plan, Workers: 5},
+		{Seed: 3, MessageLevel: true, Faults: plan, Workers: 16},
+	} {
+		res, err := BuildTree(lineGraph(n), opt)
+		if err != nil {
+			t.Fatalf("workers=%d sequential=%v: %v", opt.Workers, opt.Sequential, err)
+		}
+		fp := fingerprintResult(res)
+		if i == 0 {
+			want = fp
+			if res.Aborted {
+				t.Logf("faulted build aborted deterministically: %s", res.AbortReason)
+			} else {
+				t.Logf("faulted build completed: %d survivors of %d, rounds=%d, drops=%d delays=%d",
+					len(res.Survivors), n, res.Stats.Rounds, res.Stats.FaultDrops, res.Stats.FaultDelays)
+			}
+			continue
+		}
+		if fp != want {
+			t.Errorf("workers=%d sequential=%v: result fingerprint %016x != baseline %016x",
+				opt.Workers, opt.Sequential, fp, want)
+		}
+	}
+}
+
+// TestCrashFaultsYieldSurvivorTreeOrAbort: crashing nodes mid-build
+// either aborts with a reason or yields a well-formed tree over
+// exactly the survivor set.
+func TestCrashFaultsYieldSurvivorTreeOrAbort(t *testing.T) {
+	const n = 128
+	plan := &FaultPlan{Seed: 9, CrashFrac: 0.05, CrashFracRound: 30}
+	res, err := BuildTree(lineGraph(n), &Options{Seed: 7, MessageLevel: true, Faults: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The completed-build path must be worker-independent too (the
+	// abort path is swept separately).
+	res4, err := BuildTree(lineGraph(n), &Options{Seed: 7, MessageLevel: true, Faults: plan, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := fingerprintResult(res), fingerprintResult(res4); a != b {
+		t.Fatalf("crash build diverged between default and 4 workers: %016x vs %016x", a, b)
+	}
+	if res.Aborted {
+		if res.AbortReason == "" {
+			t.Fatal("aborted without a reason")
+		}
+		t.Logf("aborted: %s", res.AbortReason)
+		return
+	}
+	dead := len(plan.materializeCrashes(n))
+	if dead == 0 {
+		t.Fatal("test plan crashed nobody")
+	}
+	if len(res.Survivors) != n-dead {
+		t.Fatalf("got %d survivors, want %d", len(res.Survivors), n-dead)
+	}
+	k := len(res.Survivors)
+	if len(res.Tree.Rank) != k || len(res.Tree.Parent) != k || len(res.Tree.NodeAt) != k {
+		t.Fatalf("tree arrays sized %d/%d/%d, want %d",
+			len(res.Tree.Rank), len(res.Tree.Parent), len(res.Tree.NodeAt), k)
+	}
+	// Heap-rule spot check in survivor-local space.
+	for v := 0; v < k; v++ {
+		r := res.Tree.Rank[v]
+		if res.Tree.NodeAt[r] != v {
+			t.Fatalf("NodeAt[%d]=%d, want %d", r, res.Tree.NodeAt[r], v)
+		}
+		if v != res.Tree.Root {
+			if want := res.Tree.NodeAt[(r-1)/2]; res.Tree.Parent[v] != want {
+				t.Fatalf("survivor %d parent %d, want %d", v, res.Tree.Parent[v], want)
+			}
+		}
+	}
+}
+
+// TestFaultsRequireMessageLevel pins the API contract.
+func TestFaultsRequireMessageLevel(t *testing.T) {
+	_, err := BuildTree(lineGraph(16), &Options{Faults: &FaultPlan{}})
+	if err == nil {
+		t.Fatal("fast-path build with faults did not error")
+	}
+}
+
+// TestFaultPlanValidation: schedules referencing nodes the build does
+// not have (or carrying out-of-range probabilities) error loudly
+// instead of silently running a weaker adversary.
+func TestFaultPlanValidation(t *testing.T) {
+	for name, plan := range map[string]*FaultPlan{
+		"crash node beyond n":  {Crashes: []Crash{{Node: 5000, Round: 30}}},
+		"negative crash node":  {Crashes: []Crash{{Node: -1, Round: 30}}},
+		"cut node beyond n":    {Partitions: []Partition{{From: 1, Until: 5, Side: []int{99}}}},
+		"empty partition side": {Partitions: []Partition{{From: 1, Until: 5}}},
+		"empty cut window":     {Partitions: []Partition{{From: 5, Until: 5, Side: []int{0}}}},
+		"drop prob > 1":        {DropProb: 1.5},
+		"negative delay prob":  {DelayProb: -0.5},
+		"crash frac > 1":       {CrashFrac: 2, CrashFracRound: 10},
+	} {
+		_, err := BuildTree(lineGraph(32), &Options{MessageLevel: true, Faults: plan})
+		if err == nil {
+			t.Errorf("%s: BuildTree accepted the invalid plan", name)
+		}
+	}
+}
+
+// TestDerivedOverlaysOnFaultedResults: derived-overlay methods are
+// nil-safe on aborted results and stay in tree index space on
+// survivor trees.
+func TestDerivedOverlaysOnFaultedResults(t *testing.T) {
+	aborted := &BuildResult{Aborted: true, AbortReason: "test"}
+	if aborted.Ring() != nil || aborted.Chord() != nil || aborted.Hypercube() != nil ||
+		aborted.DeBruijn() != nil || aborted.RouteLookup(0, 1) != nil {
+		t.Error("derived methods on an aborted result did not return nil")
+	}
+
+	const n = 128
+	plan := &FaultPlan{Seed: 9, CrashFrac: 0.05, CrashFracRound: 30}
+	res, err := BuildTree(lineGraph(n), &Options{Seed: 7, MessageLevel: true, Faults: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Aborted {
+		t.Skipf("build aborted (%s); survivor-tree portion not exercised", res.AbortReason)
+	}
+	k := len(res.Survivors)
+	if edges := res.Ring(); len(edges) != k {
+		t.Errorf("survivor ring has %d edges, want %d", len(edges), k)
+	}
+	if path := res.RouteLookup(0, k-1); len(path) == 0 {
+		t.Error("RouteLookup on survivor-local endpoints returned nothing")
+	}
+	if res.RouteLookup(-1, 0) != nil || res.RouteLookup(0, k) != nil {
+		t.Error("RouteLookup accepted out-of-range endpoints")
+	}
+}
+
+// TestParseFaultPlan covers the CLI fault-spec grammar.
+func TestParseFaultPlan(t *testing.T) {
+	plan, err := ParseFaultPlan("seed=9,drop=0.01,delay=0.05,delaymax=3,crash=17@40,crash=3@0,crashfrac=0.25@100,cut=0-99@30-60")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Seed != 9 || plan.DropProb != 0.01 || plan.DelayProb != 0.05 || plan.DelayMax != 3 {
+		t.Errorf("scalar fields wrong: %+v", plan)
+	}
+	if len(plan.Crashes) != 2 || plan.Crashes[0] != (Crash{17, 40}) || plan.Crashes[1] != (Crash{3, 0}) {
+		t.Errorf("crashes wrong: %+v", plan.Crashes)
+	}
+	if plan.CrashFrac != 0.25 || plan.CrashFracRound != 100 {
+		t.Errorf("crashfrac wrong: %+v", plan)
+	}
+	if len(plan.Partitions) != 1 || plan.Partitions[0].From != 30 || plan.Partitions[0].Until != 60 ||
+		len(plan.Partitions[0].Side) != 100 {
+		t.Errorf("partition wrong: %+v", plan.Partitions)
+	}
+	if p, err := ParseFaultPlan(""); err != nil || p == nil {
+		t.Errorf("empty spec should parse to an empty plan, got %v, %v", p, err)
+	}
+	for _, bad := range []string{
+		"drop=2", "drop=x", "nope=1", "crash=5", "crash=5@x", "cut=5@1-2",
+		"cut=9-3@1-2", "cut=1-2@5-5", "delaymax=0", "crashfrac=0.5",
+	} {
+		if _, err := ParseFaultPlan(bad); err == nil {
+			t.Errorf("spec %q parsed without error", bad)
+		}
+	}
+}
+
+// TestMaterializeCrashesDeterministic: the CrashFrac node selection is
+// a pure function of (plan seed, n).
+func TestMaterializeCrashesDeterministic(t *testing.T) {
+	p1 := &FaultPlan{Seed: 4, CrashFrac: 0.1, CrashFracRound: 10}
+	p2 := &FaultPlan{Seed: 4, CrashFrac: 0.1, CrashFracRound: 10}
+	a, b := p1.materializeCrashes(100), p2.materializeCrashes(100)
+	if len(a) != 10 || len(b) != 10 {
+		t.Fatalf("materialized %d and %d crashes, want 10", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("crash lists diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	p3 := &FaultPlan{Seed: 5, CrashFrac: 0.1, CrashFracRound: 10}
+	c := p3.materializeCrashes(100)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different fault seeds picked the identical crash set")
+	}
+}

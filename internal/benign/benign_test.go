@@ -2,9 +2,11 @@ package benign
 
 import (
 	"errors"
+	"strings"
 	"testing"
 
 	"overlay/internal/graphx"
+	"overlay/internal/rng"
 	"overlay/internal/topology"
 )
 
@@ -97,6 +99,124 @@ func TestCheckFailures(t *testing.T) {
 	}
 	if err := Check(m3, Params{Delta: 4, Lambda: 1}, true); err != nil {
 		t.Errorf("valid benign graph failed Check: %v", err)
+	}
+}
+
+// TestDefaultsTable pins Defaults at the boundary scales: a power of
+// two, the first value past it (⌈log₂ n⌉ steps up), and a 2^20-node
+// network. Expected values follow the documented formula
+// Λ = ⌈log₂ n⌉, ∆ = max(2dΛ, 8Λ, 16) rounded up to a multiple of 8.
+func TestDefaultsTable(t *testing.T) {
+	cases := []struct {
+		n, d                  int
+		wantLambda, wantDelta int
+	}{
+		{16, 1, 4, 32},        // 8Λ floor dominates
+		{16, 2, 4, 32},        // 2dΛ = 16 still under the floor
+		{16, 10, 4, 80},       // 2dΛ = 80 dominates, already a multiple of 8
+		{17, 2, 5, 40},        // log bound steps up past the power of two
+		{17, 5, 5, 56},        // 2dΛ = 50 rounds up to 56
+		{1 << 20, 2, 20, 160}, // large scale, 8Λ floor
+		{1 << 20, 8, 20, 320}, // large scale, degree-driven
+	}
+	for _, c := range cases {
+		p := Defaults(c.n, c.d)
+		if p.Lambda != c.wantLambda || p.Delta != c.wantDelta {
+			t.Errorf("Defaults(%d, %d) = {∆:%d Λ:%d}, want {∆:%d Λ:%d}",
+				c.n, c.d, p.Delta, p.Lambda, c.wantDelta, c.wantLambda)
+		}
+		if p.Delta%8 != 0 || p.Delta < 2*c.d*p.Lambda || p.Delta < 16 {
+			t.Errorf("Defaults(%d, %d) = %+v violates its own contract", c.n, c.d, p)
+		}
+	}
+}
+
+// TestPrepareDegreeErrorPath exercises the 2dΛ > ∆ rejection: with
+// parameters that cannot absorb the input degree, Prepare must fail
+// with the ∆/2 diagnostic rather than build an overfull node, and the
+// same graph must pass once ∆ honors the requirement.
+func TestPrepareDegreeErrorPath(t *testing.T) {
+	g := topology.Star(6) // hub degree 5
+	// 2dΛ = 2·5·3 = 30 > ∆ = 16.
+	_, err := Prepare(g, Params{Delta: 16, Lambda: 3})
+	if err == nil {
+		t.Fatal("Prepare accepted 2dΛ > ∆")
+	}
+	if want := "∆/2"; !strings.Contains(err.Error(), want) {
+		t.Errorf("error %q does not mention %s", err, want)
+	}
+	// Defaults-derived parameters must never trip the rejection.
+	p := Defaults(6, 5)
+	m, err := Prepare(g, p)
+	if err != nil {
+		t.Fatalf("Prepare rejected its own Defaults: %v", err)
+	}
+	if err := Check(m, p, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// bruteMinCut enumerates every bipartition of the multigraph (fixing
+// node 0 on one side) and counts crossing edges directly from the slot
+// lists — an oracle independent of the Stoer–Wagner implementation.
+func bruteMinCut(m *graphx.Multi) int {
+	n := m.N
+	best := -1
+	// mask selects which of nodes 1..n-1 join node 0's side; the
+	// all-ones mask would put every node on one side and is excluded.
+	for mask := 0; mask < 1<<(n-1)-1; mask++ {
+		inSet := make([]bool, n)
+		inSet[0] = true
+		for v := 1; v < n; v++ {
+			if mask&(1<<(v-1)) != 0 {
+				inSet[v] = true
+			}
+		}
+		cut := 0
+		for u := 0; u < n; u++ {
+			if !inSet[u] {
+				continue
+			}
+			for _, v := range m.SlotsOf(u) {
+				if !inSet[v] {
+					cut++
+				}
+			}
+		}
+		if best < 0 || cut < best {
+			best = cut
+		}
+	}
+	return best
+}
+
+// TestPrepareCutSizeProperty: on randomized small connected graphs,
+// the prepared multigraph's minimum cut (per the brute-force oracle)
+// is at least Λ — Definition 2.1's cut requirement — and Stoer–Wagner
+// agrees with the oracle exactly.
+func TestPrepareCutSizeProperty(t *testing.T) {
+	src := rng.New(20210726)
+	for trial := 0; trial < 40; trial++ {
+		n := 3 + src.Intn(6) // 3..8 nodes: 2^(n-1) bipartitions is tiny
+		var g *graphx.Digraph
+		for {
+			g = topology.ErdosRenyi(n, 0.5, src)
+			if g.Undirected().IsConnected() {
+				break
+			}
+		}
+		p := Defaults(n, g.Undirected().MaxDegree())
+		m, err := Prepare(g, p)
+		if err != nil {
+			t.Fatalf("trial %d (n=%d): %v", trial, n, err)
+		}
+		oracle := bruteMinCut(m)
+		if oracle < p.Lambda {
+			t.Errorf("trial %d (n=%d): brute min cut %d < Λ %d", trial, n, oracle, p.Lambda)
+		}
+		if sw := m.MinCut(); sw != oracle {
+			t.Errorf("trial %d (n=%d): Stoer–Wagner %d != brute force %d", trial, n, sw, oracle)
+		}
 	}
 }
 

@@ -1,0 +1,50 @@
+package scenario
+
+import "overlay"
+
+// Canned returns the standard fault scenarios the CI smoke job (and
+// examples) run at a given scale. Two adversary styles are covered:
+//
+//   - mid-build-crashes: a random 3% of the nodes crash-stop while the
+//     expander evolutions are still running. The evolved graph's
+//     Θ(log n)-sized cuts are expected to absorb this — the build
+//     should complete with a well-formed tree over the survivors
+//     (Section 5's robustness outlook, exercised mid-protocol rather
+//     than post-hoc).
+//
+//   - lossy-delayed-network: every message is independently dropped
+//     with small probability and delayed with a larger one. The
+//     single-shot aggregation messages of the tree phase make
+//     completion unlikely; the scenario pins that the protocols
+//     degrade to an explicit, reasoned abort — never a deadlock,
+//     panic, or silent garbage tree.
+//
+// Every spec is deterministic: same n, same outcome, bit for bit, at
+// any worker count.
+func Canned(n int) []Spec {
+	return []Spec{
+		{
+			Name:     "mid-build-crashes",
+			Topology: "line",
+			N:        n,
+			Seed:     7,
+			Faults: &overlay.FaultPlan{
+				Seed:           9,
+				CrashFrac:      0.03,
+				CrashFracRound: 30,
+			},
+		},
+		{
+			Name:     "lossy-delayed-network",
+			Topology: "ring",
+			N:        n,
+			Seed:     11,
+			Faults: &overlay.FaultPlan{
+				Seed:      13,
+				DropProb:  0.002,
+				DelayProb: 0.01,
+				DelayMax:  3,
+			},
+		},
+	}
+}

@@ -1,0 +1,221 @@
+package scenario
+
+import (
+	"fmt"
+
+	"overlay"
+	"overlay/internal/sim"
+)
+
+// DefaultRoundBudget is the round bound the checker applies when the
+// spec does not set one: generous enough for every fault-free build
+// (measured builds run ≈45·⌈log₂ n⌉ rounds end to end) plus slack for
+// delay-induced wake rounds, but still O(log n) — a build that blows
+// it has lost the paper's time bound, not merely been unlucky.
+func DefaultRoundBudget(n int, faults *overlay.FaultPlan) int {
+	b := 60*sim.LogBound(n) + 80
+	if faults != nil && faults.DelayMax > 1 {
+		b += 8 * faults.DelayMax
+	}
+	return b
+}
+
+// CheckInvariants machine-checks the structural guarantees a build
+// must uphold, returning one human-readable violation per breach. It
+// accepts either outcome shape: a completed build must carry a
+// well-formed tree over exactly the survivor set, within degree,
+// depth, and round bounds, with the survivors connected in the evolved
+// expander; an aborted build must say why and is otherwise exempt
+// (the abort is the tolerance path, not a failure of it).
+func CheckInvariants(s *Spec, g *overlay.Graph, res *overlay.BuildResult) []string {
+	var v []string
+	bad := func(format string, args ...any) {
+		v = append(v, fmt.Sprintf(format, args...))
+	}
+
+	if res.Aborted {
+		if res.AbortReason == "" {
+			bad("aborted build carries no AbortReason")
+		}
+		if s.Faults == nil {
+			bad("build aborted with no fault plan installed")
+		}
+		if res.Tree != nil {
+			bad("aborted build still carries a tree")
+		}
+		return v
+	}
+	// The degrade-to-silence counters exist for faulted runs only: a
+	// fault-free protocol discarding messages it cannot serve is a
+	// protocol bug the old panic would have caught loudly.
+	if s.Faults == nil && res.Stats.ProtocolAnomalies != 0 {
+		bad("fault-free build reported %d protocol anomalies", res.Stats.ProtocolAnomalies)
+	}
+	if res.Tree == nil {
+		bad("completed build carries no tree")
+		return v
+	}
+
+	n := g.N
+	// Survivor set: nil means everybody; otherwise a strictly
+	// ascending subset of the input nodes.
+	k := n
+	if res.Survivors != nil {
+		k = len(res.Survivors)
+		last := -1
+		for _, x := range res.Survivors {
+			if x <= last || x >= n {
+				bad("Survivors is not a strictly ascending subset of [0,%d): %v", n, res.Survivors)
+				break
+			}
+			last = x
+		}
+	}
+
+	// Tree well-formedness over the survivor index space [0, k).
+	t := res.Tree
+	if len(t.Rank) != k || len(t.NodeAt) != k || len(t.Parent) != k {
+		bad("tree arrays sized %d/%d/%d, want survivor count %d",
+			len(t.Rank), len(t.NodeAt), len(t.Parent), k)
+		return v
+	}
+	if k == 0 {
+		return v
+	}
+	for x, r := range t.Rank {
+		if r < 0 || r >= k {
+			bad("node %d has rank %d outside [0,%d)", x, r, k)
+			return v
+		}
+		if t.NodeAt[r] != x {
+			bad("NodeAt[%d] = %d but Rank[%d] = %d (rank table is not a bijection)", r, t.NodeAt[r], x, r)
+			return v
+		}
+	}
+	if t.Root < 0 || t.Root >= k {
+		bad("root %d outside [0,%d)", t.Root, k)
+		return v
+	}
+	if t.Rank[t.Root] != 0 {
+		bad("root %d has rank %d, want 0", t.Root, t.Rank[t.Root])
+	}
+	children := make([]int, k)
+	for x, p := range t.Parent {
+		if p < 0 || p >= k {
+			bad("node %d has parent %d outside [0,%d)", x, p, k)
+			continue
+		}
+		if x == t.Root {
+			if p != x {
+				bad("root parent is %d, want self %d", p, x)
+			}
+			continue
+		}
+		if want := t.NodeAt[(t.Rank[x]-1)/2]; p != want {
+			bad("node %d (rank %d) has parent %d, want heap parent %d", x, t.Rank[x], p, want)
+		}
+		children[p]++
+	}
+	// Degree bound: <= 2 children plus the parent edge gives degree <= 3.
+	for x, c := range children {
+		if c > 2 {
+			bad("node %d has %d children (degree bound 3 broken)", x, c)
+		}
+	}
+	// Depth bound, measured structurally: walk each parent chain to the
+	// root (Tree.Depth() is derived from the node count alone, so it
+	// cannot witness an over-deep or cyclic structure). The walk also
+	// catches chains that never reach the root.
+	maxDepth := 0
+	for x := range t.Parent {
+		d := 0
+		for u := x; u != t.Root; {
+			p := t.Parent[u]
+			if p < 0 || p >= k {
+				break // out-of-range parent, already reported above
+			}
+			u = p
+			d++
+			if d > k {
+				bad("node %d's parent chain does not reach the root (cycle or breakage)", x)
+				return v
+			}
+		}
+		if d > maxDepth {
+			maxDepth = d
+		}
+	}
+	if maxDepth > sim.LogBound(k) {
+		bad("tree depth %d exceeds ⌈log₂ %d⌉ = %d", maxDepth, k, sim.LogBound(k))
+	}
+
+	// Round budget.
+	budget := s.RoundBudget
+	if budget == 0 {
+		budget = DefaultRoundBudget(n, s.Faults)
+	}
+	if res.Stats.Rounds > budget {
+		bad("build took %d rounds, budget %d", res.Stats.Rounds, budget)
+	}
+
+	// Survivor connectivity: the evolved expander restricted to the
+	// survivors must be connected — that is the Section 5 robustness
+	// claim the fault plane exists to probe, and a completed tree
+	// implies it (the flood reached every survivor).
+	if !survivorsConnected(n, res.ExpanderEdges(), res.Survivors) {
+		bad("survivors are disconnected in the evolved expander, yet the build completed")
+	}
+	return v
+}
+
+// survivorsConnected checks connectivity of the survivor-induced
+// subgraph. survivors == nil means all n nodes.
+func survivorsConnected(n int, edges [][2]int, survivors []int) bool {
+	alive := make([]bool, n)
+	count := 0
+	if survivors == nil {
+		for i := range alive {
+			alive[i] = true
+		}
+		count = n
+	} else {
+		for _, x := range survivors {
+			if x >= 0 && x < n && !alive[x] {
+				alive[x] = true
+				count++
+			}
+		}
+	}
+	if count <= 1 {
+		return true
+	}
+	adj := make([][]int, n)
+	for _, e := range edges {
+		if e[0] >= 0 && e[0] < n && e[1] >= 0 && e[1] < n && alive[e[0]] && alive[e[1]] {
+			adj[e[0]] = append(adj[e[0]], e[1])
+			adj[e[1]] = append(adj[e[1]], e[0])
+		}
+	}
+	start := -1
+	for i := 0; i < n; i++ {
+		if alive[i] {
+			start = i
+			break
+		}
+	}
+	seen := make([]bool, n)
+	queue := []int{start}
+	seen[start] = true
+	reached := 0
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		reached++
+		for _, w := range adj[u] {
+			if !seen[w] {
+				seen[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	return reached == count
+}

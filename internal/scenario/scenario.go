@@ -1,0 +1,155 @@
+// Package scenario is the deterministic simulation-testing harness on
+// top of the overlay builder and the engine's fault plane: a scenario
+// declares a topology, a protocol configuration, and a fault schedule,
+// and running it executes the full message-level build and checks the
+// paper's structural invariants on whatever came out — a well-formed
+// tree over the survivors, or an explicit abort with a reason.
+//
+// Everything is seed-deterministic: a scenario is a pure function of
+// its Spec, at every worker count, so a failing scenario is replayable
+// bit-for-bit from its declaration alone. This is the
+// deterministic-simulation-testing loop (generate adversarial
+// schedule, run, machine-check invariants) applied to the overlay
+// construction.
+package scenario
+
+import (
+	"fmt"
+
+	"overlay"
+)
+
+// Spec declares a scenario: which network, which build, which faults.
+// The zero values of the optional fields mean "defaults" throughout,
+// so a Spec literal reads like the sentence describing the scenario.
+type Spec struct {
+	// Name labels the scenario in reports.
+	Name string
+	// Topology is the input knowledge graph shape: line, ring, tree,
+	// or grid (see BuildTopology).
+	Topology string
+	// N is the node count (grids round up to a full square).
+	N int
+	// Seed is the protocol seed (overlay.Options.Seed).
+	Seed uint64
+	// CapFactor forwards overlay.Options.CapFactor.
+	CapFactor int
+	// Workers and Sequential forward the engine execution knobs; the
+	// result never depends on them.
+	Workers    int
+	Sequential bool
+	// Faults is the fault schedule; nil runs fault-free.
+	Faults *overlay.FaultPlan
+	// RoundBudget overrides the invariant checker's round bound
+	// (0 derives a generous O(log n) budget from N).
+	RoundBudget int
+}
+
+// Report is the outcome of running a scenario: the raw build result,
+// a hard error (invalid spec — never an adversary victory), and the
+// invariant violations found. A clean run has Err == nil and no
+// Violations; an aborted-but-explained build is clean too.
+type Report struct {
+	Spec       Spec
+	Result     *overlay.BuildResult
+	Err        error
+	Violations []string
+}
+
+// OK reports whether the scenario ran and every invariant held.
+func (r *Report) OK() bool { return r.Err == nil && len(r.Violations) == 0 }
+
+// String renders the one-line summary the smoke jobs print.
+func (r *Report) String() string {
+	switch {
+	case r.Err != nil:
+		return fmt.Sprintf("%s: error: %v", r.Spec.Name, r.Err)
+	case r.Result.Aborted:
+		return fmt.Sprintf("%s: aborted (%s), %d violations", r.Spec.Name, r.Result.AbortReason, len(r.Violations))
+	default:
+		surv := r.Spec.N
+		if r.Result.Survivors != nil {
+			surv = len(r.Result.Survivors)
+		}
+		return fmt.Sprintf("%s: tree over %d/%d survivors in %d rounds, %d violations",
+			r.Spec.Name, surv, r.Spec.N, r.Result.Stats.Rounds, len(r.Violations))
+	}
+}
+
+// Run executes the scenario: build the topology, run the message-level
+// construction under the declared faults, then check every invariant.
+func Run(s Spec) *Report {
+	rep := &Report{Spec: s}
+	g, err := BuildTopology(s.Topology, s.N)
+	if err != nil {
+		rep.Err = err
+		return rep
+	}
+	// The generated graph's N is authoritative (grids round up);
+	// normalize the spec so reports and checks count real nodes.
+	s.N = g.N
+	rep.Spec.N = g.N
+	res, err := overlay.BuildTree(g, &overlay.Options{
+		Seed:         s.Seed,
+		MessageLevel: true,
+		CapFactor:    s.CapFactor,
+		Workers:      s.Workers,
+		Sequential:   s.Sequential,
+		Faults:       s.Faults,
+	})
+	if err != nil {
+		rep.Err = err
+		return rep
+	}
+	rep.Result = res
+	rep.Violations = CheckInvariants(&s, g, res)
+	return rep
+}
+
+// BuildTopology constructs the named input knowledge graph on n nodes.
+// Grids round n up to the next full square (the returned graph's N is
+// authoritative).
+func BuildTopology(name string, n int) (*overlay.Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("scenario: topology needs n >= 1, got %d", n)
+	}
+	g := overlay.NewGraph(n)
+	switch name {
+	case "line":
+		for i := 0; i+1 < n; i++ {
+			g.AddEdge(i, i+1)
+		}
+	case "ring":
+		for i := 0; i < n && n > 1; i++ {
+			g.AddEdge(i, (i+1)%n)
+		}
+	case "tree":
+		for i := 0; i < n; i++ {
+			if l := 2*i + 1; l < n {
+				g.AddEdge(i, l)
+			}
+			if r := 2*i + 2; r < n {
+				g.AddEdge(i, r)
+			}
+		}
+	case "grid":
+		side := 1
+		for side*side < n {
+			side++
+		}
+		g = overlay.NewGraph(side * side)
+		for r := 0; r < side; r++ {
+			for c := 0; c < side; c++ {
+				if c+1 < side {
+					g.AddEdge(r*side+c, r*side+c+1)
+				}
+				if r+1 < side {
+					g.AddEdge(r*side+c, (r+1)*side+c)
+				}
+			}
+		}
+	default:
+		return nil, fmt.Errorf("scenario: unknown topology %q (want line|ring|tree|grid)", name)
+	}
+	return g, nil
+}

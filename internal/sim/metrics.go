@@ -20,6 +20,13 @@ type Metrics struct {
 	// RecvDrops counts node-rounds where the receive cap forced drops
 	// (expected to stay zero w.h.p. per Lemma 3.2).
 	RecvDrops int64
+	// FaultDrops counts messages discarded by the fault plane: random
+	// losses, partition cuts, and messages addressed to crashed nodes.
+	// Always zero without an installed Adversary.
+	FaultDrops int64
+	// FaultDelays counts messages the fault plane held back (each
+	// delayed message is counted once, when first held).
+	FaultDelays int64
 }
 
 // MaxPerNodeSent returns the maximum total units sent by any node, the

@@ -105,6 +105,11 @@ type Config struct {
 	// Sequential. Values above 1 force the sharded parallel path even
 	// on small inputs, which tests use to exercise it.
 	Workers int
+	// Adversary installs the fault plane (see Adversary). nil runs the
+	// fault-free fast path with no per-message checks; runs with an
+	// installed adversary remain a pure function of (protocol, Seed,
+	// Adversary) at every worker count.
+	Adversary *Adversary
 }
 
 // workers resolves the effective worker count.
@@ -162,6 +167,10 @@ type Engine struct {
 	// maintain the boxed side columns.
 	hasAny bool
 
+	// adv is the compiled fault plane; nil when no adversary is
+	// installed, in which case delivery takes the unchecked fast path.
+	adv *advState
+
 	metrics Metrics
 	round   int
 	inited  bool
@@ -179,7 +188,14 @@ type shardState struct {
 	perm    []int   // scratch permutation for receive-cap sampling
 	maxRecv int
 	drops   int64
-	_       [64]byte
+
+	// Fault-plane state (adversary runs only): the holdback queue of
+	// delayed messages destined for this shard's range, and the fault
+	// accounting merged into Metrics each round.
+	held      []heldWire
+	advDrops  int64
+	advDelays int64
+	_         [64]byte
 }
 
 // Ctx is a node's handle to the engine, valid for the duration of the
@@ -277,6 +293,7 @@ func New(cfg Config, nodes []Node) *Engine {
 	}
 	e.metrics.PerNodeSent = make([]int64, n)
 	e.metrics.PerNodeRecv = make([]int64, n)
+	e.adv = compileAdversary(cfg.Adversary, n)
 	return e
 }
 
@@ -401,12 +418,28 @@ func (e *Engine) halted(i int32) bool {
 func (e *Engine) Run(maxRounds int) int {
 	e.initNodes()
 	for r := 0; r < maxRounds; r++ {
-		if len(e.runList) == 0 {
+		if len(e.runList) == 0 && !e.pendingHeld() {
 			break
 		}
 		e.step()
 	}
 	return e.round
+}
+
+// pendingHeld reports whether any delivery shard still holds delayed
+// messages; the engine keeps ticking (possibly empty) rounds until the
+// holdback queues drain, so a delayed message can still wake a halted
+// network.
+func (e *Engine) pendingHeld() bool {
+	if e.adv == nil {
+		return false
+	}
+	for s := range e.shards {
+		if len(e.shards[s].held) > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // RunOne executes exactly one round (after lazily initializing nodes).
@@ -420,9 +453,14 @@ func (e *Engine) initNodes() {
 		return
 	}
 	e.inited = true
-	e.runList = make([]int32, e.cfg.N)
-	for i := range e.runList {
-		e.runList[i] = int32(i)
+	e.runList = make([]int32, 0, e.cfg.N)
+	for i := 0; i < e.cfg.N; i++ {
+		// A node crashed at round <= 0 is dead from the start: it never
+		// runs Init and never joins a run list.
+		if e.adv != nil && e.adv.deadFromStart(int32(i)) {
+			continue
+		}
+		e.runList = append(e.runList, int32(i))
 	}
 	e.forEach(len(e.runList), func(k int) {
 		i := e.runList[k]
@@ -515,14 +553,20 @@ func (e *Engine) deliver() {
 		}
 	}
 
-	// Sharded delivery into the flat per-shard arenas.
+	// Sharded delivery into the flat per-shard arenas. deliverRound is
+	// the round the scattered messages will be consumed in.
+	deliverRound := int32(e.round + 1)
 	e.forEach(len(e.shards), func(s int) {
 		lo := int32(s * e.shardSize)
 		hi := lo + int32(e.shardSize)
 		if hi > int32(e.cfg.N) {
 			hi = int32(e.cfg.N)
 		}
-		e.deliverShard(&e.shards[s], run, lo, hi)
+		if e.adv == nil {
+			e.deliverShard(&e.shards[s], run, lo, hi)
+		} else {
+			e.deliverShardFaulty(&e.shards[s], run, lo, hi, deliverRound)
+		}
 	})
 
 	// Merge shard accumulators (deterministic: max and sums).
@@ -533,6 +577,8 @@ func (e *Engine) deliver() {
 			roundRecvMax = sc.maxRecv
 		}
 		e.metrics.RecvDrops += sc.drops
+		e.metrics.FaultDrops += sc.advDrops
+		e.metrics.FaultDelays += sc.advDelays
 	}
 	e.metrics.RoundMaxSent = append(e.metrics.RoundMaxSent, roundSentMax)
 	e.metrics.RoundMaxRecv = append(e.metrics.RoundMaxRecv, roundRecvMax)
@@ -552,10 +598,19 @@ func (e *Engine) deliver() {
 
 	// Rebuild the active set: nodes that ran and are still live. Nodes
 	// that did not run cannot have changed state, and were halted.
+	// Nodes whose crash round has arrived are removed for good.
 	next := e.scratch[:0]
-	for _, i := range run {
-		if !e.halted(i) {
-			next = append(next, i)
+	if e.adv != nil && e.adv.hasCrash {
+		for _, i := range run {
+			if !e.halted(i) && !e.adv.dead(i, deliverRound) {
+				next = append(next, i)
+			}
+		}
+	} else {
+		for _, i := range run {
+			if !e.halted(i) {
+				next = append(next, i)
+			}
 		}
 	}
 	e.scratch, e.active = e.active, next
@@ -590,20 +645,7 @@ func (e *Engine) deliver() {
 // from the previous round are zeroed via the shard's old touched list,
 // so the work is proportional to traffic rather than to N.
 func (e *Engine) deliverShard(sc *shardState, run []int32, lo, hi int32) {
-	// Reset the previous round's state. The arena's wires are
-	// pointer-free; only the boxed side column needs clearing.
-	for _, j := range sc.touched {
-		e.inCnt[j] = 0
-	}
-	sc.touched = sc.touched[:0]
-	sc.arena = sc.arena[:0]
-	if sc.anyCol != nil {
-		clear(sc.anyCol)
-		sc.anyCol = sc.anyCol[:0]
-	}
-	sc.wake = sc.wake[:0]
-	sc.maxRecv = 0
-	sc.drops = 0
+	e.resetShard(sc)
 
 	// Count pass: scan only the 4-byte destination columns.
 	total := int32(0)
@@ -622,31 +664,7 @@ func (e *Engine) deliverShard(sc *shardState, run []int32, lo, hi int32) {
 	if total == 0 {
 		return
 	}
-
-	// Offsets: segments are laid out in first-arrival order; each
-	// destination's segment is contiguous, which is all inboxOf needs.
-	off := int32(0)
-	for _, j := range sc.touched {
-		e.inOff[j] = off
-		e.inPos[j] = off
-		off += e.inCnt[j]
-	}
-	if cap(sc.arena) < int(total) {
-		sc.arena = make([]Wire, total)
-	} else {
-		sc.arena = sc.arena[:total]
-	}
-	withAny := e.hasAny
-	if withAny {
-		if cap(sc.anyCol) < int(total) {
-			sc.anyCol = make([]any, total)
-		} else {
-			// The reset above cleared the live prefix and scatter
-			// overwrites only boxed slots, so re-clear the full window.
-			sc.anyCol = sc.anyCol[:total]
-			clear(sc.anyCol)
-		}
-	}
+	withAny := e.layoutArena(sc, total)
 
 	// Scatter pass: cache-linear copies into the arena.
 	for _, i := range run {
@@ -664,7 +682,64 @@ func (e *Engine) deliverShard(sc *shardState, run []int32, lo, hi int32) {
 		}
 	}
 
-	// Cap and metrics pass.
+	e.applyRecvCaps(sc)
+}
+
+// resetShard clears the previous round's per-shard delivery state. The
+// arena's wires are pointer-free; only the boxed side column needs
+// clearing.
+func (e *Engine) resetShard(sc *shardState) {
+	for _, j := range sc.touched {
+		e.inCnt[j] = 0
+	}
+	sc.touched = sc.touched[:0]
+	sc.arena = sc.arena[:0]
+	if sc.anyCol != nil {
+		clear(sc.anyCol)
+		sc.anyCol = sc.anyCol[:0]
+	}
+	sc.wake = sc.wake[:0]
+	sc.maxRecv = 0
+	sc.drops = 0
+	sc.advDrops = 0
+	sc.advDelays = 0
+}
+
+// layoutArena assigns per-destination offsets (segments in
+// first-arrival order of the touched list — contiguity is all inboxOf
+// needs) and sizes the arena, plus the boxed side column when any node
+// has ever used SendAny. It returns that withAny flag for the caller's
+// scatter pass.
+func (e *Engine) layoutArena(sc *shardState, total int32) (withAny bool) {
+	off := int32(0)
+	for _, j := range sc.touched {
+		e.inOff[j] = off
+		e.inPos[j] = off
+		off += e.inCnt[j]
+	}
+	if cap(sc.arena) < int(total) {
+		sc.arena = make([]Wire, total)
+	} else {
+		sc.arena = sc.arena[:total]
+	}
+	withAny = e.hasAny
+	if withAny {
+		if cap(sc.anyCol) < int(total) {
+			sc.anyCol = make([]any, total)
+		} else {
+			// resetShard cleared the live prefix and scatter overwrites
+			// only boxed slots, so re-clear the full window.
+			sc.anyCol = sc.anyCol[:total]
+			clear(sc.anyCol)
+		}
+	}
+	return withAny
+}
+
+// applyRecvCaps is the final delivery pass shared by the fast and
+// fault paths: receive-cap enforcement, receiver-side metrics, and the
+// wake list for halted destinations.
+func (e *Engine) applyRecvCaps(sc *shardState) {
 	for _, j := range sc.touched {
 		seg := sc.arena[e.inOff[j] : e.inOff[j]+e.inCnt[j]]
 		units := 0
@@ -686,6 +761,133 @@ func (e *Engine) deliverShard(sc *shardState, run []int32, lo, hi int32) {
 			sc.wake = append(sc.wake, j)
 		}
 	}
+}
+
+// deliverShardFaulty is deliverShard with the adversary consulted on
+// every message. Fresh messages routed into [lo, hi) are dropped,
+// delayed into the shard's holdback queue, or delivered; held messages
+// coming due this round are merged ahead of fresh traffic (in the
+// order they were held, which is itself deterministic). Both the count
+// and scatter passes evaluate the same pure fate function, so they
+// agree without storing per-message decisions, and no pass consults an
+// rng stream — the fault plane never perturbs protocol randomness.
+func (e *Engine) deliverShardFaulty(sc *shardState, run []int32, lo, hi, r int32) {
+	adv := e.adv
+	e.resetShard(sc)
+
+	// Count pass. Held messages due this round go first; a held message
+	// is re-checked against the schedule at its release round — its
+	// destination may have crashed, or a partition may have formed
+	// around it, while it was in flight.
+	total := int32(0)
+	nHeld := len(sc.held) // entries delayed this round are appended past here
+	for k := 0; k < nHeld; k++ {
+		hm := &sc.held[k]
+		if hm.due != r {
+			continue
+		}
+		if adv.dead(hm.dest, r) || adv.cut(hm.from, hm.dest, r) {
+			sc.advDrops++
+			continue
+		}
+		if e.inCnt[hm.dest] == 0 {
+			sc.touched = append(sc.touched, hm.dest)
+		}
+		e.inCnt[hm.dest]++
+		total++
+	}
+	for _, i := range run {
+		ctx := &e.ctxs[i]
+		for k, d := range ctx.outD {
+			if d < lo || d >= hi {
+				continue
+			}
+			if adv.dead(d, r) || adv.cut(i, d, r) {
+				sc.advDrops++
+				continue
+			}
+			drop, delay := adv.fate(r, i, k)
+			if drop {
+				sc.advDrops++
+				continue
+			}
+			if delay > 0 {
+				var box any
+				if ctx.outAny != nil {
+					box = ctx.outAny[k]
+				}
+				sc.held = append(sc.held, heldWire{w: ctx.outW[k], box: box, from: i, dest: d, due: r + delay})
+				sc.advDelays++
+				continue
+			}
+			if e.inCnt[d] == 0 {
+				sc.touched = append(sc.touched, d)
+			}
+			e.inCnt[d]++
+			total++
+		}
+	}
+	if total == 0 {
+		sc.compactHeld(r)
+		return
+	}
+	withAny := e.layoutArena(sc, total)
+
+	// Scatter pass: held first (same predicates as the count pass),
+	// then fresh messages.
+	for k := 0; k < nHeld; k++ {
+		hm := &sc.held[k]
+		if hm.due != r || adv.dead(hm.dest, r) || adv.cut(hm.from, hm.dest, r) {
+			continue
+		}
+		p := e.inPos[hm.dest]
+		sc.arena[p] = hm.w
+		if withAny {
+			sc.anyCol[p] = hm.box
+		}
+		e.inPos[hm.dest] = p + 1
+	}
+	for _, i := range run {
+		ctx := &e.ctxs[i]
+		for k, d := range ctx.outD {
+			if d < lo || d >= hi {
+				continue
+			}
+			if adv.dead(d, r) || adv.cut(i, d, r) {
+				continue
+			}
+			drop, delay := adv.fate(r, i, k)
+			if drop || delay > 0 {
+				continue
+			}
+			p := e.inPos[d]
+			sc.arena[p] = ctx.outW[k]
+			if withAny && ctx.outAny != nil {
+				sc.anyCol[p] = ctx.outAny[k]
+			}
+			e.inPos[d] = p + 1
+		}
+	}
+	sc.compactHeld(r)
+	e.applyRecvCaps(sc)
+}
+
+// compactHeld removes holdback entries that were delivered (or dropped
+// dead) at round r, preserving queue order and zeroing the tail so
+// boxed payloads do not leak through the reused backing array.
+func (sc *shardState) compactHeld(r int32) {
+	kept := 0
+	for k := range sc.held {
+		if sc.held[k].due == r {
+			continue
+		}
+		sc.held[kept] = sc.held[k]
+		kept++
+	}
+	for k := kept; k < len(sc.held); k++ {
+		sc.held[k] = heldWire{}
+	}
+	sc.held = sc.held[:kept]
 }
 
 // capInbox keeps a random subset of destination j's arena segment

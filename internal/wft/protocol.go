@@ -181,6 +181,14 @@ type Protocol struct {
 	HeapParent ids.ID
 	HeapKids   []ids.ID
 
+	// anomalies counts messages the node discarded because its own
+	// state could not serve them (a jump request for a level it never
+	// learned, a find that overshot its rank). In fault-free runs the
+	// schedule guarantees this stays zero; under an installed fault
+	// plane it is how the protocol degrades on silence instead of
+	// deadlocking or panicking.
+	anomalies int
+
 	findStartedFlag bool
 	done            bool
 }
@@ -233,6 +241,10 @@ func Rounds(floodRounds, n int) int {
 
 // Halted implements sim.Halter.
 func (p *Protocol) Halted() bool { return p.done }
+
+// Anomalies returns the number of messages this node discarded because
+// its state could not serve them; zero in fault-free runs.
+func (p *Protocol) Anomalies() int { return p.anomalies }
 
 // Rank0 reports whether this node ended as the root.
 func (p *Protocol) IsRoot() bool { return p.rank == 0 }
@@ -421,6 +433,15 @@ func (p *Protocol) handleJump(ctx *sim.Ctx, inbox []sim.Wire, r, phaseE, k int) 
 		case kindJumpReq:
 			var msg jumpReq
 			msg.Decode(w)
+			if msg.level < 0 || msg.level >= len(p.jump) || p.jump[msg.level] == ids.Nil {
+				// Under faults a peer may ask for a level this node never
+				// established (its own response was lost, or ranks are
+				// inconsistent across a healed partition). Stay silent
+				// rather than panic: the requester's table simply stops
+				// growing and the build aborts at extraction.
+				p.anomalies++
+				continue
+			}
 			sim.Send(ctx, w.From, jumpResp{level: msg.level, id: p.jump[msg.level]})
 		case kindJumpResp:
 			var msg jumpResp
@@ -439,6 +460,14 @@ func (p *Protocol) handleJump(ctx *sim.Ctx, inbox []sim.Wire, r, phaseE, k int) 
 		return
 	}
 	if level == 0 {
+		if p.rank < 0 {
+			// Never ranked (the interval flow died upstream under
+			// faults): this node has no ring successor and cannot join
+			// the pointer jumping. Its find messages will be dropped at
+			// emission for the same reason.
+			p.anomalies++
+			return
+		}
 		p.jump = append(p.jump[:0], p.succ)
 	}
 	if level < len(p.jump) && p.jump[level] != ids.Nil {
@@ -470,7 +499,11 @@ func (p *Protocol) handleFind(ctx *sim.Ctx, inbox []sim.Wire) {
 }
 
 // routeFind forwards toward the target rank along the largest jump not
-// overshooting, or accepts the heap edge on arrival.
+// overshooting, or accepts the heap edge on arrival. A find this node
+// cannot route — it overshot (inconsistent ranks under faults) or the
+// local jump table is missing (this node was never ranked) — is
+// dropped and counted, never propagated or panicked on: lost finds
+// surface as missing heap parents at extraction.
 func (p *Protocol) routeFind(ctx *sim.Ctx, msg findMsg) {
 	if msg.target == p.rank {
 		p.HeapParent = msg.origin
@@ -479,11 +512,16 @@ func (p *Protocol) routeFind(ctx *sim.Ctx, msg findMsg) {
 	}
 	d := msg.target - p.rank
 	if d < 0 {
-		panic(fmt.Sprintf("wft: find message overshot: at rank %d targeting %d", p.rank, msg.target))
+		p.anomalies++
+		return
 	}
 	level := 0
 	for (1<<(level+1)) <= d && level+1 < len(p.jump) {
 		level++
+	}
+	if level >= len(p.jump) || p.jump[level] == ids.Nil {
+		p.anomalies++
+		return
 	}
 	sim.Send(ctx, p.jump[level], msg)
 }
@@ -521,4 +559,74 @@ func ExtractTree(eng *sim.Engine, protos []*Protocol) (*Tree, error) {
 		return nil, err
 	}
 	return t, nil
+}
+
+// ExtractTreeSurvivors converts the finished protocol state into a
+// well-formed tree over the survivor subset: alive[i] == false marks a
+// crashed node whose state is ignored. The returned tree is indexed in
+// survivor-local space; nodes[local] gives the original engine index.
+// An error means the survivors do not hold a consistent tree — the
+// flood did not cover them, ranks collide, or heap parents are missing
+// — which callers surface as an aborted build rather than a panic.
+// alive == nil means every node survived.
+func ExtractTreeSurvivors(eng *sim.Engine, protos []*Protocol, alive []bool) (*Tree, []int, error) {
+	n := len(protos)
+	nodes := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if alive == nil || alive[i] {
+			nodes = append(nodes, i)
+		}
+	}
+	k := len(nodes)
+	if k == 0 {
+		return nil, nil, fmt.Errorf("wft: no survivors")
+	}
+	local := make(map[int]int, k) // engine index -> survivor-local index
+	for li, gi := range nodes {
+		local[gi] = li
+	}
+	t := &Tree{
+		Rank:   make([]int, k),
+		NodeAt: make([]int, k),
+		Parent: make([]int, k),
+	}
+	for i := range t.NodeAt {
+		t.NodeAt[i] = -1
+	}
+	for li, gi := range nodes {
+		p := protos[gi]
+		if p.rank < 0 {
+			return nil, nil, fmt.Errorf("wft: survivor %d was never ranked (flood did not cover the survivor set)", gi)
+		}
+		if p.rank >= k {
+			return nil, nil, fmt.Errorf("wft: survivor %d has rank %d beyond survivor count %d", gi, p.rank, k)
+		}
+		if prev := t.NodeAt[p.rank]; prev >= 0 {
+			return nil, nil, fmt.Errorf("wft: survivors %d and %d share rank %d", nodes[prev], gi, p.rank)
+		}
+		t.Rank[li] = p.rank
+		t.NodeAt[p.rank] = li
+		if p.rank == 0 {
+			t.Root = li
+		}
+	}
+	for li, gi := range nodes {
+		p := protos[gi]
+		if p.HeapParent == ids.Nil {
+			return nil, nil, fmt.Errorf("wft: survivor %d has no heap parent", gi)
+		}
+		pg, ok := eng.IndexOf(p.HeapParent)
+		if !ok {
+			return nil, nil, fmt.Errorf("wft: unknown heap parent id %v", p.HeapParent)
+		}
+		pl, ok := local[pg]
+		if !ok {
+			return nil, nil, fmt.Errorf("wft: survivor %d claims crashed node %d as heap parent", gi, pg)
+		}
+		t.Parent[li] = pl
+	}
+	if err := t.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return t, nodes, nil
 }

@@ -99,6 +99,14 @@ type Options struct {
 	// spectral mat-vecs the same way. Results never depend on the
 	// value: every parallel stage is partitioned deterministically.
 	Workers int
+	// Faults installs a fault schedule (message drops, delays,
+	// crash-stop failures, partitions) on the message-level engines;
+	// see FaultPlan. Requires MessageLevel (the fast path simulates no
+	// messages to fault). A faulted build either produces a well-formed
+	// tree over the surviving nodes (BuildResult.Survivors) or reports
+	// BuildResult.Aborted with a reason — it never errors merely
+	// because the adversary won.
+	Faults *FaultPlan
 }
 
 // Tree is a well-formed tree: rooted, degree ≤ 3, depth ⌈log₂ n⌉.
@@ -157,12 +165,36 @@ type BuildStats struct {
 	SpectralGap float64
 	// CapacityDrops counts receive-capacity drops (0 in correct runs).
 	CapacityDrops int64
+	// FaultDrops and FaultDelays count messages the installed fault
+	// plane discarded or held back (0 without Options.Faults).
+	FaultDrops  int64
+	FaultDelays int64
+	// ProtocolAnomalies counts messages the tree protocol discarded
+	// because its local state could not serve them (unroutable finds,
+	// unserved jump requests) — the degrade-to-silence path faults
+	// push the protocol onto. Always 0 in fault-free builds; tests pin
+	// that.
+	ProtocolAnomalies int64
 }
 
 // BuildResult carries the constructed tree and run statistics.
 type BuildResult struct {
+	// Tree is the constructed well-formed tree. When Survivors is
+	// non-nil, Tree is indexed in survivor-local space: node v of the
+	// tree is input node Survivors[v]. Tree is nil when Aborted.
 	Tree  *Tree
 	Stats BuildStats
+
+	// Aborted reports that an installed fault schedule prevented the
+	// build from completing a consistent tree (the protocol degraded
+	// to silence instead of deadlocking); AbortReason says why.
+	// Fault-free builds never abort — they error on invalid input.
+	Aborted     bool
+	AbortReason string
+	// Survivors lists the input node indices alive at the end of a
+	// faulted build, in ascending order; nil means every node survived
+	// (in particular, always nil without Options.Faults).
+	Survivors []int
 
 	// expander retains the evolved low-diameter graph for derived
 	// overlays (Ring, Hypercube, Butterfly, DeBruijn).
@@ -178,6 +210,9 @@ func BuildTree(g *Graph, opt *Options) (*BuildResult, error) {
 	if opt == nil {
 		opt = &Options{}
 	}
+	if opt.Faults != nil && !opt.MessageLevel {
+		return nil, errors.New("overlay: Options.Faults requires MessageLevel (the fast path simulates no messages to fault)")
+	}
 	dg, err := g.digraph()
 	if err != nil {
 		return nil, err
@@ -188,6 +223,11 @@ func BuildTree(g *Graph, opt *Options) (*BuildResult, error) {
 	simple := dg.Undirected()
 	if !simple.IsConnected() {
 		return nil, ErrNotConnected
+	}
+	if opt.Faults != nil {
+		if err := opt.Faults.validate(g.N); err != nil {
+			return nil, err
+		}
 	}
 
 	bp := benign.Defaults(g.N, dg.MaxDegree())
@@ -254,12 +294,61 @@ func buildFast(m *graphx.Multi, ep expander.Params, opt *Options) (*BuildResult,
 }
 
 // buildMessageLevel runs the full distributed pipeline on the engine.
+// With Options.Faults installed, both engine phases run under the
+// compiled adversary; a build the adversary defeats is reported as
+// Aborted (with partial statistics) rather than as an error.
 func buildMessageLevel(m *graphx.Multi, ep expander.Params, opt *Options) (*BuildResult, error) {
 	engCfg := sim.Config{Seed: opt.Seed, Sequential: opt.Sequential, Workers: opt.Workers}
+	faults := opt.Faults
+	var crashes []Crash
+	if faults != nil {
+		crashes = faults.materializeCrashes(m.N)
+		engCfg.Adversary = faults.adversary(0, 1, crashes)
+	}
 	final, eng1, _ := expander.RunMessageLevel(m, ep, engCfg, opt.CapFactor)
 	s := final.Simple()
+	src := rng.New(opt.Seed)
+
+	// stats merges whatever engine phases have run; the abort paths
+	// report partial accounting the same way a completed build does.
+	stats := func(eng2 *sim.Engine) BuildStats {
+		m1 := eng1.Metrics()
+		st := BuildStats{
+			Rounds:              eng1.Round(),
+			MaxMessagesPerRound: m1.MaxRoundSent(),
+			MaxMessagesTotal:    m1.MaxPerNodeSent(),
+			TotalMessages:       m1.TotalMessages,
+			ExpanderDiameter:    s.DiameterEstimate(),
+			SpectralGap:         final.SpectralGapWorkers(200, src.Split(0x9a9), ep.Workers),
+			CapacityDrops:       m1.RecvDrops,
+			FaultDrops:          m1.FaultDrops,
+			FaultDelays:         m1.FaultDelays,
+		}
+		if eng2 != nil {
+			m2 := eng2.Metrics()
+			st.Rounds += eng2.Round()
+			if v := m2.MaxRoundSent(); v > st.MaxMessagesPerRound {
+				st.MaxMessagesPerRound = v
+			}
+			st.MaxMessagesTotal += m2.MaxPerNodeSent()
+			st.TotalMessages += m2.TotalMessages
+			st.CapacityDrops += m2.RecvDrops
+			st.FaultDrops += m2.FaultDrops
+			st.FaultDelays += m2.FaultDelays
+		}
+		return st
+	}
+
 	if !s.IsConnected() {
-		return nil, fmt.Errorf("overlay: evolved graph disconnected (raise Delta or Evolutions)")
+		if faults == nil {
+			return nil, fmt.Errorf("overlay: evolved graph disconnected (raise Delta or Evolutions)")
+		}
+		return &BuildResult{
+			Aborted:     true,
+			AbortReason: "evolved graph disconnected under faults",
+			Stats:       stats(nil),
+			expander:    s,
+		}, nil
 	}
 	flood := 2*sim.LogBound(m.N) + 2
 	if d := s.DiameterUpperBound(); d+2 > flood {
@@ -269,21 +358,54 @@ func buildMessageLevel(m *graphx.Multi, ep expander.Params, opt *Options) (*Buil
 	if opt.CapFactor > 0 {
 		cap = opt.CapFactor * sim.LogBound(m.N)
 	}
-	eng2, protos := wft.BuildEngine(s, flood, sim.Config{
+	cfg2 := sim.Config{
 		Seed: opt.Seed + 1, SendCap: cap, RecvCap: cap,
 		Sequential: opt.Sequential, Workers: opt.Workers,
-	})
+	}
+	r1 := eng1.Round()
+	if faults != nil {
+		cfg2.Adversary = faults.adversary(r1, 2, crashes)
+	}
+	eng2, protos := wft.BuildEngine(s, flood, cfg2)
 	eng2.Run(wft.Rounds(flood, m.N) + 4)
-	tree, err := wft.ExtractTree(eng2, protos)
-	if err != nil {
-		return nil, err
+	var anomalies int64
+	for _, p := range protos {
+		anomalies += int64(p.Anomalies())
 	}
-	m1, m2 := eng1.Metrics(), eng2.Metrics()
-	maxRound := m1.MaxRoundSent()
-	if v := m2.MaxRoundSent(); v > maxRound {
-		maxRound = v
+
+	var tree *wft.Tree
+	var survivors []int
+	if faults == nil {
+		var err error
+		tree, err = wft.ExtractTree(eng2, protos)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		alive, dead := aliveAfter(crashes, m.N, r1+eng2.Round())
+		var mask []bool
+		if dead > 0 {
+			mask = alive
+		}
+		var nodes []int
+		var err error
+		tree, nodes, err = wft.ExtractTreeSurvivors(eng2, protos, mask)
+		if err != nil {
+			st := stats(eng2)
+			st.ProtocolAnomalies = anomalies
+			return &BuildResult{
+				Aborted:     true,
+				AbortReason: err.Error(),
+				Stats:       st,
+				expander:    s,
+			}, nil
+		}
+		if dead > 0 {
+			survivors = nodes
+		}
 	}
-	src := rng.New(opt.Seed)
+	st := stats(eng2)
+	st.ProtocolAnomalies = anomalies
 	out := &BuildResult{
 		Tree: &Tree{
 			Root:   tree.Root,
@@ -291,16 +413,9 @@ func buildMessageLevel(m *graphx.Multi, ep expander.Params, opt *Options) (*Buil
 			Rank:   tree.Rank,
 			NodeAt: tree.NodeAt,
 		},
-		Stats: BuildStats{
-			Rounds:              eng1.Round() + eng2.Round(),
-			MaxMessagesPerRound: maxRound,
-			MaxMessagesTotal:    m1.MaxPerNodeSent() + m2.MaxPerNodeSent(),
-			TotalMessages:       m1.TotalMessages + m2.TotalMessages,
-			ExpanderDiameter:    s.DiameterEstimate(),
-			SpectralGap:         final.SpectralGapWorkers(200, src.Split(0x9a9), ep.Workers),
-			CapacityDrops:       m1.RecvDrops + m2.RecvDrops,
-		},
-		expander: s,
+		Stats:     st,
+		Survivors: survivors,
+		expander:  s,
 	}
 	return out, nil
 }
