@@ -20,11 +20,11 @@ test:
 race:
 	$(GO) test -race ./...
 
-# The CI bench smoke run: one iteration of the two core build benches
-# plus the graph-level 64k micro-benchmarks (Evolve, SpectralGap,
-# Simple) that pin the flat fast path.
+# The CI bench smoke run: one iteration of the two core build benches,
+# the graph-level 64k micro-benchmarks (Evolve, SpectralGap, Simple)
+# that pin the flat fast path, and the session epoch-repair bench.
 bench:
-	$(GO) test -run='^$$' -bench='BuildTreeFast_1k|BuildTreeMessageLevel_256|Evolve_64k|SpectralGap_64k|Simple_64k' -benchtime=1x -benchmem ./...
+	$(GO) test -run='^$$' -bench='BuildTreeFast_1k|BuildTreeMessageLevel_256|Evolve_64k|SpectralGap_64k|Simple_64k|SessionEpoch' -benchtime=1x -benchmem ./...
 
 # Machine-readable per-experiment wall/alloc results; CI uploads the
 # file as the perf-trajectory artifact.

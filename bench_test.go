@@ -167,6 +167,35 @@ func BenchmarkBuildTreeMessageLevel_4096(b *testing.B) {
 	}
 }
 
+// BenchmarkSessionEpoch measures one live-maintenance epoch (2% join
+// + 2% leave, patch path) against a session opened over a 1k
+// message-level build; the build and open are setup, the epoch repair
+// is the measured op. make bench runs it and cmd/benchharness tracks
+// the same operation at n=4096 in BENCH_results.json.
+func BenchmarkSessionEpoch(b *testing.B) {
+	res, err := BuildTree(lineInput(1024), &Options{Seed: 7, MessageLevel: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan := &ChurnPlan{Seed: 9, Epochs: 1, JoinFrac: 0.02, LeaveFrac: 0.02}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sess, err := Open(res, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		joins, leaves := plan.Epoch(0, sess.Members(), sess.NextID())
+		bill, err := sess.ApplyEpoch(joins, leaves)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if bill.Rebuilt {
+			b.Fatal("bench epoch unexpectedly rebuilt")
+		}
+	}
+}
+
 func BenchmarkSpanningTree_grid(b *testing.B) {
 	g := NewGraph(256)
 	for r := 0; r < 16; r++ {

@@ -1,0 +1,145 @@
+package overlay
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"overlay/internal/rng"
+)
+
+// ChurnPlan declares a deterministic epoch schedule of joins and
+// leaves for a live overlay Session: each epoch removes a uniformly
+// chosen LeaveFrac-fraction of the current members and admits a
+// JoinFrac-fraction of fresh nodes. The schedule is a pure function of
+// (Seed, epoch index, current membership), so a churned session is
+// replayable bit for bit from its plan alone — the same contract the
+// fault plane gives adversarial schedules.
+type ChurnPlan struct {
+	// Seed drives the leave sampling. Independent of the build seed.
+	Seed uint64
+	// Epochs is the schedule length.
+	Epochs int
+	// JoinFrac and LeaveFrac are the per-epoch churn fractions in
+	// [0, 1], relative to the membership at the epoch's start.
+	JoinFrac, LeaveFrac float64
+	// RebuildFraction overrides SessionOptions.RebuildFraction when a
+	// harness opens the session from the plan (0 = session default).
+	RebuildFraction float64
+}
+
+// validate rejects schedules that would silently degenerate.
+func (p *ChurnPlan) validate() error {
+	if p.Epochs < 1 {
+		return fmt.Errorf("overlay: ChurnPlan.Epochs %d, want >= 1", p.Epochs)
+	}
+	if p.JoinFrac < 0 || p.JoinFrac > 1 {
+		return fmt.Errorf("overlay: ChurnPlan.JoinFrac %v outside [0,1]", p.JoinFrac)
+	}
+	if p.LeaveFrac < 0 || p.LeaveFrac > 1 {
+		return fmt.Errorf("overlay: ChurnPlan.LeaveFrac %v outside [0,1]", p.LeaveFrac)
+	}
+	if p.RebuildFraction < 0 || p.RebuildFraction > 1 {
+		return fmt.Errorf("overlay: ChurnPlan.RebuildFraction %v outside [0,1]", p.RebuildFraction)
+	}
+	return nil
+}
+
+// Epoch generates epoch e of the schedule against the current
+// membership: leaves are ⌊LeaveFrac·|members|⌋ members sampled without
+// replacement from a stream split off (Seed, e), joins are
+// ⌊JoinFrac·|members|⌋ fresh identifiers counting up from nextID
+// (Session.NextID supplies one that never reuses a past identifier).
+// Both lists come back ascending, ready for Session.ApplyEpoch.
+func (p *ChurnPlan) Epoch(e int, members []int, nextID int) (joins, leaves []int) {
+	src := rng.New(p.Seed).Split(uint64(e) + 0xe9)
+	nLeave := int(p.LeaveFrac * float64(len(members)))
+	if nLeave > len(members) {
+		nLeave = len(members)
+	}
+	if nLeave > 0 {
+		picked := src.SampleWithoutReplacement(len(members), nLeave)
+		sort.Ints(picked)
+		leaves = make([]int, nLeave)
+		for i, k := range picked {
+			leaves[i] = members[k]
+		}
+	}
+	nJoin := int(p.JoinFrac * float64(len(members)))
+	if nJoin > 0 {
+		joins = make([]int, nJoin)
+		for i := range joins {
+			joins[i] = nextID + i
+		}
+	}
+	return joins, leaves
+}
+
+// ParseChurnPlan parses the CLI churn specification: a comma-separated
+// list of directives, each allowed at most once.
+//
+//	epochs=E    schedule length (required, >= 1)
+//	join=F      per-epoch join fraction in [0,1] (default 0)
+//	leave=F     per-epoch leave fraction in [0,1] (default 0)
+//	seed=S      churn seed (uint64, default 0)
+//	rebuild=F   patch-vs-rebuild threshold in (0,1] (default: session
+//	            default; rebuild=0 is rejected because 0 means
+//	            "default" downstream — to rebuild every epoch, pass a
+//	            threshold below the smallest per-epoch churn fraction)
+//
+// Example: "epochs=10,join=0.02,leave=0.02,seed=5".
+func ParseChurnPlan(spec string) (*ChurnPlan, error) {
+	plan := &ChurnPlan{}
+	seen := map[string]bool{}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("overlay: churn directive %q is not key=value", part)
+		}
+		if seen[key] {
+			return nil, fmt.Errorf("overlay: churn directive %s= repeated (the earlier value would be silently overwritten)", key)
+		}
+		seen[key] = true
+		switch key {
+		case "epochs":
+			v, err := strconv.Atoi(val)
+			if err != nil || v < 1 {
+				return nil, fmt.Errorf("overlay: epochs=%q is not a positive epoch count", val)
+			}
+			plan.Epochs = v
+		case "join", "leave", "rebuild":
+			v, err := strconv.ParseFloat(val, 64)
+			if err != nil || v < 0 || v > 1 {
+				return nil, fmt.Errorf("overlay: %s=%q is not a fraction in [0,1]", key, val)
+			}
+			switch key {
+			case "join":
+				plan.JoinFrac = v
+			case "leave":
+				plan.LeaveFrac = v
+			case "rebuild":
+				if v == 0 {
+					return nil, fmt.Errorf("overlay: rebuild=0 is indistinguishable from unset (0 selects the session default); pass a threshold in (0,1]")
+				}
+				plan.RebuildFraction = v
+			}
+		case "seed":
+			v, err := strconv.ParseUint(val, 0, 64)
+			if err != nil {
+				return nil, fmt.Errorf("overlay: bad churn seed %q: %v", val, err)
+			}
+			plan.Seed = v
+		default:
+			return nil, fmt.Errorf("overlay: unknown churn directive %q", key)
+		}
+	}
+	if err := plan.validate(); err != nil {
+		return nil, err
+	}
+	return plan, nil
+}

@@ -94,7 +94,8 @@ func (r jsonResult) withThroughput(msgs int64) jsonResult {
 // 64k benign ring at its full ∆ = 128 (the go-test SpectralGap_64k
 // bench uses a lighter ∆ = 16 graph, so its wall time is lower), plus
 // one message-level BuildTree at n = 4096 with its wire-message
-// throughput.
+// throughput and ten 2%+2% churn epochs against a session opened over
+// that build (the live-maintenance repair cost, tracked like E12).
 func graphMicrobench(workers int) ([]jsonResult, error) {
 	g := topology.Ring(1 << 16)
 	bp := benign.Defaults(g.N, g.MaxDegree())
@@ -120,6 +121,30 @@ func graphMicrobench(workers int) ([]jsonResult, error) {
 		return nil, err
 	}
 	out = append(out, res.withThroughput(build.Stats.TotalMessages))
+
+	var sessErr error
+	var repairMsgs int64
+	sessRes := measured("SessionEpoch_4096_x10", func() {
+		sess, err := overlay.Open(build, &overlay.SessionOptions{Build: overlay.Options{Seed: 1, MessageLevel: true, Workers: workers}})
+		if err != nil {
+			sessErr = err
+			return
+		}
+		plan := &overlay.ChurnPlan{Seed: 3, Epochs: 10, JoinFrac: 0.02, LeaveFrac: 0.02}
+		for e := 0; e < plan.Epochs; e++ {
+			joins, leaves := plan.Epoch(e, sess.Members(), sess.NextID())
+			bill, err := sess.ApplyEpoch(joins, leaves)
+			if err != nil {
+				sessErr = err
+				return
+			}
+			repairMsgs += bill.Messages
+		}
+	})
+	if sessErr != nil {
+		return nil, sessErr
+	}
+	out = append(out, sessRes.withThroughput(repairMsgs))
 	return out, nil
 }
 

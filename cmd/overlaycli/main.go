@@ -5,6 +5,7 @@
 //
 //	overlaycli -topology line -n 1024 -seed 7 [-message-level] [-cap 10]
 //	overlaycli -topology ring -n 4096 -faults 'drop=0.001,crashfrac=0.03@30'
+//	overlaycli -topology ring -n 4096 -churn 'epochs=10,join=0.02,leave=0.02,seed=5'
 //
 // Topologies: line, ring, tree, grid. The -faults flag installs a
 // fault schedule (message drops/delays, crash-stop failures,
@@ -12,6 +13,13 @@
 // -message-level; the run then either reports a well-formed tree over
 // the survivors or an explicit abort, and the scenario invariant
 // checker's verdict is printed either way.
+//
+// The -churn flag opens a live-maintenance session over the completed
+// build and applies an epoch schedule of joins and leaves (see
+// overlay.ParseChurnPlan for the grammar), printing one accounting row
+// per epoch and the per-epoch invariant verdict. With -faults too, the
+// fault plan spans the whole session clock: rounds past the build are
+// shifted into whichever epoch rebuild they land in.
 package main
 
 import (
@@ -34,6 +42,7 @@ func main() {
 		capFac  = flag.Int("cap", 0, "NCC0 capacity factor κ (per-round cap κ·log n; 0 = uncapped)")
 		derived = flag.Bool("derived", false, "also print derived overlay sizes")
 		faults  = flag.String("faults", "", "fault schedule, e.g. 'drop=0.01,delay=0.05,delaymax=3,crash=17@40,crashfrac=0.1@100,cut=0-99@30-60,seed=9' (implies -message-level)")
+		churn   = flag.String("churn", "", "churn epoch schedule, e.g. 'epochs=10,join=0.02,leave=0.02,seed=5,rebuild=0.25'")
 	)
 	flag.Parse()
 	if *n < 1 {
@@ -53,6 +62,13 @@ func main() {
 			log.Fatal(err)
 		}
 		*msgLvl = true
+	}
+	var churnPlan *overlay.ChurnPlan
+	if *churn != "" {
+		churnPlan, err = overlay.ParseChurnPlan(*churn)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 	opts := &overlay.Options{
 		Seed:         *seed,
@@ -88,8 +104,8 @@ func main() {
 	fmt.Printf("expander        diameter=%d spectral gap=%.4f\n",
 		res.Stats.ExpanderDiameter, res.Stats.SpectralGap)
 	if *msgLvl {
-		fmt.Printf("messages        max/node/round=%d max/node total=%d drops=%d\n",
-			res.Stats.MaxMessagesPerRound, res.Stats.MaxMessagesTotal, res.Stats.CapacityDrops)
+		fmt.Printf("messages        total=%d max/node/round=%d max/node total=%d drops=%d\n",
+			res.Stats.TotalMessages, res.Stats.MaxMessagesPerRound, res.Stats.MaxMessagesTotal, res.Stats.CapacityDrops)
 	}
 	if plan != nil {
 		fmt.Printf("fault plane     dropped=%d delayed=%d protocol anomalies=%d\n",
@@ -106,5 +122,49 @@ func main() {
 	if *derived && !res.Aborted {
 		fmt.Printf("derived         ring=%d chord=%d hypercube=%d debruijn=%d edges\n",
 			len(res.Ring()), len(res.Chord()), len(res.Hypercube()), len(res.DeBruijn()))
+	}
+
+	if churnPlan == nil {
+		return
+	}
+	if res.Aborted {
+		log.Fatal("cannot run -churn: the build aborted")
+	}
+	sess, err := overlay.Open(res, &overlay.SessionOptions{
+		RebuildFraction: churnPlan.RebuildFraction,
+		Build: overlay.Options{
+			Seed: *seed, MessageLevel: *msgLvl, CapFactor: *capFac, Faults: plan,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nchurn           %s\n", *churn)
+	fmt.Printf("%-6s %6s %6s %8s %8s %8s %10s  %s\n",
+		"epoch", "join", "leave", "members", "path", "rounds", "messages", "invariants")
+	clean := true
+	for e := 0; e < churnPlan.Epochs; e++ {
+		joins, leaves := churnPlan.Epoch(e, sess.Members(), sess.NextID())
+		bill, err := sess.ApplyEpoch(joins, leaves)
+		if err != nil {
+			fmt.Printf("%-6d epoch failed: %v\n", e, err)
+			os.Exit(1)
+		}
+		path := "patch"
+		if bill.Rebuilt {
+			path = "rebuild"
+		}
+		verdict := "all hold"
+		if viols := scenario.CheckEpoch(sess, bill, plan); len(viols) > 0 {
+			clean = false
+			verdict = "VIOLATED: " + viols[0]
+		}
+		fmt.Printf("%-6d %6d %6d %8d %8s %8d %10d  %s\n",
+			bill.Epoch, bill.Joined, bill.Left, bill.Members, path, bill.Rounds, bill.Messages, verdict)
+	}
+	fmt.Printf("session         %d members after %d epochs, clock at round %d\n",
+		len(sess.Members()), sess.Epoch(), sess.ClockRound())
+	if !clean {
+		os.Exit(1)
 	}
 }

@@ -1,15 +1,18 @@
-// Churn robustness (Section 5's outlook): the paper argues the evolved
-// expander should survive node failures far better than the input
-// topology, because every cut grows to Θ(log n) edges over distinct
-// neighbors. This example probes that claim *mid-protocol* on the
-// scenario harness: a random p-fraction of the nodes crash-stop while
-// the build is still evolving the expander, and the run either
-// completes a machine-checked well-formed tree over the survivors or
-// reports exactly why it could not. A post-hoc comparison against the
-// input line follows: the same failure set is applied to the finished
-// expander and to the line, and the surviving fragments are compared.
+// Live overlay maintenance (Section 5's outlook, made operational):
+// the paper's O(log n) construction matters because real peer-to-peer
+// memberships churn — a rebuild cheap enough to run in O(log n) rounds
+// can serve as the *recovery primitive* of a long-lived overlay. This
+// example opens an overlay.Session over a completed message-level
+// build and drives it through churn epochs on the scenario harness's
+// generator: every epoch a few percent of the members leave
+// (crash-stop: no goodbyes) and fresh nodes join, and the session
+// repairs the well-formed tree incrementally — rank compaction plus
+// Chord-routed joiner attachment — while the invariant checker signs
+// off after every epoch. A final storm epoch churns far past the
+// patch threshold, forcing the session onto its recovery primitive:
+// a full re-BuildTree over the survivors' own finger ring.
 //
-//	go run ./examples/churn [n] [failpercent]
+//	go run ./examples/churn [n] [epochs] [churnpercent]
 package main
 
 import (
@@ -24,121 +27,86 @@ import (
 
 func main() {
 	log.SetFlags(0)
-	n, failPct := 1024, 20
-	if len(os.Args) > 1 {
-		v, err := strconv.Atoi(os.Args[1])
-		if err != nil || v < 16 {
-			log.Fatalf("usage: churn [n>=16] [failpercent], got %q", os.Args[1])
+	n, epochs, pct := 1024, 8, 2
+	argInt := func(i, min, max, def int, name string) int {
+		if len(os.Args) <= i {
+			return def
 		}
-		n = v
+		v, err := strconv.Atoi(os.Args[i])
+		if err != nil || v < min || v > max {
+			log.Fatalf("usage: churn [n>=64] [epochs 1..50] [churnpercent 0..20]; bad %s %q", name, os.Args[i])
+		}
+		return v
 	}
-	if len(os.Args) > 2 {
-		v, err := strconv.Atoi(os.Args[2])
-		if err != nil || v < 0 || v > 90 {
-			log.Fatalf("failpercent must be 0..90, got %q", os.Args[2])
+	n = argInt(1, 64, 1<<20, n, "n")
+	epochs = argInt(2, 1, 50, epochs, "epochs")
+	pct = argInt(3, 0, 20, pct, "churnpercent")
+
+	g, err := scenario.BuildTopology("ring", n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	build := overlay.Options{Seed: 99, MessageLevel: true}
+	res, err := overlay.BuildTree(g, &build)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("built: n=%d, %d rounds, %d wire messages\n\n", n, res.Stats.Rounds, res.Stats.TotalMessages)
+
+	sess, err := overlay.Open(res, &overlay.SessionOptions{Build: build})
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan := &overlay.ChurnPlan{Seed: 42, Epochs: epochs, JoinFrac: float64(pct) / 100, LeaveFrac: float64(pct) / 100}
+
+	fmt.Printf("%-6s %6s %6s %8s %8s %8s %12s  %s\n",
+		"epoch", "join", "leave", "members", "path", "rounds", "messages", "invariants")
+	row := func(bill *overlay.EpochBill) {
+		path := "patch"
+		if bill.Rebuilt {
+			path = "rebuild"
 		}
-		failPct = v
+		verdict := "all hold"
+		if viols := scenario.CheckEpoch(sess, bill, nil); len(viols) > 0 {
+			verdict = "VIOLATED: " + viols[0]
+		}
+		fmt.Printf("%-6d %6d %6d %8d %8s %8d %12d  %s\n",
+			bill.Epoch, bill.Joined, bill.Left, bill.Members, path, bill.Rounds, bill.Messages, verdict)
+	}
+	for e := 0; e < plan.Epochs; e++ {
+		joins, leaves := plan.Epoch(e, sess.Members(), sess.NextID())
+		bill, err := sess.ApplyEpoch(joins, leaves)
+		if err != nil {
+			log.Fatalf("epoch %d: %v", e, err)
+		}
+		row(bill)
 	}
 
-	// Mid-protocol churn: the crash round lands inside the expander
-	// evolutions, so the failures hit a protocol in flight, not a
-	// finished artifact.
-	plan := &overlay.FaultPlan{
-		Seed:           42,
-		CrashFrac:      float64(failPct) / 100,
-		CrashFracRound: 30,
-	}
-	spec := scenario.Spec{
-		Name:     fmt.Sprintf("churn-%d%%", failPct),
-		Topology: "line",
-		N:        n,
-		Seed:     99,
-		Faults:   plan,
-	}
-	rep := scenario.Run(spec)
-	fmt.Printf("mid-protocol churn: %s\n", rep)
-	if rep.Err != nil {
-		log.Fatal(rep.Err)
-	}
-	res := rep.Result
-	if res.Aborted {
-		fmt.Println("the adversary won this one — rerun with fewer failures")
-		return
-	}
+	// Routing keeps working between epochs: look up a recent joiner
+	// from the oldest surviving member.
+	members := sess.Members()
+	path := sess.RouteLookup(members[0], members[len(members)-1])
+	fmt.Printf("\nlookup %d -> %d routes over %d Chord hops\n",
+		members[0], members[len(members)-1], len(path)-1)
 
-	// Post-hoc comparison on the same failure set: how do the finished
-	// expander and the input line fragment when the crashed nodes are
-	// removed?
-	dead := make([]bool, n)
-	alive := 0
-	if res.Survivors != nil {
-		for i := range dead {
-			dead[i] = true
-		}
-		for _, v := range res.Survivors {
-			dead[v] = false
-		}
-		alive = len(res.Survivors)
-	} else {
-		alive = n
+	// The storm: churn 40% at once, far past the patch threshold — the
+	// session falls back to the paper's O(log n) rebuild over the
+	// survivors' finger ring.
+	storm := make([]int, 2*len(members)/5)
+	for i := range storm {
+		storm[i] = sess.NextID() + i
 	}
-	lineEdges := make([][2]int, 0, n-1)
-	for i := 0; i+1 < n; i++ {
-		lineEdges = append(lineEdges, [2]int{i, i + 1})
+	bill, err := sess.ApplyEpoch(storm, nil)
+	if err != nil {
+		log.Fatalf("storm epoch: %v", err)
 	}
-	lineComp, lineLargest := survivors(n, lineEdges, dead)
-	expComp, expLargest := survivors(n, res.ExpanderEdges(), dead)
+	fmt.Printf("\nstorm epoch (+%d joiners at once):\n", len(storm))
+	row(bill)
 
-	fmt.Printf("n=%d, %d%% crash-stop at round %d -> %d survivors\n",
-		n, failPct, plan.CrashFracRound, alive)
-	fmt.Printf("%-18s %12s %18s\n", "topology", "fragments", "largest fragment")
-	fmt.Printf("%-18s %12d %17d%%\n", "input line", lineComp, 100*lineLargest/max(alive, 1))
-	fmt.Printf("%-18s %12d %17d%%\n", "built expander", expComp, 100*expLargest/max(alive, 1))
-	if expComp <= lineComp && expLargest >= lineLargest {
-		fmt.Println("expander dominates the line under churn, as §5 predicts")
-	}
-}
-
-// survivors computes the fragment count and largest fragment size of
-// the surviving subgraph.
-func survivors(n int, edges [][2]int, dead []bool) (components, largest int) {
-	adj := make([][]int, n)
-	for _, e := range edges {
-		if !dead[e[0]] && !dead[e[1]] {
-			adj[e[0]] = append(adj[e[0]], e[1])
-			adj[e[1]] = append(adj[e[1]], e[0])
-		}
-	}
-	seen := make([]bool, n)
-	for v := 0; v < n; v++ {
-		if dead[v] || seen[v] {
-			continue
-		}
-		components++
-		size := 0
-		queue := []int{v}
-		seen[v] = true
-		for len(queue) > 0 {
-			u := queue[0]
-			queue = queue[1:]
-			size++
-			for _, w := range adj[u] {
-				if !seen[w] {
-					seen[w] = true
-					queue = append(queue, w)
-				}
-			}
-		}
-		if size > largest {
-			largest = size
-		}
-	}
-	return components, largest
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
+	patch := sess.Bills()[0]
+	fmt.Printf("\nmaintenance vs recovery: a %d%%-churn patch cost %d rounds / %d msgs;\n",
+		pct, patch.Rounds, patch.Messages)
+	fmt.Printf("the storm rebuild cost %d rounds / %d msgs — patching pays for itself\n",
+		bill.Rounds, bill.Messages)
+	fmt.Printf("session clock at round %d after %d epochs\n", sess.ClockRound(), sess.Epoch())
 }

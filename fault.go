@@ -139,6 +139,71 @@ func (p *FaultPlan) adversary(offset, phase int, crashes []Crash) *sim.Adversary
 	return adv
 }
 
+// shiftForEpoch translates a session-clock fault plan into the local
+// clock and index space of the rebuild of epoch. offset is the session
+// clock at the rebuild's start (its engine round 1 is session round
+// offset+1); members lists the rebuild's node population as ascending
+// global identifiers, and crash/partition entries name nodes by those
+// global identifiers. A crash whose session round has already passed
+// becomes a crash at round 0 (dead from the rebuild's start); entries
+// naming nodes outside the current membership are dropped — they left
+// in an earlier epoch. Probability knobs carry over, but the fate seed
+// is re-derived from (plan seed, epoch): a rebuild's engine clock
+// restarts at round 1, so reusing the seed verbatim would replay the
+// identical drop/delay pattern in every rebuild epoch.
+func (p *FaultPlan) shiftForEpoch(offset, epoch int, members []int) *FaultPlan {
+	memberIndex := func(id int) (int, bool) {
+		k := sort.SearchInts(members, id)
+		if k < len(members) && members[k] == id {
+			return k, true
+		}
+		return 0, false
+	}
+	q := &FaultPlan{
+		Seed:      rng.New(p.Seed).Split(uint64(epoch) + 0xe90c).Uint64(),
+		DropProb:  p.DropProb,
+		DelayProb: p.DelayProb,
+		DelayMax:  p.DelayMax,
+	}
+	for _, c := range p.Crashes {
+		li, ok := memberIndex(c.Node)
+		if !ok {
+			continue
+		}
+		r := c.Round - offset
+		if r < 0 {
+			r = 0
+		}
+		q.Crashes = append(q.Crashes, Crash{Node: li, Round: r})
+	}
+	// CrashFrac materializes a *random* subset when its round arrives;
+	// once that round has passed (it fired during the build or an
+	// earlier rebuild), carrying it forward would kill a fresh random
+	// fraction on every subsequent rebuild. Only a still-future round
+	// carries over.
+	if p.CrashFrac > 0 && p.CrashFracRound > offset {
+		q.CrashFrac = p.CrashFrac
+		q.CrashFracRound = p.CrashFracRound - offset
+	}
+	for _, pt := range p.Partitions {
+		from, until := pt.From-offset, pt.Until-offset
+		if until <= 1 {
+			continue // window wholly in a previous epoch
+		}
+		side := make([]int, 0, len(pt.Side))
+		for _, id := range pt.Side {
+			if li, ok := memberIndex(id); ok {
+				side = append(side, li)
+			}
+		}
+		if len(side) == 0 {
+			continue
+		}
+		q.Partitions = append(q.Partitions, Partition{From: from, Until: until, Side: side})
+	}
+	return q
+}
+
 // aliveAfter returns the survivor mask at the end of a build that ran
 // totalRounds global rounds, plus the count of the dead.
 func aliveAfter(crashes []Crash, n, totalRounds int) ([]bool, int) {
@@ -172,6 +237,10 @@ func aliveAfter(crashes []Crash, n, totalRounds int) ([]bool, int) {
 // Example: "drop=0.01,delay=0.05,delaymax=3,crash=17@40,cut=0-99@30-60".
 func ParseFaultPlan(spec string) (*FaultPlan, error) {
 	plan := &FaultPlan{}
+	// Singleton directives set one field; a repeat would silently
+	// overwrite the earlier value (last-wins), so it is rejected — only
+	// crash= and cut= accumulate.
+	seen := map[string]bool{}
 	for _, part := range strings.Split(spec, ",") {
 		part = strings.TrimSpace(part)
 		if part == "" {
@@ -180,6 +249,13 @@ func ParseFaultPlan(spec string) (*FaultPlan, error) {
 		key, val, ok := strings.Cut(part, "=")
 		if !ok {
 			return nil, fmt.Errorf("overlay: fault directive %q is not key=value", part)
+		}
+		switch key {
+		case "seed", "drop", "delay", "delaymax", "crashfrac":
+			if seen[key] {
+				return nil, fmt.Errorf("overlay: fault directive %s= repeated (the earlier value would be silently overwritten)", key)
+			}
+			seen[key] = true
 		}
 		switch key {
 		case "seed":

@@ -263,6 +263,91 @@ func TestParseFaultPlan(t *testing.T) {
 	}
 }
 
+// TestParseFaultPlanRejectsRepeats: every singleton directive must be
+// rejected on repeat instead of silently letting the last value win;
+// crash= and cut= accumulate and stay repeatable.
+func TestParseFaultPlanRejectsRepeats(t *testing.T) {
+	repeats := []struct {
+		name string
+		spec string
+	}{
+		{"seed", "seed=1,drop=0.1,seed=2"},
+		{"drop", "drop=0.1,drop=0.2"},
+		{"delay", "delay=0.1,delay=0.2"},
+		{"delaymax", "delaymax=2,delaymax=3"},
+		{"crashfrac", "crashfrac=0.1@5,crashfrac=0.2@9"},
+		{"equal values", "drop=0.1,drop=0.1"}, // equal repeats are still ambiguous intent
+	}
+	for _, c := range repeats {
+		if _, err := ParseFaultPlan(c.spec); err == nil {
+			t.Errorf("%s: spec %q parsed without error (last-wins overwrite)", c.name, c.spec)
+		}
+	}
+	plan, err := ParseFaultPlan("crash=1@5,crash=2@6,cut=0-3@10-20,cut=4-7@30-40")
+	if err != nil {
+		t.Fatalf("repeatable directives rejected: %v", err)
+	}
+	if len(plan.Crashes) != 2 || len(plan.Partitions) != 2 {
+		t.Errorf("accumulating directives lost entries: %+v", plan)
+	}
+}
+
+// TestFaultPlanShiftForEpoch pins the session-clock translation: round
+// shifting, already-passed crashes becoming dead-from-start, departed
+// nodes dropped, global identifiers remapped to member-local indices,
+// and a spent CrashFrac not re-firing.
+func TestFaultPlanShiftForEpoch(t *testing.T) {
+	p := &FaultPlan{
+		Seed:      3,
+		DropProb:  0.25,
+		DelayProb: 0.5,
+		DelayMax:  4,
+		Crashes: []Crash{
+			{Node: 10, Round: 500}, // future: shifts
+			{Node: 30, Round: 50},  // past: dead from start
+			{Node: 99, Round: 500}, // not a member: dropped
+		},
+		CrashFrac:      0.5,
+		CrashFracRound: 80, // past: must not re-fire
+		Partitions: []Partition{
+			{From: 450, Until: 460, Side: []int{10, 30, 99}}, // future window
+			{From: 10, Until: 90, Side: []int{10}},           // past window: dropped
+		},
+	}
+	members := []int{5, 10, 30} // member-local: 10 -> 1, 30 -> 2
+	q := p.shiftForEpoch(400, 2, members)
+	if q.DropProb != 0.25 || q.DelayProb != 0.5 || q.DelayMax != 4 {
+		t.Errorf("probability knobs changed: %+v", q)
+	}
+	// The fate seed is re-derived per epoch (a rebuild's engine clock
+	// restarts at 1, so a verbatim seed would replay identical fates in
+	// every rebuild), deterministically.
+	if q2 := p.shiftForEpoch(400, 2, members); q2.Seed != q.Seed {
+		t.Error("same epoch derived different fate seeds")
+	}
+	if q3 := p.shiftForEpoch(400, 3, members); q3.Seed == q.Seed {
+		t.Error("different epochs share the fate seed")
+	}
+	want := []Crash{{Node: 1, Round: 100}, {Node: 2, Round: 0}}
+	if len(q.Crashes) != 2 || q.Crashes[0] != want[0] || q.Crashes[1] != want[1] {
+		t.Errorf("crashes = %+v, want %+v", q.Crashes, want)
+	}
+	if q.CrashFrac != 0 {
+		t.Errorf("spent CrashFrac carried over: %+v", q)
+	}
+	if len(q.Partitions) != 1 || q.Partitions[0].From != 50 || q.Partitions[0].Until != 60 {
+		t.Fatalf("partitions = %+v", q.Partitions)
+	}
+	if side := q.Partitions[0].Side; len(side) != 2 || side[0] != 1 || side[1] != 2 {
+		t.Errorf("partition side = %v, want member-local [1 2]", side)
+	}
+
+	future := &FaultPlan{CrashFrac: 0.5, CrashFracRound: 450}
+	if q := future.shiftForEpoch(400, 0, members); q.CrashFrac != 0.5 || q.CrashFracRound != 50 {
+		t.Errorf("future CrashFrac mis-shifted: %+v", q)
+	}
+}
+
 // TestMaterializeCrashesDeterministic: the CrashFrac node selection is
 // a pure function of (plan seed, n).
 func TestMaterializeCrashesDeterministic(t *testing.T) {

@@ -12,6 +12,13 @@ import "overlay"
 //     (Section 5's robustness outlook, exercised mid-protocol rather
 //     than post-hoc).
 //
+//   - epoch-churn: a fault-free build, then ten live-maintenance
+//     epochs each joining and removing 2% of the membership. Every
+//     epoch must end in a machine-checked well-formed tree over the
+//     then-current members, each patch epoch must be strictly cheaper
+//     than the from-scratch build, and the whole session is
+//     deterministic at any worker count.
+//
 //   - lossy-delayed-network: every message is independently dropped
 //     with small probability and delayed with a larger one. The
 //     single-shot aggregation messages of the tree phase make
@@ -32,6 +39,18 @@ func Canned(n int) []Spec {
 				Seed:           9,
 				CrashFrac:      0.03,
 				CrashFracRound: 30,
+			},
+		},
+		{
+			Name:     "epoch-churn",
+			Topology: "ring",
+			N:        n,
+			Seed:     17,
+			Churn: &overlay.ChurnPlan{
+				Seed:      19,
+				Epochs:    10,
+				JoinFrac:  0.02,
+				LeaveFrac: 0.02,
 			},
 		},
 		{

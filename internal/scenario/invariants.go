@@ -73,7 +73,41 @@ func CheckInvariants(s *Spec, g *overlay.Graph, res *overlay.BuildResult) []stri
 	}
 
 	// Tree well-formedness over the survivor index space [0, k).
-	t := res.Tree
+	if shape := TreeShapeViolations(k, res.Tree); len(shape) > 0 {
+		return append(v, shape...)
+	}
+
+	// Round budget.
+	budget := s.RoundBudget
+	if budget == 0 {
+		budget = DefaultRoundBudget(n, s.Faults)
+	}
+	if res.Stats.Rounds > budget {
+		bad("build took %d rounds, budget %d", res.Stats.Rounds, budget)
+	}
+
+	// Survivor connectivity: the evolved expander restricted to the
+	// survivors must be connected — that is the Section 5 robustness
+	// claim the fault plane exists to probe, and a completed tree
+	// implies it (the flood reached every survivor).
+	if !survivorsConnected(n, res.ExpanderEdges(), res.Survivors) {
+		bad("survivors are disconnected in the evolved expander, yet the build completed")
+	}
+	return v
+}
+
+// TreeShapeViolations machine-checks the well-formed-tree structure of
+// t over the index space [0, k): rank bijection, root at rank 0, heap
+// parent rule, the degree-3 bound, and the structurally measured depth
+// bound (Tree.Depth() is derived from the node count alone, so it
+// cannot witness an over-deep or cyclic structure; the parent-chain
+// walk also catches chains that never reach the root). It is shared by
+// the one-shot build checks and the per-epoch session checks.
+func TreeShapeViolations(k int, t *overlay.Tree) []string {
+	var v []string
+	bad := func(format string, args ...any) {
+		v = append(v, fmt.Sprintf(format, args...))
+	}
 	if len(t.Rank) != k || len(t.NodeAt) != k || len(t.Parent) != k {
 		bad("tree arrays sized %d/%d/%d, want survivor count %d",
 			len(t.Rank), len(t.NodeAt), len(t.Parent), k)
@@ -122,10 +156,6 @@ func CheckInvariants(s *Spec, g *overlay.Graph, res *overlay.BuildResult) []stri
 			bad("node %d has %d children (degree bound 3 broken)", x, c)
 		}
 	}
-	// Depth bound, measured structurally: walk each parent chain to the
-	// root (Tree.Depth() is derived from the node count alone, so it
-	// cannot witness an over-deep or cyclic structure). The walk also
-	// catches chains that never reach the root.
 	maxDepth := 0
 	for x := range t.Parent {
 		d := 0
@@ -148,22 +178,43 @@ func CheckInvariants(s *Spec, g *overlay.Graph, res *overlay.BuildResult) []stri
 	if maxDepth > sim.LogBound(k) {
 		bad("tree depth %d exceeds ⌈log₂ %d⌉ = %d", maxDepth, k, sim.LogBound(k))
 	}
+	return v
+}
 
-	// Round budget.
-	budget := s.RoundBudget
-	if budget == 0 {
-		budget = DefaultRoundBudget(n, s.Faults)
+// CheckEpoch machine-checks the session invariants after one applied
+// churn epoch: the membership is a strictly ascending identifier list
+// matching the bill, the repaired tree is well-formed over it, and the
+// repair respected the paper's time bound — a patch epoch must cost
+// O(log n) rounds (a generous 6·⌈log₂ k⌉ + 12 covers the charged
+// sweeps, routing, and commit), a rebuild epoch at most the one-shot
+// build budget. faults is the session's fault plan (nil when none):
+// a rebuild under message delays gets the same delay slack the
+// build-level budget grants.
+func CheckEpoch(sess *overlay.Session, bill *overlay.EpochBill, faults *overlay.FaultPlan) []string {
+	var v []string
+	bad := func(format string, args ...any) {
+		v = append(v, fmt.Sprintf(format, args...))
 	}
-	if res.Stats.Rounds > budget {
-		bad("build took %d rounds, budget %d", res.Stats.Rounds, budget)
+	members := sess.Members()
+	k := len(members)
+	last := -1
+	for _, id := range members {
+		if id <= last {
+			bad("members are not strictly ascending: %v", members)
+			break
+		}
+		last = id
 	}
-
-	// Survivor connectivity: the evolved expander restricted to the
-	// survivors must be connected — that is the Section 5 robustness
-	// claim the fault plane exists to probe, and a completed tree
-	// implies it (the flood reached every survivor).
-	if !survivorsConnected(n, res.ExpanderEdges(), res.Survivors) {
-		bad("survivors are disconnected in the evolved expander, yet the build completed")
+	if bill.Members != k {
+		bad("bill reports %d members, session has %d", bill.Members, k)
+	}
+	v = append(v, TreeShapeViolations(k, sess.Tree())...)
+	if bill.Rebuilt {
+		if budget := DefaultRoundBudget(k, faults); bill.Rounds > budget {
+			bad("rebuild epoch took %d rounds, budget %d", bill.Rounds, budget)
+		}
+	} else if bound := 6*sim.LogBound(k) + 12; bill.Rounds > bound {
+		bad("patch epoch took %d rounds, O(log n) bound %d", bill.Rounds, bound)
 	}
 	return v
 }

@@ -38,8 +38,16 @@ type Spec struct {
 	// result never depends on them.
 	Workers    int
 	Sequential bool
-	// Faults is the fault schedule; nil runs fault-free.
+	// Faults is the fault schedule; nil runs fault-free. With Churn
+	// set, the plan spans the whole session clock: build-time rounds
+	// fault the initial construction, later rounds are shifted into
+	// whichever epoch rebuild they fall into.
 	Faults *overlay.FaultPlan
+	// Churn is the live-maintenance axis: a deterministic epoch
+	// schedule of joins and leaves applied to a Session opened over the
+	// completed build, with the session invariants checked after every
+	// epoch. nil runs the one-shot build only.
+	Churn *overlay.ChurnPlan
 	// RoundBudget overrides the invariant checker's round bound
 	// (0 derives a generous O(log n) budget from N).
 	RoundBudget int
@@ -54,6 +62,13 @@ type Report struct {
 	Result     *overlay.BuildResult
 	Err        error
 	Violations []string
+	// EpochBills is the per-epoch session accounting of a churn
+	// scenario (nil without Spec.Churn); epoch-scoped violations carry
+	// an "epoch N:" prefix in Violations.
+	EpochBills []overlay.EpochBill
+	// FinalMembers is the session population after the last applied
+	// epoch (0 without Spec.Churn).
+	FinalMembers int
 }
 
 // OK reports whether the scenario ran and every invariant held.
@@ -71,8 +86,19 @@ func (r *Report) String() string {
 		if r.Result.Survivors != nil {
 			surv = len(r.Result.Survivors)
 		}
-		return fmt.Sprintf("%s: tree over %d/%d survivors in %d rounds, %d violations",
+		line := fmt.Sprintf("%s: tree over %d/%d survivors in %d rounds, %d violations",
 			r.Spec.Name, surv, r.Spec.N, r.Result.Stats.Rounds, len(r.Violations))
+		if len(r.EpochBills) > 0 {
+			rebuilds := 0
+			for _, b := range r.EpochBills {
+				if b.Rebuilt {
+					rebuilds++
+				}
+			}
+			line += fmt.Sprintf("; %d churn epochs (%d rebuilds) -> %d members",
+				len(r.EpochBills), rebuilds, r.FinalMembers)
+		}
+		return line
 	}
 }
 
@@ -103,7 +129,63 @@ func Run(s Spec) *Report {
 	}
 	rep.Result = res
 	rep.Violations = CheckInvariants(&s, g, res)
+	if s.Churn != nil && !res.Aborted {
+		runChurn(&s, rep)
+	}
 	return rep
+}
+
+// runChurn opens a Session over the completed build and applies the
+// spec's churn schedule, checking the session invariants after every
+// epoch. A patch epoch must also be strictly cheaper — in rounds and
+// in simulated messages — than the from-scratch build that opened the
+// session; that is the point of maintaining the overlay instead of
+// rebuilding it, so losing the edge is an invariant violation, not a
+// perf footnote.
+func runChurn(s *Spec, rep *Report) {
+	res := rep.Result
+	bad := func(format string, args ...any) {
+		rep.Violations = append(rep.Violations, fmt.Sprintf(format, args...))
+	}
+	sess, err := overlay.Open(res, &overlay.SessionOptions{
+		RebuildFraction: s.Churn.RebuildFraction,
+		Build: overlay.Options{
+			Seed:         s.Seed,
+			MessageLevel: true,
+			CapFactor:    s.CapFactor,
+			Workers:      s.Workers,
+			Sequential:   s.Sequential,
+			Faults:       s.Faults,
+		},
+	})
+	if err != nil {
+		rep.Err = err
+		return
+	}
+	for e := 0; e < s.Churn.Epochs; e++ {
+		joins, leaves := s.Churn.Epoch(e, sess.Members(), sess.NextID())
+		bill, err := sess.ApplyEpoch(joins, leaves)
+		if err != nil {
+			// An epoch that cannot converge is the adversary winning the
+			// maintenance game — a violation of fair termination, not a
+			// spec error.
+			bad("epoch %d: %v", e, err)
+			break
+		}
+		rep.EpochBills = append(rep.EpochBills, *bill)
+		for _, viol := range CheckEpoch(sess, bill, s.Faults) {
+			bad("epoch %d: %s", e, viol)
+		}
+		if !bill.Rebuilt && bill.Joined+bill.Left > 0 {
+			if bill.Rounds >= res.Stats.Rounds {
+				bad("epoch %d: patch cost %d rounds, not cheaper than the %d-round build", e, bill.Rounds, res.Stats.Rounds)
+			}
+			if res.Stats.TotalMessages > 0 && bill.Messages >= res.Stats.TotalMessages {
+				bad("epoch %d: patch cost %d messages, not cheaper than the build's %d", e, bill.Messages, res.Stats.TotalMessages)
+			}
+		}
+	}
+	rep.FinalMembers = len(sess.Members())
 }
 
 // BuildTopology constructs the named input knowledge graph on n nodes.

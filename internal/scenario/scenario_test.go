@@ -61,6 +61,7 @@ func smokeN(t *testing.T) int {
 // accept either outcome for both and let the claims rot silently.
 var cannedWantAbort = map[string]bool{
 	"mid-build-crashes":     false,
+	"epoch-churn":           false,
 	"lossy-delayed-network": true,
 }
 
@@ -92,6 +93,70 @@ func TestCannedScenarios(t *testing.T) {
 					rep.Result.Aborted, want)
 			}
 		})
+	}
+}
+
+// TestChurnScenarioOutcome pins the epoch-churn canned scenario's
+// documented shape at the regular smoke scale: every epoch applies
+// (2% + 2% churn stays under the rebuild threshold, so all ten epochs
+// must patch), and every patch is strictly cheaper than the build —
+// which TestCannedScenarios already enforces via the zero-violations
+// requirement, but the all-patches claim needs its own pin.
+func TestChurnScenarioOutcome(t *testing.T) {
+	var spec Spec
+	for _, s := range Canned(smokeN(t)) {
+		if s.Name == "epoch-churn" {
+			spec = s
+		}
+	}
+	if spec.Churn == nil {
+		t.Fatal("no epoch-churn canned scenario")
+	}
+	rep := Run(spec)
+	t.Log(rep.String())
+	if !rep.OK() {
+		t.Fatalf("not clean: err=%v violations=%v", rep.Err, rep.Violations)
+	}
+	if len(rep.EpochBills) != spec.Churn.Epochs {
+		t.Fatalf("applied %d epochs, want %d", len(rep.EpochBills), spec.Churn.Epochs)
+	}
+	for _, b := range rep.EpochBills {
+		if b.Rebuilt {
+			t.Errorf("epoch %d rebuilt; 4%% churn must stay on the patch path", b.Epoch)
+		}
+	}
+}
+
+// TestChurnScenarioDeterminism: a churned session is a pure function
+// of its spec at every worker count — trees, bills, and memberships
+// included.
+func TestChurnScenarioDeterminism(t *testing.T) {
+	spec := Spec{
+		Name:     "churn-det",
+		Topology: "grid",
+		N:        144,
+		Seed:     23,
+		Churn:    &overlay.ChurnPlan{Seed: 29, Epochs: 4, JoinFrac: 0.05, LeaveFrac: 0.05},
+	}
+	fp := func(r *Report) string {
+		if r.Err != nil {
+			return "err:" + r.Err.Error()
+		}
+		return fmt.Sprintf("%+v|%d|%v", r.EpochBills, r.FinalMembers, r.Violations)
+	}
+	base := Run(spec)
+	if !base.OK() {
+		t.Fatalf("base run not clean: err=%v violations=%v", base.Err, base.Violations)
+	}
+	for _, workers := range []int{1, 3, 16} {
+		spec.Workers = workers
+		if got := fp(Run(spec)); got != fp(base) {
+			t.Fatalf("workers=%d diverged:\n%s\nvs\n%s", workers, got, fp(base))
+		}
+	}
+	spec.Workers, spec.Sequential = 0, true
+	if got := fp(Run(spec)); got != fp(base) {
+		t.Fatalf("sequential diverged:\n%s\nvs\n%s", got, fp(base))
 	}
 }
 

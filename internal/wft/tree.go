@@ -103,6 +103,74 @@ func (t *Tree) Validate() error {
 	return nil
 }
 
+// Repair performs the survivor-local rank reassignment of a churn
+// epoch: dead[v] marks nodes that crash-stopped (nil means none), and
+// joiners counts fresh nodes appended after the survivors. Survivors
+// keep their relative rank order — each rank is compacted down by the
+// number of dead ranks below it, which distributedly is one
+// subtree-count sweep up the tree and one prefix sweep down — and the
+// joiners take the tail ranks in the order given. The result is a
+// well-formed tree over s+joiners nodes whose index space lists the
+// survivors first (ascending old index) and the joiners after them;
+// no edge of the old tree survives except by rank arithmetic, exactly
+// as in the one-shot construction.
+func Repair(t *Tree, dead []bool, joiners int) (*Tree, error) {
+	n := t.N()
+	if dead != nil && len(dead) != n {
+		return nil, fmt.Errorf("wft: dead mask has %d entries for %d nodes", len(dead), n)
+	}
+	if joiners < 0 {
+		return nil, fmt.Errorf("wft: negative joiner count %d", joiners)
+	}
+	// deadBelow[r] counts dead ranks strictly below r: the survivor at
+	// old rank r compacts to rank r - deadBelow[r].
+	deadBelow := make([]int, n+1)
+	for r := 0; r < n; r++ {
+		d := 0
+		if dead != nil && dead[t.NodeAt[r]] {
+			d = 1
+		}
+		deadBelow[r+1] = deadBelow[r] + d
+	}
+	s := n - deadBelow[n]
+	k := s + joiners
+	if k == 0 {
+		return nil, fmt.Errorf("wft: repair leaves no nodes")
+	}
+	out := &Tree{
+		Rank:   make([]int, k),
+		NodeAt: make([]int, k),
+		Parent: make([]int, k),
+	}
+	li := 0
+	for v := 0; v < n; v++ {
+		if dead != nil && dead[v] {
+			continue
+		}
+		r := t.Rank[v] - deadBelow[t.Rank[v]]
+		out.Rank[li] = r
+		out.NodeAt[r] = li
+		li++
+	}
+	for j := 0; j < joiners; j++ {
+		out.Rank[s+j] = s + j
+		out.NodeAt[s+j] = s + j
+	}
+	for v := 0; v < k; v++ {
+		r := out.Rank[v]
+		if r == 0 {
+			out.Root = v
+			out.Parent[v] = v
+			continue
+		}
+		out.Parent[v] = out.NodeAt[(r-1)/2]
+	}
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // FromGraph builds a well-formed tree in memory from a connected
 // undirected graph. id[v] supplies the identifier ordering used for
 // root election and child ordering; pass nil to use node indices. The

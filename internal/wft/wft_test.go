@@ -225,3 +225,93 @@ func TestProtocolTwoNodes(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestRepairIdentity: no dead, no joiners — the repaired tree is the
+// original.
+func TestRepairIdentity(t *testing.T) {
+	tree, err := FromGraph(ringGraph(13), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Repair(tree, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 13; v++ {
+		if got.Rank[v] != tree.Rank[v] || got.Parent[v] != tree.Parent[v] {
+			t.Fatalf("identity repair changed node %d", v)
+		}
+	}
+}
+
+// TestRepairCompaction: survivors keep their relative rank order,
+// ranks compact to a gap-free prefix, joiners take the tail ranks in
+// order, and the result validates as a well-formed tree.
+func TestRepairCompaction(t *testing.T) {
+	const n, joiners = 29, 4
+	tree, err := FromGraph(ringGraph(n), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := make([]bool, n)
+	for _, v := range []int{tree.NodeAt[0], tree.NodeAt[7], tree.NodeAt[n-1]} {
+		dead[v] = true // includes the old root and the last rank
+	}
+	got, err := Repair(tree, dead, joiners)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := n - 3
+	if got.N() != s+joiners {
+		t.Fatalf("repaired size %d, want %d", got.N(), s+joiners)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Survivors sit at new indices 0..s-1 in old index order; their
+	// compacted ranks must preserve the old rank order.
+	order := make([]int, 0, s)
+	for v := 0; v < n; v++ {
+		if !dead[v] {
+			order = append(order, tree.Rank[v])
+		}
+	}
+	for a := 0; a < s; a++ {
+		for b := a + 1; b < s; b++ {
+			if (order[a] < order[b]) != (got.Rank[a] < got.Rank[b]) {
+				t.Fatalf("survivors %d,%d flipped rank order", a, b)
+			}
+		}
+	}
+	for j := 0; j < joiners; j++ {
+		if got.Rank[s+j] != s+j {
+			t.Fatalf("joiner %d has rank %d, want tail rank %d", j, got.Rank[s+j], s+j)
+		}
+	}
+}
+
+// TestRepairErrors: malformed inputs fail loudly.
+func TestRepairErrors(t *testing.T) {
+	tree, err := FromGraph(ringGraph(8), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Repair(tree, make([]bool, 5), 0); err == nil {
+		t.Error("short dead mask: no error")
+	}
+	if _, err := Repair(tree, nil, -1); err == nil {
+		t.Error("negative joiners: no error")
+	}
+	all := make([]bool, 8)
+	for i := range all {
+		all[i] = true
+	}
+	if _, err := Repair(tree, all, 0); err == nil {
+		t.Error("no survivors: no error")
+	}
+	if got, err := Repair(tree, all, 3); err != nil {
+		t.Errorf("all-dead with joiners should rebuild from the joiners: %v", err)
+	} else if got.N() != 3 || got.Rank[0] != 0 {
+		t.Errorf("all-dead repair got %d nodes root rank %d", got.N(), got.Rank[0])
+	}
+}

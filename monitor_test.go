@@ -1,6 +1,11 @@
 package overlay
 
-import "testing"
+import (
+	"testing"
+
+	"overlay/internal/graphx"
+	"overlay/internal/sim"
+)
 
 func TestMonitorCountsAndBipartite(t *testing.T) {
 	// Even ring: bipartite.
@@ -96,5 +101,76 @@ func TestMonitorEmpty(t *testing.T) {
 	res, err := Monitor(NewGraph(0), nil)
 	if err != nil || !res.IsBipartite || res.NodeCount != 0 {
 		t.Errorf("empty: %v %+v", err, res)
+	}
+}
+
+// TestNonTreeEdgesNormalizesReversedTreeEdges is the regression for
+// the (hi,lo) misclassification: tree edges were inserted into the
+// lookup set as-stored but looked up normalized, so a tree that emits
+// reversed edge pairs had every such edge misclassified as a non-tree
+// edge. The classifier must normalize on insert.
+func TestNonTreeEdgesNormalizesReversedTreeEdges(t *testing.T) {
+	und := graphx.NewGraph(4)
+	und.AddEdge(0, 1)
+	und.AddEdge(1, 2)
+	und.AddEdge(2, 3)
+	// The spanning tree covers every edge, but reports them reversed.
+	reversed := [][2]int{{1, 0}, {2, 1}, {3, 2}}
+	if got := nonTreeEdges(und, reversed); len(got) != 0 {
+		t.Fatalf("reversed tree edges misclassified as non-tree: %v", got)
+	}
+	// With a genuine non-tree edge present, exactly it survives.
+	und.AddEdge(3, 0)
+	got := nonTreeEdges(und, reversed)
+	if len(got) != 1 || got[0] != [2]int{0, 3} {
+		t.Fatalf("non-tree classification = %v, want [[0 3]]", got)
+	}
+	// End to end: the classification feeds the odd-cycle check. C4 with
+	// reversed tree edges is bipartite; closing a triangle is not.
+	color := treeParityColors(4, 0, reversed)
+	e := got[0]
+	if color[e[0]] == color[e[1]] {
+		t.Error("C4 closure reported an odd cycle")
+	}
+	und5 := graphx.NewGraph(3)
+	und5.AddEdge(0, 1)
+	und5.AddEdge(1, 2)
+	und5.AddEdge(0, 2)
+	tri := [][2]int{{1, 0}, {2, 1}}
+	nt := nonTreeEdges(und5, tri)
+	if len(nt) != 1 {
+		t.Fatalf("triangle classification = %v, want one non-tree edge", nt)
+	}
+	c := treeParityColors(3, 0, tri)
+	if c[nt[0][0]] != c[nt[0][1]] {
+		t.Error("triangle's non-tree edge did not close an odd cycle")
+	}
+}
+
+// TestMonitorBillIncludesAggregationGamma is the regression for the
+// under-reported peak: the bill itemizes "γ≤lg" aggregation sweeps but
+// never raised GlobalCapacity to that γ, so when the spanning-tree
+// phase was cheaper the reported peak missed the aggregation load. The
+// single-node graph pins it exactly: its spanning tree charges
+// nothing, so the whole peak is the aggregations' γ = ⌈log₂ 1⌉ = 1.
+func TestMonitorBillIncludesAggregationGamma(t *testing.T) {
+	res, err := Monitor(NewGraph(1), &Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bill.GlobalCapacity != 1 {
+		t.Errorf("n=1 bill γ = %d, want the aggregation phase's 1", res.Bill.GlobalCapacity)
+	}
+	// General floor: the peak can never sit below the aggregation γ.
+	g := NewGraph(36)
+	for i := 0; i+1 < 36; i++ {
+		g.AddEdge(i, i+1)
+	}
+	res, err = Monitor(g, &Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lg := sim.LogBound(36); res.Bill.GlobalCapacity < lg {
+		t.Errorf("bill γ = %d below the charged aggregation γ %d", res.Bill.GlobalCapacity, lg)
 	}
 }

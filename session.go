@@ -1,0 +1,529 @@
+package overlay
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"overlay/internal/overlays"
+	"overlay/internal/rng"
+	"overlay/internal/sim"
+	"overlay/internal/wft"
+)
+
+// Live overlay maintenance. BuildTree is one-shot: it assumes the
+// membership frozen for the O(log n) rounds of the construction. Real
+// peer-to-peer memberships churn, and the paper's time bound is what
+// makes that tractable — a full rebuild is only O(log n) rounds, so it
+// can serve as the *recovery primitive* of a long-lived overlay rather
+// than its steady state. A Session is that long-lived object: it wraps
+// a completed build and advances through churn epochs, each of which
+// must end in a well-formed tree over the then-current membership
+// (the fair-termination framing: every epoch converges, not just the
+// initial construction).
+//
+// Per epoch the session picks the cheap path when it can: leavers are
+// treated as crash-stops and survivors compact their ranks in two
+// O(log n) sweeps over the tree; joiners attach by routing over the
+// Chord fingers the ranks induce (O(log n) hops each, all in
+// parallel); a final broadcast commits the new membership count. Those
+// repairs are charged analytically, like the fast build path. When the
+// churned fraction of an epoch exceeds SessionOptions.RebuildFraction,
+// patching is abandoned and the epoch runs a full BuildTree over the
+// survivors' own Chord overlay (plus one bootstrap edge per joiner) —
+// the O(log n) rebuild as recovery. Either way the epoch's cost lands
+// in an EpochBill and the session keeps serving RouteLookup between
+// epochs.
+
+// SessionOptions tune Open and the epochs that follow.
+type SessionOptions struct {
+	// RebuildFraction is the patch-vs-rebuild threshold: an epoch whose
+	// (joins+leaves)/members exceeds it abandons incremental repair and
+	// re-runs BuildTree over the survivor substrate. 0 means the
+	// default 0.25; patching is attempted whenever the fraction is at
+	// or below the threshold.
+	RebuildFraction float64
+	// Build carries the BuildTree options for epoch rebuilds. Seed
+	// seeds the session clock's per-epoch streams (each rebuild derives
+	// its own seed from it). Faults, if set, is interpreted on the
+	// session clock and in global node identifiers, and is shifted into
+	// each rebuild's local clock and index space; it requires
+	// MessageLevel, as in BuildTree.
+	Build Options
+}
+
+// DefaultRebuildFraction is the patch-vs-rebuild threshold used when
+// SessionOptions.RebuildFraction is zero.
+const DefaultRebuildFraction = 0.25
+
+// EpochBill is one epoch's cost accounting, the Bill of the
+// maintenance plane: what the repair cost and which path it took.
+type EpochBill struct {
+	// Epoch is the epoch index (0-based).
+	Epoch int
+	// Joined and Left count the membership delta this epoch; Left
+	// includes any additional crash-stop casualties a faulted rebuild
+	// inflicted beyond the scheduled leavers.
+	Joined, Left int
+	// Members is the population after the epoch.
+	Members int
+	// ChurnedFraction is (joins+leaves)/members-before, the quantity
+	// compared against the rebuild threshold.
+	ChurnedFraction float64
+	// Rebuilt reports the path taken: false = incremental patch,
+	// true = full BuildTree over the survivor substrate.
+	Rebuilt bool
+	// Rounds and Messages are the epoch's repair cost: charged for
+	// patches, measured (message-level) or charged (fast path, zero
+	// messages) for rebuilds.
+	Rounds   int
+	Messages int64
+	// Clock is the session's global round count after the epoch.
+	Clock int
+	// Itemized is the human-readable per-phase breakdown.
+	Itemized string
+}
+
+// Session is a live overlay under maintenance. All exported methods
+// speak global node identifiers — the input-graph indices of the
+// original build for founding members, and whatever integers later
+// epochs admitted for joiners.
+type Session struct {
+	rebuildFrac float64
+	build       Options
+	faults      *FaultPlan
+
+	// members lists the current population as strictly ascending global
+	// identifiers; tree is the current well-formed tree in member-local
+	// index space (tree node v is global node members[v]).
+	members []int
+	tree    *Tree
+
+	clock  *sim.Clock
+	nextID int
+	bills  []EpochBill
+}
+
+// Open starts a maintenance session over a completed build. The
+// session copies the tree, so the BuildResult stays untouched; the
+// founding membership is the build's survivor set (everyone, for a
+// fault-free build).
+func Open(res *BuildResult, opt *SessionOptions) (*Session, error) {
+	if opt == nil {
+		opt = &SessionOptions{}
+	}
+	if res == nil || res.Aborted || res.Tree == nil {
+		return nil, errors.New("overlay: Open needs a completed (non-aborted) build with a tree")
+	}
+	n := len(res.Tree.Rank)
+	if n == 0 {
+		return nil, errors.New("overlay: cannot open a session over an empty build")
+	}
+	if opt.RebuildFraction < 0 || opt.RebuildFraction > 1 {
+		return nil, fmt.Errorf("overlay: SessionOptions.RebuildFraction %v outside [0,1]", opt.RebuildFraction)
+	}
+	if opt.Build.Faults != nil && !opt.Build.MessageLevel {
+		return nil, errors.New("overlay: SessionOptions.Build.Faults requires MessageLevel (the fast path simulates no messages to fault)")
+	}
+	frac := opt.RebuildFraction
+	if frac == 0 {
+		frac = DefaultRebuildFraction
+	}
+	members := make([]int, n)
+	if res.Survivors != nil {
+		copy(members, res.Survivors)
+	} else {
+		for i := range members {
+			members[i] = i
+		}
+	}
+	// nextID must clear every identifier the build's input space ever
+	// used, not just the surviving maximum: after a faulted build the
+	// dead founding members' identifiers are spent too (a fault plan
+	// naming them must never match an innocent joiner). The retained
+	// expander spans the full input index space.
+	nextID := members[n-1] + 1
+	if res.expander != nil && res.expander.N > nextID {
+		nextID = res.expander.N
+	}
+	s := &Session{
+		rebuildFrac: frac,
+		build:       opt.Build,
+		faults:      opt.Build.Faults,
+		members:     members,
+		tree:        copyTree(res.Tree),
+		clock:       sim.NewClock(opt.Build.Seed),
+		nextID:      nextID,
+	}
+	s.clock.Advance(res.Stats.Rounds)
+	return s, nil
+}
+
+// Members returns the current population, ascending. The slice is a
+// copy.
+func (s *Session) Members() []int {
+	out := make([]int, len(s.members))
+	copy(out, s.members)
+	return out
+}
+
+// Tree returns the current well-formed tree in member-local index
+// space: tree node v is global node Members()[v]. Callers must not
+// mutate it.
+func (s *Session) Tree() *Tree { return s.tree }
+
+// Epoch returns the number of epochs applied so far.
+func (s *Session) Epoch() int { return s.clock.Epoch() }
+
+// ClockRound returns the session's global round count: the initial
+// build plus every epoch repair so far.
+func (s *Session) ClockRound() int { return s.clock.Round() }
+
+// NextID returns the smallest global identifier never yet used by this
+// session — the conventional identifier source for joiners (past
+// identifiers are never reused, so a rejoining peer is a new node).
+func (s *Session) NextID() int { return s.nextID }
+
+// Bills returns the per-epoch accounting, one entry per applied
+// epoch. The slice is a copy.
+func (s *Session) Bills() []EpochBill {
+	return append([]EpochBill(nil), s.bills...)
+}
+
+// Chord returns the current finger-ring edges as global identifier
+// pairs — the routing substrate RouteLookup greedily descends and the
+// knowledge graph an epoch rebuild starts from.
+func (s *Session) Chord() [][2]int {
+	local := overlays.Chord(s.tree.NodeAt).Edges()
+	out := make([][2]int, len(local))
+	for i, e := range local {
+		out[i] = [2]int{s.members[e[0]], s.members[e[1]]}
+	}
+	return out
+}
+
+// RouteLookup returns the greedy Chord routing path between two
+// current members as a global-identifier sequence of length O(log n),
+// or nil if either endpoint is not a member.
+func (s *Session) RouteLookup(from, to int) []int {
+	fi, ok1 := s.memberIndex(from)
+	ti, ok2 := s.memberIndex(to)
+	if !ok1 || !ok2 {
+		return nil
+	}
+	ranks := overlays.RouteChord(len(s.members), s.tree.Rank[fi], s.tree.Rank[ti])
+	path := make([]int, len(ranks))
+	for i, r := range ranks {
+		path[i] = s.members[s.tree.NodeAt[r]]
+	}
+	return path
+}
+
+// memberIndex locates a global identifier in the ascending member
+// list.
+func (s *Session) memberIndex(id int) (int, bool) {
+	k := sort.SearchInts(s.members, id)
+	if k < len(s.members) && s.members[k] == id {
+		return k, true
+	}
+	return 0, false
+}
+
+// ApplyEpoch advances the session by one churn epoch: the listed
+// members leave (crash-stop semantics: they say no goodbyes) and the
+// listed fresh identifiers join. On return the session holds a
+// well-formed tree over the new membership and the epoch's cost is
+// appended to Bills; on error the session is unchanged. Joins and
+// leaves may arrive in any order but must be disjoint, duplicate-free,
+// and — for leaves — current members (joins must be non-members).
+func (s *Session) ApplyEpoch(joins, leaves []int) (*EpochBill, error) {
+	joins, leaves, err := s.checkEpochArgs(joins, leaves)
+	if err != nil {
+		return nil, err
+	}
+	k0 := len(s.members)
+	churned := float64(len(joins)+len(leaves)) / float64(k0)
+	epoch, seed := s.clock.NextEpoch()
+	bill := &EpochBill{
+		Epoch:           epoch,
+		Joined:          len(joins),
+		Left:            len(leaves),
+		ChurnedFraction: churned,
+		Rebuilt:         churned > s.rebuildFrac,
+	}
+	if bill.Rebuilt {
+		err = s.rebuildEpoch(joins, leaves, seed, bill)
+	} else {
+		err = s.patchEpoch(joins, leaves, seed, bill)
+	}
+	if err != nil {
+		// The epoch failed; roll the clock's epoch counter forward
+		// anyway? No: the session must stay replayable, and a failed
+		// epoch changed nothing, so the counter must not advance either.
+		s.clock.RetractEpoch()
+		return nil, err
+	}
+	bill.Members = len(s.members)
+	s.clock.Advance(bill.Rounds)
+	bill.Clock = s.clock.Round()
+	if len(joins) > 0 {
+		if last := joins[len(joins)-1]; last >= s.nextID {
+			s.nextID = last + 1
+		}
+	}
+	s.bills = append(s.bills, *bill)
+	return bill, nil
+}
+
+// checkEpochArgs validates and normalizes (sorts copies of) the epoch
+// arguments.
+func (s *Session) checkEpochArgs(joins, leaves []int) ([]int, []int, error) {
+	joins = append([]int(nil), joins...)
+	leaves = append([]int(nil), leaves...)
+	sort.Ints(joins)
+	sort.Ints(leaves)
+	for i, id := range joins {
+		if id < 0 {
+			return nil, nil, fmt.Errorf("overlay: joiner identifier %d is negative", id)
+		}
+		if i > 0 && joins[i-1] == id {
+			return nil, nil, fmt.Errorf("overlay: joiner %d listed twice", id)
+		}
+		if _, ok := s.memberIndex(id); ok {
+			return nil, nil, fmt.Errorf("overlay: joiner %d is already a member", id)
+		}
+	}
+	for i, id := range leaves {
+		if i > 0 && leaves[i-1] == id {
+			return nil, nil, fmt.Errorf("overlay: leaver %d listed twice", id)
+		}
+		if _, ok := s.memberIndex(id); !ok {
+			return nil, nil, fmt.Errorf("overlay: leaver %d is not a member", id)
+		}
+	}
+	for i, j := 0, 0; i < len(joins) && j < len(leaves); {
+		switch {
+		case joins[i] < leaves[j]:
+			i++
+		case joins[i] > leaves[j]:
+			j++
+		default:
+			return nil, nil, fmt.Errorf("overlay: node %d both joins and leaves this epoch", joins[i])
+		}
+	}
+	if len(leaves) == len(s.members) {
+		return nil, nil, errors.New("overlay: epoch removes every member")
+	}
+	return joins, leaves, nil
+}
+
+// epochPartition splits the current membership against the sorted
+// leave list: the dead mask in member-local space, the survivor
+// globals (ascending), and the merged new membership with the mapping
+// from repair-index space (survivors first, then joiners) to
+// new-member-local space.
+func (s *Session) epochPartition(joins, leaves []int) (dead []bool, survivors, newMembers []int, newOf []int) {
+	dead = make([]bool, len(s.members))
+	for _, id := range leaves {
+		li, _ := s.memberIndex(id)
+		dead[li] = true
+	}
+	survivors = make([]int, 0, len(s.members)-len(leaves))
+	for li, id := range s.members {
+		if !dead[li] {
+			survivors = append(survivors, id)
+		}
+	}
+	s0, j := len(survivors), len(joins)
+	newMembers = make([]int, 0, s0+j)
+	newOf = make([]int, s0+j)
+	for i, jj := 0, 0; i < s0 || jj < j; {
+		if jj >= j || (i < s0 && survivors[i] < joins[jj]) {
+			newOf[i] = len(newMembers)
+			newMembers = append(newMembers, survivors[i])
+			i++
+		} else {
+			newOf[s0+jj] = len(newMembers)
+			newMembers = append(newMembers, joins[jj])
+			jj++
+		}
+	}
+	return dead, survivors, newMembers, newOf
+}
+
+// patchEpoch is the incremental repair path. The distributed protocol
+// it charges: (1) leave detection and rank compaction — survivors
+// aggregate dead-rank counts up the old tree and prefix-shift ranks
+// down it, two sweeps of depth+1 rounds carrying one message per
+// surviving tree edge each; (2) joiner attachment — each joiner greets
+// a deterministic bootstrap contact and greedily routes over the
+// repaired Chord fingers to its heap parent (≤ ⌈log₂ k⌉ hops, all
+// joiners in parallel), plus an attach/ack exchange; (3) a commit
+// broadcast of the new membership count down the new tree. Everything
+// is rank arithmetic afterwards, exactly as in the one-shot build.
+func (s *Session) patchEpoch(joins, leaves []int, seed uint64, bill *EpochBill) error {
+	if len(joins) == 0 && len(leaves) == 0 {
+		bill.Itemized = fmt.Sprintf("%-28s %5d rounds  %9d msgs (charged)\n", "no-op epoch", 0, 0)
+		return nil
+	}
+	dead, survivors, newMembers, newOf := s.epochPartition(joins, leaves)
+	s0 := len(survivors)
+	k1 := s0 + len(joins)
+
+	old := &wft.Tree{Root: s.tree.Root, Rank: s.tree.Rank, NodeAt: s.tree.NodeAt, Parent: s.tree.Parent}
+	depth0 := old.Depth()
+	var deadMask []bool
+	if len(leaves) > 0 {
+		deadMask = dead
+	}
+	rt, err := wft.Repair(old, deadMask, len(joins))
+	if err != nil {
+		return fmt.Errorf("overlay: epoch patch failed: %w", err)
+	}
+
+	rounds, itemized := 0, ""
+	var messages int64
+	if len(leaves) > 0 {
+		r := 2 * (depth0 + 1)
+		m := int64(2 * (s0 - 1))
+		rounds += r
+		messages += m
+		itemized += fmt.Sprintf("%-28s %5d rounds  %9d msgs (charged)\n", "leave detect + compaction", r, m)
+	}
+	if len(joins) > 0 {
+		entry := rng.New(seed).Split(0xa77a)
+		maxHops := 0
+		var routeMsgs int64
+		for i := range joins {
+			r := s0 + i // the joiner's tail rank
+			target := (r - 1) / 2
+			path := overlays.RouteChord(k1, entry.Intn(s0), target)
+			hops := len(path) - 1
+			if hops > maxHops {
+				maxHops = hops
+			}
+			routeMsgs += int64(hops)
+		}
+		r := maxHops + 2 // all joiners route in parallel, then attach/ack
+		m := routeMsgs + int64(2*len(joins))
+		rounds += r
+		messages += m
+		itemized += fmt.Sprintf("%-28s %5d rounds  %9d msgs (charged)\n", "joiner chord attach", r, m)
+	}
+	nt := relabelTree(rt, newOf)
+	commitR := nt.Depth() + 1
+	commitM := int64(k1 - 1)
+	rounds += commitR
+	messages += commitM
+	itemized += fmt.Sprintf("%-28s %5d rounds  %9d msgs (charged)\n", "membership commit", commitR, commitM)
+
+	s.members = newMembers
+	s.tree = nt
+	bill.Rounds = rounds
+	bill.Messages = messages
+	bill.Itemized = itemized
+	return nil
+}
+
+// rebuildEpoch is the recovery path: a full BuildTree over the
+// survivors' current Chord overlay plus one bootstrap edge per joiner
+// (each joiner knows a deterministic existing member — the knowledge
+// graph a fresh node realistically starts from). The build runs on
+// the epoch's derived seed; a session fault plan is shifted into the
+// rebuild's local clock and index space, and its casualties shrink the
+// membership beyond the scheduled leavers.
+func (s *Session) rebuildEpoch(joins, leaves []int, seed uint64, bill *EpochBill) error {
+	_, survivors, newMembers, newOf := s.epochPartition(joins, leaves)
+	s0 := len(survivors)
+	k1 := len(newMembers)
+	if s0 == 0 {
+		return errors.New("overlay: rebuild has no survivors to anchor on")
+	}
+
+	// Survivor substrate: the current finger ring, restricted to
+	// survivors and remapped into new-member-local space. newOf lists
+	// survivors first, so survivor i (in ascending-global order) sits
+	// at new index newOf[i]; a reverse map from old member-local space
+	// gets us there from the Chord edges' old indices.
+	oldToNew := make([]int, len(s.members))
+	si := 0
+	for li, id := range s.members {
+		oldToNew[li] = -1
+		if si < s0 && survivors[si] == id {
+			oldToNew[li] = newOf[si]
+			si++
+		}
+	}
+	g := NewGraph(k1)
+	for _, e := range overlays.Chord(s.tree.NodeAt).Edges() {
+		u, v := oldToNew[e[0]], oldToNew[e[1]]
+		if u >= 0 && v >= 0 {
+			g.AddEdge(u, v)
+		}
+	}
+	entry := rng.New(seed).Split(0xa77a)
+	for i := range joins {
+		g.AddEdge(newOf[s0+i], newOf[entry.Intn(s0)])
+	}
+
+	opts := s.build
+	opts.Seed = seed
+	if s.faults != nil {
+		opts.Faults = s.faults.shiftForEpoch(s.clock.Round(), bill.Epoch, newMembers)
+	}
+	res, err := BuildTree(g, &opts)
+	if err != nil {
+		return fmt.Errorf("overlay: epoch rebuild failed: %w", err)
+	}
+	if res.Aborted {
+		return fmt.Errorf("overlay: epoch rebuild aborted: %s", res.AbortReason)
+	}
+	if res.Survivors != nil {
+		picked := make([]int, len(res.Survivors))
+		for i, li := range res.Survivors {
+			picked[i] = newMembers[li]
+		}
+		newMembers = picked
+		bill.Left += k1 - len(picked)
+	}
+	s.members = newMembers
+	s.tree = copyTree(res.Tree)
+	bill.Rounds = res.Stats.Rounds
+	bill.Messages = res.Stats.TotalMessages
+	mode := "charged"
+	if opts.MessageLevel {
+		mode = "measured"
+	}
+	bill.Itemized = fmt.Sprintf("%-28s %5d rounds  %9d msgs (%s)\n", "full rebuild (BuildTree)", bill.Rounds, bill.Messages, mode)
+	return nil
+}
+
+// copyTree deep-copies a tree.
+func copyTree(t *Tree) *Tree {
+	return &Tree{
+		Root:   t.Root,
+		Parent: append([]int(nil), t.Parent...),
+		Rank:   append([]int(nil), t.Rank...),
+		NodeAt: append([]int(nil), t.NodeAt...),
+	}
+}
+
+// relabelTree maps a repaired wft tree (survivors-then-joiners index
+// space) into the ascending-member index space via newOf[repairIdx] =
+// new member-local index.
+func relabelTree(rt *wft.Tree, newOf []int) *Tree {
+	k := len(newOf)
+	nt := &Tree{
+		Rank:   make([]int, k),
+		NodeAt: make([]int, k),
+		Parent: make([]int, k),
+	}
+	for ri := 0; ri < k; ri++ {
+		nl := newOf[ri]
+		nt.Rank[nl] = rt.Rank[ri]
+		nt.NodeAt[rt.Rank[ri]] = nl
+		nt.Parent[nl] = newOf[rt.Parent[ri]]
+	}
+	nt.Root = newOf[rt.Root]
+	return nt
+}
