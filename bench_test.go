@@ -196,6 +196,39 @@ func BenchmarkSessionEpoch(b *testing.B) {
 	}
 }
 
+// BenchmarkSessionEpochMeasured_4096 measures one live-maintenance
+// epoch with Measured accounting: the repair runs as a real wire
+// protocol on the engine instead of being charged analytically, so
+// this tracks the epoch-repair protocol's end-to-end cost at the
+// benchharness scale (cmd/benchguard fences the matching
+// SessionEpochMeasured_4096_x10 row of BENCH_results.json).
+func BenchmarkSessionEpochMeasured_4096(b *testing.B) {
+	res, err := BuildTree(lineInput(4096), &Options{Seed: 7, MessageLevel: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan := &ChurnPlan{Seed: 9, Epochs: 1, JoinFrac: 0.02, LeaveFrac: 0.02}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sess, err := Open(res, &SessionOptions{
+			Accounting: Measured,
+			Build:      Options{Seed: 7, MessageLevel: true},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		joins, leaves := plan.Epoch(0, sess.Members(), sess.NextID())
+		bill, err := sess.ApplyEpoch(joins, leaves)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if bill.Rebuilt || bill.Path != "patch/measured" {
+			b.Fatalf("bench epoch took path %q (rebuilt=%v), want patch/measured", bill.Path, bill.Rebuilt)
+		}
+	}
+}
+
 func BenchmarkSpanningTree_grid(b *testing.B) {
 	g := NewGraph(256)
 	for r := 0; r < 16; r++ {

@@ -3,8 +3,6 @@ package overlay
 import (
 	"fmt"
 	"sort"
-	"strconv"
-	"strings"
 
 	"overlay/internal/rng"
 )
@@ -89,57 +87,17 @@ func (p *ChurnPlan) Epoch(e int, members []int, nextID int) (joins, leaves []int
 //	            threshold below the smallest per-epoch churn fraction)
 //
 // Example: "epochs=10,join=0.02,leave=0.02,seed=5".
+//
+// Deprecated: use ParsePlan, whose unified grammar accepts the same
+// churn directives (with the seed spelled churnseed=, since seed=
+// names the fault seed there) and returns the churn plan as
+// Plan.Churn. This wrapper parses the identical grammar with the
+// identical errors and will stay, but new callers should take the
+// unified entry point.
 func ParseChurnPlan(spec string) (*ChurnPlan, error) {
-	plan := &ChurnPlan{}
-	seen := map[string]bool{}
-	for _, part := range strings.Split(spec, ",") {
-		part = strings.TrimSpace(part)
-		if part == "" {
-			continue
-		}
-		key, val, ok := strings.Cut(part, "=")
-		if !ok {
-			return nil, fmt.Errorf("overlay: churn directive %q is not key=value", part)
-		}
-		if seen[key] {
-			return nil, fmt.Errorf("overlay: churn directive %s= repeated (the earlier value would be silently overwritten)", key)
-		}
-		seen[key] = true
-		switch key {
-		case "epochs":
-			v, err := strconv.Atoi(val)
-			if err != nil || v < 1 {
-				return nil, fmt.Errorf("overlay: epochs=%q is not a positive epoch count", val)
-			}
-			plan.Epochs = v
-		case "join", "leave", "rebuild":
-			v, err := strconv.ParseFloat(val, 64)
-			if err != nil || v < 0 || v > 1 {
-				return nil, fmt.Errorf("overlay: %s=%q is not a fraction in [0,1]", key, val)
-			}
-			switch key {
-			case "join":
-				plan.JoinFrac = v
-			case "leave":
-				plan.LeaveFrac = v
-			case "rebuild":
-				if v == 0 {
-					return nil, fmt.Errorf("overlay: rebuild=0 is indistinguishable from unset (0 selects the session default); pass a threshold in (0,1]")
-				}
-				plan.RebuildFraction = v
-			}
-		case "seed":
-			v, err := strconv.ParseUint(val, 0, 64)
-			if err != nil {
-				return nil, fmt.Errorf("overlay: bad churn seed %q: %v", val, err)
-			}
-			plan.Seed = v
-		default:
-			return nil, fmt.Errorf("overlay: unknown churn directive %q", key)
-		}
-	}
-	if err := plan.validate(); err != nil {
+	p, err := parsePlanSpec(spec, grammarChurn)
+	if err != nil {
 		return nil, err
 	}
-	return plan, nil
+	return p.Churn, nil
 }

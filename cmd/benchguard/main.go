@@ -1,9 +1,12 @@
 // Command benchguard is the CI perf smoke guard for the message-level
-// engine: it re-runs the quick E12 scale sweep and fails (exit 1) if
-// its heap allocation count regresses by more than -factor against the
-// E12 row of the committed baseline file (BENCH_results.json). Wall
-// time is printed but never gates — CI machines are too noisy for
-// that; allocation counts are deterministic enough to guard.
+// engine: it re-runs the quick E12 scale sweep and the measured
+// session-epoch workload (SessionEpochMeasured_4096_x10 — ten churn
+// epochs each run as a wire protocol on the engine) and fails (exit 1)
+// if either heap allocation count regresses by more than -factor
+// against the matching row of the committed baseline file
+// (BENCH_results.json). Wall time is printed but never gates — CI
+// machines are too noisy for that; allocation counts are deterministic
+// enough to guard.
 //
 // The guarded run re-uses the baseline's recorded seed and E12 sweep
 // sizes and pins the engine to one worker, so the measurement is
@@ -25,6 +28,8 @@ import (
 	"runtime"
 	"time"
 
+	overlay "overlay"
+	"overlay/internal/benchops"
 	"overlay/internal/experiments"
 )
 
@@ -36,10 +41,11 @@ type baselineResult struct {
 }
 
 type baselineReport struct {
-	Seed       uint64           `json:"seed"`
-	Quick      bool             `json:"quick"`
-	E12ScaleNs []int            `json:"e12_scale_ns"`
-	Results    []baselineResult `json:"results"`
+	Seed            uint64           `json:"seed"`
+	Quick           bool             `json:"quick"`
+	E12ScaleNs      []int            `json:"e12_scale_ns"`
+	Results         []baselineResult `json:"results"`
+	GraphMicrobench []baselineResult `json:"graph_microbench"`
 }
 
 func main() {
@@ -95,8 +101,50 @@ func main() {
 		mallocs, ref.Mallocs, *factor, limit)
 	fmt.Printf("E12 quick: %.2fs wall, %d messages, %.0f msgs/s (informational; baseline %.2fs)\n",
 		wall.Seconds(), msgs, float64(msgs)/wall.Seconds(), ref.WallSeconds)
+	fail := false
 	if mallocs > limit {
 		fmt.Printf("FAIL: E12 mallocs regressed more than %.1fx\n", *factor)
+		fail = true
+	}
+
+	// Fence the measured session-epoch row: the same benchops workload
+	// cmd/benchharness recorded, so a regression in the epoch-repair
+	// protocol's allocation behavior fails CI even when E12 is clean.
+	const measuredRow = "SessionEpochMeasured_4096_x10"
+	var sref *baselineResult
+	for i := range base.GraphMicrobench {
+		if base.GraphMicrobench[i].Name == measuredRow {
+			sref = &base.GraphMicrobench[i]
+			break
+		}
+	}
+	if sref == nil {
+		log.Fatalf("%s has no %s row to guard against; regenerate it with `make bench-json`", *baseline, measuredRow)
+	}
+	build, err := overlay.BuildTree(benchops.Line(4096), &overlay.Options{Seed: 1, MessageLevel: true, Workers: *workers})
+	if err != nil {
+		log.Fatalf("session bench build failed: %v", err)
+	}
+	runtime.ReadMemStats(&before)
+	start = time.Now()
+	smsgs, err := benchops.SessionEpochs(build, *workers, 10, overlay.Measured)
+	swall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		log.Fatalf("%s failed: %v", measuredRow, err)
+	}
+	smallocs := after.Mallocs - before.Mallocs
+	slimit := uint64(float64(sref.Mallocs) * *factor)
+	fmt.Printf("%s: %d mallocs (baseline %d, limit %.1fx = %d)\n",
+		measuredRow, smallocs, sref.Mallocs, *factor, slimit)
+	fmt.Printf("%s: %.2fs wall, %d messages, %.0f msgs/s (informational; baseline %.2fs)\n",
+		measuredRow, swall.Seconds(), smsgs, float64(smsgs)/swall.Seconds(), sref.WallSeconds)
+	if smallocs > slimit {
+		fmt.Printf("FAIL: %s mallocs regressed more than %.1fx\n", measuredRow, *factor)
+		fail = true
+	}
+
+	if fail {
 		os.Exit(1)
 	}
 	fmt.Println("OK: within the allocation budget")

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	overlay "overlay"
+	"overlay/internal/benchops"
 	"overlay/internal/benign"
 	"overlay/internal/expander"
 	"overlay/internal/experiments"
@@ -95,7 +96,10 @@ func (r jsonResult) withThroughput(msgs int64) jsonResult {
 // bench uses a lighter ∆ = 16 graph, so its wall time is lower), plus
 // one message-level BuildTree at n = 4096 with its wire-message
 // throughput and ten 2%+2% churn epochs against a session opened over
-// that build (the live-maintenance repair cost, tracked like E12).
+// that build (the live-maintenance repair cost, tracked like E12) —
+// once with charged accounting (the analytic estimate) and once with
+// measured accounting (each repair run as a wire protocol on the
+// engine). cmd/benchguard fences the measured row.
 func graphMicrobench(workers int) ([]jsonResult, error) {
 	g := topology.Ring(1 << 16)
 	bp := benign.Defaults(g.N, g.MaxDegree())
@@ -109,10 +113,7 @@ func graphMicrobench(workers int) ([]jsonResult, error) {
 		measured("SpectralGap_64k", func() { m.SpectralGapWorkers(64, rng.New(1), workers) }),
 		measured("Simple_64k", func() { m.Simple() }),
 	}
-	line := overlay.NewGraph(4096)
-	for i := 0; i+1 < line.N; i++ {
-		line.AddEdge(i, i+1)
-	}
+	line := benchops.Line(4096)
 	var build *overlay.BuildResult
 	res := measured("BuildTreeMessageLevel_4096", func() {
 		build, err = overlay.BuildTree(line, &overlay.Options{Seed: 1, MessageLevel: true, Workers: workers})
@@ -120,31 +121,23 @@ func graphMicrobench(workers int) ([]jsonResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	out = append(out, res.withThroughput(build.Stats.TotalMessages))
+	out = append(out, res.withThroughput(build.Stats.Messages))
 
-	var sessErr error
-	var repairMsgs int64
-	sessRes := measured("SessionEpoch_4096_x10", func() {
-		sess, err := overlay.Open(build, &overlay.SessionOptions{Build: overlay.Options{Seed: 1, MessageLevel: true, Workers: workers}})
-		if err != nil {
-			sessErr = err
-			return
+	for _, acct := range []overlay.Accounting{overlay.Charged, overlay.Measured} {
+		name := "SessionEpoch_4096_x10"
+		if acct == overlay.Measured {
+			name = "SessionEpochMeasured_4096_x10"
 		}
-		plan := &overlay.ChurnPlan{Seed: 3, Epochs: 10, JoinFrac: 0.02, LeaveFrac: 0.02}
-		for e := 0; e < plan.Epochs; e++ {
-			joins, leaves := plan.Epoch(e, sess.Members(), sess.NextID())
-			bill, err := sess.ApplyEpoch(joins, leaves)
-			if err != nil {
-				sessErr = err
-				return
-			}
-			repairMsgs += bill.Messages
+		var sessErr error
+		var repairMsgs int64
+		sessRes := measured(name, func() {
+			repairMsgs, sessErr = benchops.SessionEpochs(build, workers, 10, acct)
+		})
+		if sessErr != nil {
+			return nil, sessErr
 		}
-	})
-	if sessErr != nil {
-		return nil, sessErr
+		out = append(out, sessRes.withThroughput(repairMsgs))
 	}
-	out = append(out, sessRes.withThroughput(repairMsgs))
 	return out, nil
 }
 

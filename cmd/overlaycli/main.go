@@ -6,6 +6,7 @@
 //	overlaycli -topology line -n 1024 -seed 7 [-message-level] [-cap 10]
 //	overlaycli -topology ring -n 4096 -faults 'drop=0.001,crashfrac=0.03@30'
 //	overlaycli -topology ring -n 4096 -churn 'epochs=10,join=0.02,leave=0.02,seed=5'
+//	overlaycli -topology ring -n 4096 -plan 'crashfrac=0.02@30,epochs=10,join=0.02,leave=0.02' -accounting measured
 //
 // Topologies: line, ring, tree, grid. The -faults flag installs a
 // fault schedule (message drops/delays, crash-stop failures,
@@ -20,6 +21,13 @@
 // per epoch and the per-epoch invariant verdict. With -faults too, the
 // fault plan spans the whole session clock: rounds past the build are
 // shifted into whichever epoch rebuild they land in.
+//
+// The -plan flag replaces the -faults/-churn pair with the unified
+// overlay.ParsePlan grammar (churn seed spelled churnseed= there).
+// -accounting selects how patch epochs are billed: charged estimates
+// analytically, measured runs each repair as a real wire protocol on
+// the engine (so the fault plan hits the repair traffic itself) and
+// implies -message-level.
 package main
 
 import (
@@ -35,18 +43,30 @@ import (
 func main() {
 	log.SetFlags(0)
 	var (
-		topo    = flag.String("topology", "line", "input topology: line|ring|tree|grid")
-		n       = flag.Int("n", 1024, "number of nodes")
-		seed    = flag.Uint64("seed", 1, "run seed")
-		msgLvl  = flag.Bool("message-level", false, "run the real distributed protocol on the NCC0 engine")
-		capFac  = flag.Int("cap", 0, "NCC0 capacity factor κ (per-round cap κ·log n; 0 = uncapped)")
-		derived = flag.Bool("derived", false, "also print derived overlay sizes")
-		faults  = flag.String("faults", "", "fault schedule, e.g. 'drop=0.01,delay=0.05,delaymax=3,crash=17@40,crashfrac=0.1@100,cut=0-99@30-60,seed=9' (implies -message-level)")
-		churn   = flag.String("churn", "", "churn epoch schedule, e.g. 'epochs=10,join=0.02,leave=0.02,seed=5,rebuild=0.25'")
+		topo     = flag.String("topology", "line", "input topology: line|ring|tree|grid")
+		n        = flag.Int("n", 1024, "number of nodes")
+		seed     = flag.Uint64("seed", 1, "run seed")
+		msgLvl   = flag.Bool("message-level", false, "run the real distributed protocol on the NCC0 engine")
+		capFac   = flag.Int("cap", 0, "NCC0 capacity factor κ (per-round cap κ·log n; 0 = uncapped)")
+		derived  = flag.Bool("derived", false, "also print derived overlay sizes")
+		faults   = flag.String("faults", "", "fault schedule, e.g. 'drop=0.01,delay=0.05,delaymax=3,crash=17@40,crashfrac=0.1@100,cut=0-99@30-60,seed=9' (implies -message-level)")
+		churn    = flag.String("churn", "", "churn epoch schedule, e.g. 'epochs=10,join=0.02,leave=0.02,seed=5,rebuild=0.25'")
+		planSpec = flag.String("plan", "", "unified fault+churn plan (overlay.ParsePlan grammar); replaces -faults and -churn")
+		acctName = flag.String("accounting", "charged", "patch-epoch accounting: charged|measured (measured implies -message-level)")
 	)
 	flag.Parse()
 	if *n < 1 {
 		log.Fatal("-n must be >= 1")
+	}
+	var acct overlay.Accounting
+	switch *acctName {
+	case "charged":
+		acct = overlay.Charged
+	case "measured":
+		acct = overlay.Measured
+		*msgLvl = true
+	default:
+		log.Fatalf("-accounting %q: want charged or measured", *acctName)
 	}
 
 	g, err := scenario.BuildTopology(*topo, *n)
@@ -56,6 +76,22 @@ func main() {
 		os.Exit(2)
 	}
 	var plan *overlay.FaultPlan
+	var churnPlan *overlay.ChurnPlan
+	faultSpec, churnSpec := *faults, *churn
+	if *planSpec != "" {
+		if *faults != "" || *churn != "" {
+			log.Fatal("-plan replaces -faults and -churn; pass one or the other")
+		}
+		p, err := overlay.ParsePlan(*planSpec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		plan, churnPlan = p.Faults, p.Churn
+		faultSpec, churnSpec = *planSpec, *planSpec
+		if plan != nil {
+			*msgLvl = true
+		}
+	}
 	if *faults != "" {
 		plan, err = overlay.ParseFaultPlan(*faults)
 		if err != nil {
@@ -63,7 +99,6 @@ func main() {
 		}
 		*msgLvl = true
 	}
-	var churnPlan *overlay.ChurnPlan
 	if *churn != "" {
 		churnPlan, err = overlay.ParseChurnPlan(*churn)
 		if err != nil {
@@ -88,7 +123,7 @@ func main() {
 	fmt.Printf("topology        %s, n=%d\n", *topo, g.N)
 	fmt.Printf("mode            %s\n", mode)
 	if plan != nil {
-		fmt.Printf("faults          %s\n", *faults)
+		fmt.Printf("faults          %s\n", faultSpec)
 	}
 	if res.Aborted {
 		fmt.Printf("result          ABORTED: %s\n", res.AbortReason)
@@ -105,7 +140,7 @@ func main() {
 		res.Stats.ExpanderDiameter, res.Stats.SpectralGap)
 	if *msgLvl {
 		fmt.Printf("messages        total=%d max/node/round=%d max/node total=%d drops=%d\n",
-			res.Stats.TotalMessages, res.Stats.MaxMessagesPerRound, res.Stats.MaxMessagesTotal, res.Stats.CapacityDrops)
+			res.Stats.Messages, res.Stats.MaxMessagesPerRound, res.Stats.MaxMessagesTotal, res.Stats.CapacityDrops)
 	}
 	if plan != nil {
 		fmt.Printf("fault plane     dropped=%d delayed=%d protocol anomalies=%d\n",
@@ -132,6 +167,7 @@ func main() {
 	}
 	sess, err := overlay.Open(res, &overlay.SessionOptions{
 		RebuildFraction: churnPlan.RebuildFraction,
+		Accounting:      acct,
 		Build: overlay.Options{
 			Seed: *seed, MessageLevel: *msgLvl, CapFactor: *capFac, Faults: plan,
 		},
@@ -139,8 +175,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nchurn           %s\n", *churn)
-	fmt.Printf("%-6s %6s %6s %8s %8s %8s %10s  %s\n",
+	fmt.Printf("\nchurn           %s\n", churnSpec)
+	fmt.Printf("accounting      %s\n", acct)
+	fmt.Printf("%-6s %6s %6s %8s  %-24s %8s %10s  %s\n",
 		"epoch", "join", "leave", "members", "path", "rounds", "messages", "invariants")
 	clean := true
 	for e := 0; e < churnPlan.Epochs; e++ {
@@ -150,17 +187,13 @@ func main() {
 			fmt.Printf("%-6d epoch failed: %v\n", e, err)
 			os.Exit(1)
 		}
-		path := "patch"
-		if bill.Rebuilt {
-			path = "rebuild"
-		}
 		verdict := "all hold"
 		if viols := scenario.CheckEpoch(sess, bill, plan); len(viols) > 0 {
 			clean = false
 			verdict = "VIOLATED: " + viols[0]
 		}
-		fmt.Printf("%-6d %6d %6d %8d %8s %8d %10d  %s\n",
-			bill.Epoch, bill.Joined, bill.Left, bill.Members, path, bill.Rounds, bill.Messages, verdict)
+		fmt.Printf("%-6d %6d %6d %8d  %-24s %8d %10d  %s\n",
+			bill.Epoch, bill.Joined, bill.Left, bill.Members, bill.Path, bill.Rounds, bill.Messages, verdict)
 	}
 	fmt.Printf("session         %d members after %d epochs, clock at round %d\n",
 		len(sess.Members()), sess.Epoch(), sess.ClockRound())

@@ -51,7 +51,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("built: n=%d, %d rounds, %d wire messages\n\n", n, res.Stats.Rounds, res.Stats.TotalMessages)
+	fmt.Printf("built: n=%d, %d rounds, %d wire messages\n\n", n, res.Stats.Rounds, res.Stats.Messages)
 
 	sess, err := overlay.Open(res, &overlay.SessionOptions{Build: build})
 	if err != nil {

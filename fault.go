@@ -235,94 +235,18 @@ func aliveAfter(crashes []Crash, n, totalRounds int) ([]bool, int) {
 //	                   rest during global rounds [FROM, TO) (repeatable)
 //
 // Example: "drop=0.01,delay=0.05,delaymax=3,crash=17@40,cut=0-99@30-60".
+//
+// Deprecated: use ParsePlan, whose unified grammar accepts the same
+// fault directives (plus churn directives) and returns the fault plan
+// as Plan.Faults. This wrapper parses the identical grammar with the
+// identical errors and will stay, but new callers should take the
+// unified entry point.
 func ParseFaultPlan(spec string) (*FaultPlan, error) {
-	plan := &FaultPlan{}
-	// Singleton directives set one field; a repeat would silently
-	// overwrite the earlier value (last-wins), so it is rejected — only
-	// crash= and cut= accumulate.
-	seen := map[string]bool{}
-	for _, part := range strings.Split(spec, ",") {
-		part = strings.TrimSpace(part)
-		if part == "" {
-			continue
-		}
-		key, val, ok := strings.Cut(part, "=")
-		if !ok {
-			return nil, fmt.Errorf("overlay: fault directive %q is not key=value", part)
-		}
-		switch key {
-		case "seed", "drop", "delay", "delaymax", "crashfrac":
-			if seen[key] {
-				return nil, fmt.Errorf("overlay: fault directive %s= repeated (the earlier value would be silently overwritten)", key)
-			}
-			seen[key] = true
-		}
-		switch key {
-		case "seed":
-			v, err := strconv.ParseUint(val, 0, 64)
-			if err != nil {
-				return nil, fmt.Errorf("overlay: bad fault seed %q: %v", val, err)
-			}
-			plan.Seed = v
-		case "drop", "delay":
-			v, err := strconv.ParseFloat(val, 64)
-			if err != nil || v < 0 || v > 1 {
-				return nil, fmt.Errorf("overlay: %s=%q is not a probability in [0,1]", key, val)
-			}
-			if key == "drop" {
-				plan.DropProb = v
-			} else {
-				plan.DelayProb = v
-			}
-		case "delaymax":
-			v, err := strconv.Atoi(val)
-			if err != nil || v < 1 {
-				return nil, fmt.Errorf("overlay: delaymax=%q is not a positive round count", val)
-			}
-			plan.DelayMax = v
-		case "crash":
-			node, round, err := parseAtPair(val)
-			if err != nil {
-				return nil, fmt.Errorf("overlay: crash=%q: want NODE@ROUND: %v", val, err)
-			}
-			plan.Crashes = append(plan.Crashes, Crash{Node: node, Round: round})
-		case "crashfrac":
-			fs, rs, ok := strings.Cut(val, "@")
-			if !ok {
-				return nil, fmt.Errorf("overlay: crashfrac=%q: want FRAC@ROUND", val)
-			}
-			f, err := strconv.ParseFloat(fs, 64)
-			if err != nil || f < 0 || f > 1 {
-				return nil, fmt.Errorf("overlay: crashfrac fraction %q is not in [0,1]", fs)
-			}
-			r, err := strconv.Atoi(rs)
-			if err != nil {
-				return nil, fmt.Errorf("overlay: crashfrac round %q: %v", rs, err)
-			}
-			plan.CrashFrac, plan.CrashFracRound = f, r
-		case "cut":
-			rangeSpec, window, ok := strings.Cut(val, "@")
-			if !ok {
-				return nil, fmt.Errorf("overlay: cut=%q: want LO-HI@FROM-TO", val)
-			}
-			lo, hi, err := parseDashPair(rangeSpec)
-			if err != nil || lo > hi {
-				return nil, fmt.Errorf("overlay: cut node range %q: want LO-HI with LO <= HI", rangeSpec)
-			}
-			from, until, err := parseDashPair(window)
-			if err != nil || until <= from {
-				return nil, fmt.Errorf("overlay: cut window %q: want FROM-TO with FROM < TO", window)
-			}
-			side := make([]int, 0, hi-lo+1)
-			for v := lo; v <= hi; v++ {
-				side = append(side, v)
-			}
-			plan.Partitions = append(plan.Partitions, Partition{From: from, Until: until, Side: side})
-		default:
-			return nil, fmt.Errorf("overlay: unknown fault directive %q", key)
-		}
+	p, err := parsePlanSpec(spec, grammarFault)
+	if err != nil {
+		return nil, err
 	}
-	return plan, nil
+	return p.Faults, nil
 }
 
 func parseAtPair(s string) (int, int, error) {

@@ -10,22 +10,18 @@ import (
 // unbounded input degrees and (for ConnectedComponents and MIS)
 // disconnected inputs.
 
-// Bill summarizes an algorithm's cost accounting: the total round
-// count, the peak per-node per-round global-message load γ, and the
-// itemized per-phase breakdown (rendered text; phases the paper cites
-// as black-box primitives are marked "charged", simulated phases
-// "measured" — see DESIGN.md §4).
-type Bill struct {
-	// Rounds is the total synchronous round count.
-	Rounds int
-	// GlobalCapacity is the peak γ over all phases.
-	GlobalCapacity int
-	// Itemized is the human-readable per-phase breakdown.
-	Itemized string
-}
-
+// billOf renders a hybrid ledger through the unified Bill schema
+// (bill.go): the total round count, the peak per-node per-round
+// global-message load γ, and the itemized per-phase breakdown
+// (rendered text; phases the paper cites as black-box primitives are
+// marked "charged", simulated phases "measured" — see DESIGN.md §4).
 func billOf(l *hybrid.Ledger) Bill {
-	return Bill{Rounds: l.Rounds(), GlobalCapacity: l.MaxGlobalPerRound(), Itemized: l.String()}
+	return Bill{
+		Path:           "hybrid",
+		Rounds:         l.Rounds(),
+		GlobalCapacity: l.MaxGlobalPerRound(),
+		Itemized:       l.String(),
+	}
 }
 
 // ComponentTree is a well-formed tree over one connected component.

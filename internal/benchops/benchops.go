@@ -1,0 +1,43 @@
+// Package benchops holds the session-epoch benchmark workload shared
+// by cmd/benchharness (which generates the BENCH_results.json rows)
+// and cmd/benchguard (the CI fence that re-runs them), so the two can
+// never drift into measuring different operations.
+package benchops
+
+import (
+	"overlay"
+)
+
+// Line returns the n-node line graph the session benches build over.
+func Line(n int) *overlay.Graph {
+	g := overlay.NewGraph(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+// SessionEpochs opens a session over build with the given patch-epoch
+// accounting and applies epochs of 2% joins + 2% leaves (churn seed 3,
+// the schedule the SessionEpoch* rows have always measured), returning
+// the total billed messages.
+func SessionEpochs(build *overlay.BuildResult, workers, epochs int, acct overlay.Accounting) (int64, error) {
+	sess, err := overlay.Open(build, &overlay.SessionOptions{
+		Accounting: acct,
+		Build:      overlay.Options{Seed: 1, MessageLevel: true, Workers: workers},
+	})
+	if err != nil {
+		return 0, err
+	}
+	plan := &overlay.ChurnPlan{Seed: 3, Epochs: epochs, JoinFrac: 0.02, LeaveFrac: 0.02}
+	var msgs int64
+	for e := 0; e < plan.Epochs; e++ {
+		joins, leaves := plan.Epoch(e, sess.Members(), sess.NextID())
+		bill, err := sess.ApplyEpoch(joins, leaves)
+		if err != nil {
+			return msgs, err
+		}
+		msgs += bill.Messages
+	}
+	return msgs, nil
+}

@@ -26,6 +26,14 @@ import "overlay"
 //     degrade to an explicit, reasoned abort — never a deadlock,
 //     panic, or silent garbage tree.
 //
+//   - fault-during-repair: a fault-free build, then six measured
+//     churn epochs whose repair traffic itself runs under message
+//     delays (Accounting: Measured runs each patch as a wire protocol,
+//     and SessionFaults applies only to the session phase). Delays
+//     stretch the repair but never defeat it, so every epoch must
+//     still converge to a machine-checked tree — the bill just shows
+//     the held messages and the extra rounds.
+//
 // Every spec is deterministic: same n, same outcome, bit for bit, at
 // any worker count.
 func Canned(n int) []Spec {
@@ -62,6 +70,24 @@ func Canned(n int) []Spec {
 				Seed:      13,
 				DropProb:  0.002,
 				DelayProb: 0.01,
+				DelayMax:  3,
+			},
+		},
+		{
+			Name:       "fault-during-repair",
+			Topology:   "ring",
+			N:          n,
+			Seed:       23,
+			Accounting: overlay.Measured,
+			Churn: &overlay.ChurnPlan{
+				Seed:      29,
+				Epochs:    6,
+				JoinFrac:  0.02,
+				LeaveFrac: 0.02,
+			},
+			SessionFaults: &overlay.FaultPlan{
+				Seed:      31,
+				DelayProb: 0.05,
 				DelayMax:  3,
 			},
 		},

@@ -48,6 +48,16 @@ type Spec struct {
 	// completed build, with the session invariants checked after every
 	// epoch. nil runs the one-shot build only.
 	Churn *overlay.ChurnPlan
+	// SessionFaults, when non-nil, replaces Faults as the session-phase
+	// fault plan: the initial build runs under Faults (nil = fault-free)
+	// while the maintenance epochs run under SessionFaults. This is how
+	// a scenario faults the repair traffic itself without also having to
+	// survive the same adversary during construction.
+	SessionFaults *overlay.FaultPlan
+	// Accounting selects how the session bills patch epochs
+	// (overlay.Charged estimates analytically, overlay.Measured runs
+	// each repair as a wire protocol on the engine).
+	Accounting overlay.Accounting
 	// RoundBudget overrides the invariant checker's round bound
 	// (0 derives a generous O(log n) budget from N).
 	RoundBudget int
@@ -147,15 +157,20 @@ func runChurn(s *Spec, rep *Report) {
 	bad := func(format string, args ...any) {
 		rep.Violations = append(rep.Violations, fmt.Sprintf(format, args...))
 	}
+	sessionFaults := s.Faults
+	if s.SessionFaults != nil {
+		sessionFaults = s.SessionFaults
+	}
 	sess, err := overlay.Open(res, &overlay.SessionOptions{
 		RebuildFraction: s.Churn.RebuildFraction,
+		Accounting:      s.Accounting,
 		Build: overlay.Options{
 			Seed:         s.Seed,
 			MessageLevel: true,
 			CapFactor:    s.CapFactor,
 			Workers:      s.Workers,
 			Sequential:   s.Sequential,
-			Faults:       s.Faults,
+			Faults:       sessionFaults,
 		},
 	})
 	if err != nil {
@@ -173,15 +188,15 @@ func runChurn(s *Spec, rep *Report) {
 			break
 		}
 		rep.EpochBills = append(rep.EpochBills, *bill)
-		for _, viol := range CheckEpoch(sess, bill, s.Faults) {
+		for _, viol := range CheckEpoch(sess, bill, sessionFaults) {
 			bad("epoch %d: %s", e, viol)
 		}
 		if !bill.Rebuilt && bill.Joined+bill.Left > 0 {
 			if bill.Rounds >= res.Stats.Rounds {
 				bad("epoch %d: patch cost %d rounds, not cheaper than the %d-round build", e, bill.Rounds, res.Stats.Rounds)
 			}
-			if res.Stats.TotalMessages > 0 && bill.Messages >= res.Stats.TotalMessages {
-				bad("epoch %d: patch cost %d messages, not cheaper than the build's %d", e, bill.Messages, res.Stats.TotalMessages)
+			if res.Stats.Messages > 0 && bill.Messages >= res.Stats.Messages {
+				bad("epoch %d: patch cost %d messages, not cheaper than the build's %d", e, bill.Messages, res.Stats.Messages)
 			}
 		}
 	}

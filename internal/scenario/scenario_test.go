@@ -63,6 +63,7 @@ var cannedWantAbort = map[string]bool{
 	"mid-build-crashes":     false,
 	"epoch-churn":           false,
 	"lossy-delayed-network": true,
+	"fault-during-repair":   false,
 }
 
 // TestCannedScenarios runs every canned fault scenario and requires a
@@ -124,6 +125,43 @@ func TestChurnScenarioOutcome(t *testing.T) {
 		if b.Rebuilt {
 			t.Errorf("epoch %d rebuilt; 4%% churn must stay on the patch path", b.Epoch)
 		}
+	}
+}
+
+// TestFaultDuringRepairOutcome pins the fault-during-repair canned
+// scenario's documented shape: every epoch runs the measured repair
+// protocol (no rebuild fallback), and the session fault plan actually
+// touched the repair traffic — the bills must show held messages.
+func TestFaultDuringRepairOutcome(t *testing.T) {
+	var spec Spec
+	for _, s := range Canned(smokeN(t)) {
+		if s.Name == "fault-during-repair" {
+			spec = s
+		}
+	}
+	if spec.Churn == nil || spec.SessionFaults == nil {
+		t.Fatal("no fault-during-repair canned scenario")
+	}
+	rep := Run(spec)
+	t.Log(rep.String())
+	if !rep.OK() {
+		t.Fatalf("not clean: err=%v violations=%v", rep.Err, rep.Violations)
+	}
+	if len(rep.EpochBills) != spec.Churn.Epochs {
+		t.Fatalf("applied %d epochs, want %d", len(rep.EpochBills), spec.Churn.Epochs)
+	}
+	var delays int64
+	for _, b := range rep.EpochBills {
+		if b.Rebuilt {
+			t.Errorf("epoch %d rebuilt; delays must never defeat the patch protocol", b.Epoch)
+		}
+		if b.Path != "patch/measured" {
+			t.Errorf("epoch %d billed path %q, want patch/measured", b.Epoch, b.Path)
+		}
+		delays += b.FaultDelays
+	}
+	if delays == 0 {
+		t.Error("no held messages on any bill: the fault plane never touched the repair traffic")
 	}
 }
 

@@ -231,7 +231,6 @@ func (a *advState) fate(r, i int32, k int) (drop bool, delay int32) {
 // messages that were already in flight when the cut formed.
 type heldWire struct {
 	w    Wire
-	box  any // boxed SendAny payload, nil for wire-native messages
 	from int32
 	dest int32
 	due  int32

@@ -12,10 +12,7 @@
 // messages are a constant number of machine words, and the engine
 // represents them as exactly that ({From, Kind, Units, W [4]uint64}),
 // never as boxed interface objects. Protocol payloads implement
-// Encode(*Wire)/Decode(Wire); receivers dispatch on Wire.Kind. The
-// deprecated SendAny/Ctx.Any shim still routes arbitrary boxed
-// payloads (and serves as the escape hatch for the rare payload wider
-// than four words) through a pointer-bearing side column.
+// Encode(*Wire)/Decode(Wire); receivers dispatch on Wire.Kind.
 //
 // The NCC0 capacity restriction is enforced mechanically: messages are
 // unit-counted (an O(log n)-bit message carrying a constant number of
@@ -60,14 +57,6 @@ import (
 	"overlay/internal/ids"
 	"overlay/internal/rng"
 )
-
-// Sized lets a SendAny payload declare its size in message units (one
-// unit = one O(log n)-bit message). Payloads that do not implement
-// Sized count as one unit. Wire-native payloads declare multi-unit
-// sizes directly on Wire.Units in their Encode.
-type Sized interface {
-	MsgUnits() int
-}
 
 // Node is a per-node protocol state machine.
 type Node interface {
@@ -162,11 +151,6 @@ type Engine struct {
 	// sender pass is sequential, so one buffer serves every node.
 	sendPerm []int
 
-	// hasAny is set (sticky, in the sequential sender pass) once any
-	// node has used the SendAny shim; only then do delivery shards
-	// maintain the boxed side columns.
-	hasAny bool
-
 	// adv is the compiled fault plane; nil when no adversary is
 	// installed, in which case delivery takes the unchecked fast path.
 	adv *advState
@@ -182,7 +166,6 @@ type Engine struct {
 // cache line.
 type shardState struct {
 	arena   []Wire  // flat inbox storage for the shard's destinations
-	anyCol  []any   // boxed SendAny payloads, aligned with arena
 	touched []int32 // destinations that received messages this round
 	wake    []int32 // halted destinations among touched
 	perm    []int   // scratch permutation for receive-cap sampling
@@ -211,15 +194,12 @@ type Ctx struct {
 	// Rand is the node's private random stream.
 	Rand *rng.Source
 
-	// Columnar outbox: outW[k] goes to node index outD[k]. outAny is
-	// nil until the first SendAny and aligned with outW afterwards.
-	outW   []Wire
-	outD   []int32
-	outAny []any
+	// Columnar outbox: outW[k] goes to node index outD[k].
+	outW []Wire
+	outD []int32
 
 	sentUnits int
 	halted    bool
-	usedAny   bool
 }
 
 // New builds an engine running the given nodes. Node identifiers are
@@ -528,16 +508,12 @@ func (e *Engine) forEach(k int, fn func(int)) {
 func (e *Engine) deliver() {
 	run := e.runList
 
-	// Sender pass: caps, sender-side metrics, and the sticky SendAny
-	// flag the shards consult for side-column maintenance.
+	// Sender pass: caps and sender-side metrics.
 	roundSentMax := 0
 	for _, i := range run {
 		ctx := &e.ctxs[i]
 		sent := ctx.sentUnits
 		ctx.sentUnits = 0
-		if ctx.usedAny {
-			e.hasAny = true
-		}
 		if e.cfg.SendCap > 0 && sent > e.cfg.SendCap {
 			// Enforce the cap by dropping a random subset of the
 			// sender's messages and record the violation: correct
@@ -584,16 +560,11 @@ func (e *Engine) deliver() {
 	e.metrics.RoundMaxRecv = append(e.metrics.RoundMaxRecv, roundRecvMax)
 
 	// Outboxes are fully drained; reset them keeping capacity. Wires
-	// are pointer-free, so stale tails pin nothing; only the boxed
-	// side column needs clearing.
+	// are pointer-free, so stale tails pin nothing.
 	for _, i := range run {
 		ctx := &e.ctxs[i]
 		ctx.outW = ctx.outW[:0]
 		ctx.outD = ctx.outD[:0]
-		if ctx.outAny != nil {
-			clear(ctx.outAny)
-			ctx.outAny = ctx.outAny[:0]
-		}
 	}
 
 	// Rebuild the active set: nodes that ran and are still live. Nodes
@@ -664,7 +635,7 @@ func (e *Engine) deliverShard(sc *shardState, run []int32, lo, hi int32) {
 	if total == 0 {
 		return
 	}
-	withAny := e.layoutArena(sc, total)
+	e.layoutArena(sc, total)
 
 	// Scatter pass: cache-linear copies into the arena.
 	for _, i := range run {
@@ -675,9 +646,6 @@ func (e *Engine) deliverShard(sc *shardState, run []int32, lo, hi int32) {
 			}
 			p := e.inPos[d]
 			sc.arena[p] = ctx.outW[k]
-			if withAny && ctx.outAny != nil {
-				sc.anyCol[p] = ctx.outAny[k]
-			}
 			e.inPos[d] = p + 1
 		}
 	}
@@ -686,18 +654,14 @@ func (e *Engine) deliverShard(sc *shardState, run []int32, lo, hi int32) {
 }
 
 // resetShard clears the previous round's per-shard delivery state. The
-// arena's wires are pointer-free; only the boxed side column needs
-// clearing.
+// arena's wires are pointer-free, so truncation alone releases nothing
+// to the GC and costs nothing.
 func (e *Engine) resetShard(sc *shardState) {
 	for _, j := range sc.touched {
 		e.inCnt[j] = 0
 	}
 	sc.touched = sc.touched[:0]
 	sc.arena = sc.arena[:0]
-	if sc.anyCol != nil {
-		clear(sc.anyCol)
-		sc.anyCol = sc.anyCol[:0]
-	}
 	sc.wake = sc.wake[:0]
 	sc.maxRecv = 0
 	sc.drops = 0
@@ -707,10 +671,8 @@ func (e *Engine) resetShard(sc *shardState) {
 
 // layoutArena assigns per-destination offsets (segments in
 // first-arrival order of the touched list — contiguity is all inboxOf
-// needs) and sizes the arena, plus the boxed side column when any node
-// has ever used SendAny. It returns that withAny flag for the caller's
-// scatter pass.
-func (e *Engine) layoutArena(sc *shardState, total int32) (withAny bool) {
+// needs) and sizes the arena.
+func (e *Engine) layoutArena(sc *shardState, total int32) {
 	off := int32(0)
 	for _, j := range sc.touched {
 		e.inOff[j] = off
@@ -722,18 +684,6 @@ func (e *Engine) layoutArena(sc *shardState, total int32) (withAny bool) {
 	} else {
 		sc.arena = sc.arena[:total]
 	}
-	withAny = e.hasAny
-	if withAny {
-		if cap(sc.anyCol) < int(total) {
-			sc.anyCol = make([]any, total)
-		} else {
-			// resetShard cleared the live prefix and scatter overwrites
-			// only boxed slots, so re-clear the full window.
-			sc.anyCol = sc.anyCol[:total]
-			clear(sc.anyCol)
-		}
-	}
-	return withAny
 }
 
 // applyRecvCaps is the final delivery pass shared by the fast and
@@ -812,11 +762,7 @@ func (e *Engine) deliverShardFaulty(sc *shardState, run []int32, lo, hi, r int32
 				continue
 			}
 			if delay > 0 {
-				var box any
-				if ctx.outAny != nil {
-					box = ctx.outAny[k]
-				}
-				sc.held = append(sc.held, heldWire{w: ctx.outW[k], box: box, from: i, dest: d, due: r + delay})
+				sc.held = append(sc.held, heldWire{w: ctx.outW[k], from: i, dest: d, due: r + delay})
 				sc.advDelays++
 				continue
 			}
@@ -831,7 +777,7 @@ func (e *Engine) deliverShardFaulty(sc *shardState, run []int32, lo, hi, r int32
 		sc.compactHeld(r)
 		return
 	}
-	withAny := e.layoutArena(sc, total)
+	e.layoutArena(sc, total)
 
 	// Scatter pass: held first (same predicates as the count pass),
 	// then fresh messages.
@@ -842,9 +788,6 @@ func (e *Engine) deliverShardFaulty(sc *shardState, run []int32, lo, hi, r int32
 		}
 		p := e.inPos[hm.dest]
 		sc.arena[p] = hm.w
-		if withAny {
-			sc.anyCol[p] = hm.box
-		}
 		e.inPos[hm.dest] = p + 1
 	}
 	for _, i := range run {
@@ -862,9 +805,6 @@ func (e *Engine) deliverShardFaulty(sc *shardState, run []int32, lo, hi, r int32
 			}
 			p := e.inPos[d]
 			sc.arena[p] = ctx.outW[k]
-			if withAny && ctx.outAny != nil {
-				sc.anyCol[p] = ctx.outAny[k]
-			}
 			e.inPos[d] = p + 1
 		}
 	}
@@ -873,8 +813,8 @@ func (e *Engine) deliverShardFaulty(sc *shardState, run []int32, lo, hi, r int32
 }
 
 // compactHeld removes holdback entries that were delivered (or dropped
-// dead) at round r, preserving queue order and zeroing the tail so
-// boxed payloads do not leak through the reused backing array.
+// dead) at round r, preserving queue order. heldWire is pointer-free,
+// so the stale tail pins nothing.
 func (sc *shardState) compactHeld(r int32) {
 	kept := 0
 	for k := range sc.held {
@@ -883,9 +823,6 @@ func (sc *shardState) compactHeld(r int32) {
 		}
 		sc.held[kept] = sc.held[k]
 		kept++
-	}
-	for k := kept; k < len(sc.held); k++ {
-		sc.held[k] = heldWire{}
 	}
 	sc.held = sc.held[:kept]
 }
@@ -898,25 +835,14 @@ func (e *Engine) capInbox(sc *shardState, j int32) int {
 	seg := sc.arena[off : off+int(e.inCnt[j])]
 	keep := chooseWithin(len(seg), e.cfg.RecvCap,
 		func(k int) int { return int(seg[k].Units) }, e.ctxs[j].Rand, &sc.perm)
-	withAny := sc.anyCol != nil
 	kept, used := 0, 0
 	for k := range seg {
 		if !keep[k] {
 			continue
 		}
 		seg[kept] = seg[k]
-		if withAny {
-			sc.anyCol[off+kept] = sc.anyCol[off+k]
-		}
 		used += int(seg[k].Units)
 		kept++
-	}
-	if withAny {
-		// Zero the dropped tail so boxed payloads do not leak via the
-		// pooled side column.
-		for k := kept; k < len(seg); k++ {
-			sc.anyCol[off+k] = nil
-		}
 	}
 	e.inCnt[j] = int32(kept)
 	return used
@@ -935,17 +861,8 @@ func capOutbox(c *Ctx, cap int, perm *[]int) int {
 		}
 		c.outW[kept] = c.outW[k]
 		c.outD[kept] = c.outD[k]
-		if c.outAny != nil {
-			c.outAny[kept] = c.outAny[k]
-		}
 		used += int(c.outW[k].Units)
 		kept++
-	}
-	if c.outAny != nil {
-		for k := kept; k < len(c.outAny); k++ {
-			c.outAny[k] = nil
-		}
-		c.outAny = c.outAny[:kept]
 	}
 	c.outW = c.outW[:kept]
 	c.outD = c.outD[:kept]

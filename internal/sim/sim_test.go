@@ -102,10 +102,8 @@ func TestChainDelivery(t *testing.T) {
 	}
 }
 
-// spamNode sends `count` messages through the deprecated SendAny shim
-// at Init and then runs one round to drain its inbox; it doubles as
-// the shim's regression coverage (boxed payloads must arrive intact
-// and in order, also under capacity drops).
+// spamNode sends `count` wire-native messages at Init and then runs
+// one round to drain its inbox, checking the payloads arrive intact.
 type spamNode struct {
 	target ids.ID
 	count  int
@@ -116,17 +114,15 @@ type spamNode struct {
 
 func (s *spamNode) Init(ctx *Ctx) {
 	for i := 0; i < s.count; i++ {
-		ctx.SendAny(s.target, i)
+		Send(ctx, s.target, valMsg{uint64(i)})
 	}
 }
 
 func (s *spamNode) Round(ctx *Ctx, inbox []Wire) {
-	for k, w := range inbox {
-		if w.Kind != KindAny {
-			s.badAny++
-			continue
-		}
-		if _, ok := ctx.Any(k).(int); !ok {
+	for _, w := range inbox {
+		var m valMsg
+		m.Decode(w)
+		if w.Kind != kindVal || m.v != w.W[0] {
 			s.badAny++
 		}
 	}
@@ -157,7 +153,7 @@ func TestRecvCapDropsExcess(t *testing.T) {
 		t.Errorf("receiver got %d messages, want exactly cap %d", got, cap)
 	}
 	if spams[senders].badAny != 0 {
-		t.Errorf("%d boxed payloads arrived corrupted", spams[senders].badAny)
+		t.Errorf("%d payloads arrived corrupted", spams[senders].badAny)
 	}
 	if e.Metrics().RecvDrops != 1 {
 		t.Errorf("RecvDrops = %d, want 1", e.Metrics().RecvDrops)
@@ -178,27 +174,18 @@ func TestSendCapEnforced(t *testing.T) {
 	}
 }
 
-type sizedPayload struct{ units int }
-
-func (s sizedPayload) MsgUnits() int { return s.units }
-
-// sizedSender sends one big payload, then runs one round to drain its
-// inbox before halting.
+// sizedSender sends one big wire-native payload, then runs one round
+// to drain its inbox before halting.
 type sizedSender struct {
 	target ids.ID
 	units  int
-	wire   bool // send as wire-native wideMsg instead of SendAny+Sized
 	got    int
 	rounds int
 }
 
 func (s *sizedSender) Init(ctx *Ctx) {
 	if s.units > 0 {
-		if s.wire {
-			Send(ctx, s.target, wideMsg{v: 1, units: int32(s.units)})
-		} else {
-			ctx.SendAny(s.target, sizedPayload{s.units})
-		}
+		Send(ctx, s.target, wideMsg{v: 1, units: int32(s.units)})
 	}
 }
 
@@ -209,36 +196,32 @@ func (s *sizedSender) Round(ctx *Ctx, inbox []Wire) {
 func (s *sizedSender) Halted() bool { return s.rounds >= 1 }
 
 func TestSizedPayloadAccounting(t *testing.T) {
-	for _, wire := range []bool{false, true} {
-		nodes := []Node{&sizedSender{units: 5, wire: wire}, &sizedSender{}}
-		e := New(Config{N: 2, Seed: 7}, nodes)
-		nodes[0].(*sizedSender).target = e.IDs()[1]
-		nodes[1].(*sizedSender).target = e.IDs()[0]
-		e.Run(1)
-		m := e.Metrics()
-		if m.TotalUnits != 5 {
-			t.Errorf("wire=%v: TotalUnits = %d, want 5", wire, m.TotalUnits)
-		}
-		if m.TotalMessages != 1 {
-			t.Errorf("wire=%v: TotalMessages = %d, want 1", wire, m.TotalMessages)
-		}
-		if m.PerNodeSent[0] != 5 || m.PerNodeRecv[1] != 5 {
-			t.Errorf("wire=%v: per-node units: sent=%v recv=%v", wire, m.PerNodeSent, m.PerNodeRecv)
-		}
+	nodes := []Node{&sizedSender{units: 5}, &sizedSender{}}
+	e := New(Config{N: 2, Seed: 7}, nodes)
+	nodes[0].(*sizedSender).target = e.IDs()[1]
+	nodes[1].(*sizedSender).target = e.IDs()[0]
+	e.Run(1)
+	m := e.Metrics()
+	if m.TotalUnits != 5 {
+		t.Errorf("TotalUnits = %d, want 5", m.TotalUnits)
+	}
+	if m.TotalMessages != 1 {
+		t.Errorf("TotalMessages = %d, want 1", m.TotalMessages)
+	}
+	if m.PerNodeSent[0] != 5 || m.PerNodeRecv[1] != 5 {
+		t.Errorf("per-node units: sent=%v recv=%v", m.PerNodeSent, m.PerNodeRecv)
 	}
 }
 
 func TestSizedPayloadBlockedByRecvCap(t *testing.T) {
 	// A 5-unit payload cannot fit a 4-unit receive cap and is dropped.
-	for _, wire := range []bool{false, true} {
-		nodes := []Node{&sizedSender{units: 5, wire: wire}, &sizedSender{}}
-		e := New(Config{N: 2, Seed: 7, RecvCap: 4}, nodes)
-		nodes[0].(*sizedSender).target = e.IDs()[1]
-		nodes[1].(*sizedSender).target = e.IDs()[0]
-		e.Run(1)
-		if got := nodes[1].(*sizedSender).got; got != 0 {
-			t.Errorf("wire=%v: oversized payload delivered (%d msgs)", wire, got)
-		}
+	nodes := []Node{&sizedSender{units: 5}, &sizedSender{}}
+	e := New(Config{N: 2, Seed: 7, RecvCap: 4}, nodes)
+	nodes[0].(*sizedSender).target = e.IDs()[1]
+	nodes[1].(*sizedSender).target = e.IDs()[0]
+	e.Run(1)
+	if got := nodes[1].(*sizedSender).got; got != 0 {
+		t.Errorf("oversized payload delivered (%d msgs)", got)
 	}
 }
 

@@ -18,18 +18,14 @@ type Wire struct {
 	// From is the sender's identifier, stamped by SendWire.
 	From ids.ID
 	// Kind tags the payload so receivers dispatch without type
-	// assertions. Kinds are protocol-local; KindAny is reserved.
+	// assertions. Kinds are protocol-local; 0 is reserved as "unset".
 	Kind uint16
-	// Units is the message's size in capacity units (see Sized).
-	// SendWire treats values <= 0 as 1.
+	// Units is the message's size in capacity units. SendWire treats
+	// values <= 0 as 1; multi-unit payloads set it in their Encode.
 	Units int32
 	// W holds the payload words written by Payload.Encode.
 	W [4]uint64
 }
-
-// KindAny tags a message sent through the deprecated SendAny shim; its
-// boxed payload travels in a side column and is read with Ctx.Any.
-const KindAny = ^uint16(0)
 
 // Payload is a message that knows how to serialize itself onto a Wire.
 // Encode must set Kind and the W words it uses, and may set Units for
@@ -67,9 +63,6 @@ func Send[P Payload](c *Ctx, to ids.ID, p P) {
 	w.From = c.ID
 	c.sentUnits += int(w.Units)
 	c.outD = append(c.outD, j)
-	if c.outAny != nil {
-		c.outAny = append(c.outAny, nil)
-	}
 }
 
 // SendWire queues an already-encoded wire message to the node with
@@ -92,9 +85,6 @@ func (c *Ctx) SendWire(to ids.ID, w Wire) {
 	c.ensureOut()
 	c.outW = append(c.outW, w)
 	c.outD = append(c.outD, j)
-	if c.outAny != nil {
-		c.outAny = append(c.outAny, nil)
-	}
 }
 
 // ensureOut lazily sizes the outbox columns: first use starts at a
@@ -105,50 +95,4 @@ func (c *Ctx) ensureOut() {
 		c.outW = make([]Wire, 0, 16)
 		c.outD = make([]int32, 0, 16)
 	}
-}
-
-// SendAny queues an arbitrary boxed payload.
-//
-// Deprecated: SendAny is the transition shim for Node implementations
-// that predate the wire format (and the escape hatch for the rare
-// payload that does not fit Wire's four words). It boxes the payload
-// and routes it in a pointer-bearing side column, costing exactly the
-// allocations the wire plane exists to avoid. The payload arrives as a
-// Wire with Kind == KindAny; read it with Ctx.Any. Payloads may
-// implement Sized to declare a multi-unit size.
-func (c *Ctx) SendAny(to ids.ID, payload any) {
-	units := 1
-	if s, ok := payload.(Sized); ok {
-		units = s.MsgUnits()
-		if units < 1 {
-			units = 1
-		}
-	}
-	c.sentUnits += units
-	j, ok := c.engine.lookup(to)
-	if !ok {
-		panicUnknown(c.ID, to)
-	}
-	c.ensureOut()
-	if c.outAny == nil {
-		// Backfill alignment with the wires already queued this round;
-		// from here on every SendWire appends a nil alongside.
-		c.outAny = make([]any, len(c.outW), cap(c.outW)+1)
-		c.usedAny = true
-	}
-	c.outW = append(c.outW, Wire{Kind: KindAny, Units: int32(units), From: c.ID})
-	c.outD = append(c.outD, j)
-	c.outAny = append(c.outAny, payload)
-}
-
-// Any returns the boxed payload of inbox[k] for a Wire with Kind ==
-// KindAny, or nil for wire-native messages. Like the inbox itself, the
-// value is only guaranteed valid for the duration of the Round call.
-func (c *Ctx) Any(k int) any {
-	e := c.engine
-	sc := &e.shards[c.Index/e.shardSize]
-	if sc.anyCol == nil {
-		return nil
-	}
-	return sc.anyCol[int(e.inOff[c.Index])+k]
 }

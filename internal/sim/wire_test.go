@@ -49,7 +49,6 @@ func (n *rawWireNode) Halted() bool                 { return n.r >= 1 }
 // recorderNode copies its first inbox for inspection.
 type recorderNode struct {
 	wires []Wire
-	anys  []any
 	r     int
 }
 
@@ -57,59 +56,18 @@ func (n *recorderNode) Init(ctx *Ctx) {}
 func (n *recorderNode) Round(ctx *Ctx, inbox []Wire) {
 	if len(inbox) > 0 && n.wires == nil {
 		n.wires = append(n.wires, inbox...)
-		for k := range inbox {
-			n.anys = append(n.anys, ctx.Any(k))
-		}
 	}
 	n.r++
 }
 func (n *recorderNode) Halted() bool { return n.r >= 2 }
 
-// mixedNode interleaves wire-native sends with SendAny shim sends to
-// exercise the boxed side column's alignment: the any column backfills
-// when the first SendAny happens mid-round.
-type mixedNode struct {
-	target ids.ID
-	r      int
-}
-
-func (n *mixedNode) Init(ctx *Ctx) {
-	Send(ctx, n.target, valMsg{10})
-	ctx.SendAny(n.target, "box-a")
-	Send(ctx, n.target, valMsg{20})
-	ctx.SendAny(n.target, "box-b")
-}
-func (n *mixedNode) Round(ctx *Ctx, inbox []Wire) { n.r++ }
-func (n *mixedNode) Halted() bool                 { return n.r >= 1 }
-
-func TestMixedWireAndAnyAlignment(t *testing.T) {
-	recv := &recorderNode{}
-	send := &mixedNode{}
-	e := New(Config{N: 2, Seed: 9}, []Node{recv, send})
-	send.target = e.IDs()[0]
-	e.Run(3)
-	wantKinds := []uint16{kindVal, KindAny, kindVal, KindAny}
-	wantAnys := []any{nil, "box-a", nil, "box-b"}
-	if len(recv.wires) != len(wantKinds) {
-		t.Fatalf("got %d wires, want %d", len(recv.wires), len(wantKinds))
-	}
-	for k := range wantKinds {
-		if recv.wires[k].Kind != wantKinds[k] {
-			t.Errorf("wire %d: kind %d, want %d", k, recv.wires[k].Kind, wantKinds[k])
-		}
-	}
-	if !reflect.DeepEqual(recv.anys, wantAnys) {
-		t.Errorf("boxed column misaligned: got %v, want %v", recv.anys, wantAnys)
-	}
-}
-
-// TestAnyShimShardedDeterminism runs a many-sender SendAny workload
-// under sequential and forced-parallel delivery with a tight receive
-// cap, checking the boxed payloads that survive are identical: the
-// shim's side column must ride the same deterministic merge and cap
-// sampling as the wires.
-func TestAnyShimShardedDeterminism(t *testing.T) {
-	run := func(cfg Config) []any {
+// TestSpraySharedDeterminism runs a many-sender wire workload under
+// sequential and forced-parallel delivery with a tight receive cap,
+// checking the messages that survive cap compaction are identical:
+// receive-cap sampling must ride the deterministic merge regardless of
+// the worker count.
+func TestSpraySharedDeterminism(t *testing.T) {
+	run := func(cfg Config) []Wire {
 		const n = 64
 		cfg.N = n
 		cfg.RecvCap = 3
@@ -117,38 +75,38 @@ func TestAnyShimShardedDeterminism(t *testing.T) {
 		recv := &recorderNode{}
 		nodes[0] = recv
 		for i := 1; i < n; i++ {
-			nodes[i] = &anySprayNode{payload: i}
+			nodes[i] = &sprayNode{payload: uint64(i)}
 		}
 		e := New(cfg, nodes)
 		for i := 1; i < n; i++ {
-			nodes[i].(*anySprayNode).target = e.IDs()[0]
+			nodes[i].(*sprayNode).target = e.IDs()[0]
 		}
 		e.Run(3)
 		if e.Metrics().RecvDrops == 0 {
-			t.Fatal("test needs drops to exercise cap compaction of the side column")
+			t.Fatal("test needs drops to exercise cap compaction")
 		}
-		return recv.anys
+		return recv.wires
 	}
 	seq := run(Config{Seed: 5, Sequential: true})
 	for _, w := range []int{2, 8, 16} {
 		par := run(Config{Seed: 5, Workers: w})
 		if !reflect.DeepEqual(seq, par) {
-			t.Errorf("workers=%d: surviving boxed payloads diverged: %v vs %v", w, seq, par)
+			t.Errorf("workers=%d: surviving messages diverged: %v vs %v", w, seq, par)
 		}
 	}
 	if len(seq) == 0 {
-		t.Error("no boxed payloads survived the cap")
+		t.Error("no messages survived the cap")
 	}
 }
 
-type anySprayNode struct {
+type sprayNode struct {
 	target  ids.ID
-	payload int
+	payload uint64
 	r       int
 }
 
-func (n *anySprayNode) Init(ctx *Ctx) {
-	ctx.SendAny(n.target, n.payload)
+func (n *sprayNode) Init(ctx *Ctx) {
+	Send(ctx, n.target, valMsg{n.payload})
 }
-func (n *anySprayNode) Round(ctx *Ctx, inbox []Wire) { n.r++ }
-func (n *anySprayNode) Halted() bool                 { return n.r >= 1 }
+func (n *sprayNode) Round(ctx *Ctx, inbox []Wire) { n.r++ }
+func (n *sprayNode) Halted() bool                 { return n.r >= 1 }

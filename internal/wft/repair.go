@@ -1,0 +1,656 @@
+// Message-level patch-epoch repair. The analytic Repair in tree.go
+// answers "what does the patched tree look like"; this file runs the
+// same repair as a wire protocol on the simulation engine, so a fault
+// plane can drop, delay, and crash *during* the repair and the epoch
+// bill reports measured rounds and messages instead of charged
+// estimates.
+//
+// The protocol assumes a perfect failure detector: the session knows
+// which members left and precomputes each node's static inputs (new
+// rank, sweep parent, finger table, bootstrap contact) in a
+// RepairSpec. What the engine measures is the genuine communication
+// schedule — the census/commit sweep over the survivor skeleton, the
+// finger-routed joiner attachment, and the commit broadcast down the
+// new heap — under whatever adversary is installed. Rank compaction
+// itself cannot be computed by local exchange over the heap edges
+// (heap subtrees are not rank-contiguous, so no node can learn its
+// dead-below count from its children alone); the spec carries the
+// compacted ranks and the wire phases carry the acknowledgement
+// traffic that makes them take effect.
+//
+// Phases, scheduled so that the zero-fault measured cost matches the
+// charged estimates in Session.patchEpoch:
+//
+//  1. Census/commit sweep (only when members left). Every survivor
+//     knows its sweep parent: the nearest live ancestor in the old
+//     heap, or the survivor of lowest old rank (the new root) when
+//     every ancestor died. Leaves of the sweep forest report a
+//     subtree census up; once the root has heard from every subtree
+//     it pushes a rank-commit back down. Budget 2·(depth₀+1) rounds,
+//     2·(s−1) messages.
+//  2. Joiner attachment (only when members joined). Each joiner
+//     greets its bootstrap contact, which forwards the request along
+//     Chord fingers over the *new* rank space toward the joiner's
+//     heap parent; the parent records the child and acknowledges
+//     directly. Requests meeting at a node that share their next hop
+//     are batched two to a wire (a join storm shares prefix hops).
+//     Budget maxHops+2 rounds, ≤ Σhops + 2j messages.
+//  3. Epoch commit. The new root broadcasts the epoch membership down
+//     the new heap. Budget depth₁ rounds, k−1 messages.
+//
+// Nodes keep processing their inboxes after the halt round — a
+// delayed message can still complete an attachment — but scheduled
+// emissions fire exactly once, so measured rounds extend only as far
+// as the adversary actually held traffic back.
+package wft
+
+import (
+	"fmt"
+
+	"overlay/internal/ids"
+	"overlay/internal/sim"
+)
+
+// Wire kinds of the repair protocol, continuing the build protocol's
+// 1..8 block.
+const (
+	kindCensus uint16 = 9 + iota
+	kindCommit
+	kindJoin1
+	kindJoin2
+	kindAttachAck
+	kindEpochCommit
+)
+
+// censusMsg reports the number of live survivors in a sweep subtree.
+type censusMsg struct{ alive int }
+
+func (m censusMsg) Encode(w *sim.Wire) {
+	w.Kind = kindCensus
+	w.W[0] = uint64(m.alive)
+}
+func (m *censusMsg) Decode(w sim.Wire) { m.alive = int(w.W[0]) }
+
+// commitMsg confirms the compacted ranks down the sweep forest; it
+// carries the epoch's member count as a cross-check.
+type commitMsg struct{ members int }
+
+func (m commitMsg) Encode(w *sim.Wire) {
+	w.Kind = kindCommit
+	w.W[0] = uint64(m.members)
+}
+func (m *commitMsg) Decode(w sim.Wire) { m.members = int(w.W[0]) }
+
+// join1Msg routes a single attachment request toward the rank that
+// will adopt the joiner.
+type join1Msg struct {
+	joiner ids.ID
+	target int
+}
+
+func (m join1Msg) Encode(w *sim.Wire) {
+	w.Kind = kindJoin1
+	w.W[0] = uint64(m.joiner)
+	w.W[1] = uint64(m.target)
+}
+func (m *join1Msg) Decode(w sim.Wire) {
+	m.joiner = ids.ID(w.W[0])
+	m.target = int(w.W[1])
+}
+
+// join2Msg batches two attachment requests that share their next
+// finger hop into one wire of two units.
+type join2Msg struct {
+	j1, j2 ids.ID
+	t1, t2 int
+}
+
+func (m join2Msg) Encode(w *sim.Wire) {
+	w.Kind = kindJoin2
+	w.Units = 2
+	w.W[0] = uint64(m.j1)
+	w.W[1] = uint64(m.t1)
+	w.W[2] = uint64(m.j2)
+	w.W[3] = uint64(m.t2)
+}
+func (m *join2Msg) Decode(w sim.Wire) {
+	m.j1 = ids.ID(w.W[0])
+	m.t1 = int(w.W[1])
+	m.j2 = ids.ID(w.W[2])
+	m.t2 = int(w.W[3])
+}
+
+// attachAckMsg tells a joiner its heap parent recorded the link.
+type attachAckMsg struct{}
+
+func (attachAckMsg) Encode(w *sim.Wire) { w.Kind = kindAttachAck }
+func (*attachAckMsg) Decode(sim.Wire)   {}
+
+// epochCommitMsg is the root's end-of-epoch broadcast down the new
+// heap, carrying the member count.
+type epochCommitMsg struct{ members int }
+
+func (m epochCommitMsg) Encode(w *sim.Wire) {
+	w.Kind = kindEpochCommit
+	w.W[0] = uint64(m.members)
+}
+func (m *epochCommitMsg) Decode(w sim.Wire) { m.members = int(w.W[0]) }
+
+// RepairSpec is the session-precomputed input of one measured patch
+// epoch. Indices are "repair indices": survivors first, in ascending
+// old member order (0..Survivors-1), then joiners
+// (Survivors..Survivors+Joiners-1) — the same index space Repair
+// uses, so NewRank can be its Rank column verbatim.
+type RepairSpec struct {
+	// Survivors and Joiners size the two index blocks.
+	Survivors, Joiners int
+	// OldDepth is the pre-repair tree depth, bounding the sweep.
+	OldDepth int
+	// NewRank assigns each repair index its compacted rank; it must be
+	// a permutation of [0, Survivors+Joiners).
+	NewRank []int
+	// SweepParent holds, per survivor, the repair index of its sweep
+	// parent (nearest live old-heap ancestor, or the new root when all
+	// ancestors died); -1 marks the sweep root. A nil SweepParent
+	// skips the census/commit sweep entirely (no member left).
+	SweepParent []int
+	// Entry holds, per joiner, the repair index of the survivor that
+	// bootstraps its attachment. Entries must be survivors.
+	Entry []int
+}
+
+func (s *RepairSpec) validate() error {
+	k := s.Survivors + s.Joiners
+	if s.Survivors < 1 {
+		return fmt.Errorf("wft: repair spec needs at least one survivor, got %d", s.Survivors)
+	}
+	if s.Joiners < 0 {
+		return fmt.Errorf("wft: repair spec has %d joiners", s.Joiners)
+	}
+	if len(s.NewRank) != k {
+		return fmt.Errorf("wft: repair spec NewRank has %d entries, want %d", len(s.NewRank), k)
+	}
+	seen := make([]bool, k)
+	for i, r := range s.NewRank {
+		if r < 0 || r >= k || seen[r] {
+			return fmt.Errorf("wft: repair spec NewRank[%d] = %d is not a permutation entry", i, r)
+		}
+		seen[r] = true
+	}
+	if s.SweepParent != nil {
+		if len(s.SweepParent) != s.Survivors {
+			return fmt.Errorf("wft: repair spec SweepParent has %d entries, want %d", len(s.SweepParent), s.Survivors)
+		}
+		roots := 0
+		for i, p := range s.SweepParent {
+			if p == -1 {
+				roots++
+				continue
+			}
+			if p < 0 || p >= s.Survivors || p == i {
+				return fmt.Errorf("wft: repair spec SweepParent[%d] = %d out of range", i, p)
+			}
+		}
+		if roots != 1 {
+			return fmt.Errorf("wft: repair spec has %d sweep roots, want 1", roots)
+		}
+	}
+	if len(s.Entry) != s.Joiners {
+		return fmt.Errorf("wft: repair spec Entry has %d entries, want %d", len(s.Entry), s.Joiners)
+	}
+	for i, e := range s.Entry {
+		if e < 0 || e >= s.Survivors {
+			return fmt.Errorf("wft: repair spec Entry[%d] = %d is not a survivor", i, e)
+		}
+	}
+	return nil
+}
+
+// SweepParents computes the census sweep forest for a repair over the
+// old tree t with the given dead mask: per survivor (in repair-index
+// order — ascending old index), the repair index of its nearest live
+// old-heap ancestor, or of the survivor with the lowest live old rank
+// (the new root) when every ancestor died; that lowest-ranked survivor
+// itself gets -1. Edges always point to strictly lower old ranks, so
+// the result is a tree of depth at most t.Depth()+1.
+func SweepParents(t *Tree, dead []bool) []int {
+	n := t.N()
+	if dead == nil {
+		dead = make([]bool, n)
+	}
+	repairIdx := make([]int, n)
+	s := 0
+	for v := 0; v < n; v++ {
+		if dead != nil && dead[v] {
+			repairIdx[v] = -1
+			continue
+		}
+		repairIdx[v] = s
+		s++
+	}
+	rho := -1
+	for r := 0; r < n; r++ {
+		if v := t.NodeAt[r]; repairIdx[v] >= 0 {
+			rho = v
+			break
+		}
+	}
+	if rho < 0 {
+		return nil
+	}
+	out := make([]int, s)
+	for v := 0; v < n; v++ {
+		i := repairIdx[v]
+		if i < 0 {
+			continue
+		}
+		if v == rho {
+			out[i] = -1
+			continue
+		}
+		u := t.Parent[v]
+		for u != t.Root && dead[u] {
+			u = t.Parent[u]
+		}
+		if dead[u] {
+			u = rho
+		}
+		out[i] = repairIdx[u]
+	}
+	return out
+}
+
+// joinEntry is an in-flight attachment request being routed.
+type joinEntry struct {
+	joiner ids.ID
+	target int
+}
+
+// RepairNode is one member's repair state machine.
+type RepairNode struct {
+	// id is the node's own engine identifier, fixed at construction;
+	// joiners put it on the wire as routing payload.
+	id           ids.ID
+	k, survivors int
+	newRank      int
+	joiner       bool
+
+	// Sweep role (survivors, only when the spec has a sweep).
+	sweepOn       bool
+	sweepRoot     bool
+	sweepParent   ids.ID
+	sweepChildren []ids.ID
+
+	// Chord fingers over the new rank space: fingers[t] owns rank
+	// (newRank + 2^t) mod k.
+	fingers []ids.ID
+	// New-heap children (rank 2r+1, 2r+2 owners; Nil when absent).
+	kidA, kidB ids.ID
+
+	// Joiner attachment inputs.
+	entry  ids.ID
+	target int
+
+	// Schedule, in engine rounds.
+	joinStart, commitStart, haltAt int
+
+	// Dynamic state.
+	censusGot   int
+	censusAlive int
+	censusSent  bool
+	committed   bool
+	acked       bool
+	epochDone   bool
+	adopted     []ids.ID
+	anomalies   int
+	done        bool
+}
+
+// Halted reports protocol completion for the engine.
+func (p *RepairNode) Halted() bool { return p.done }
+
+// Anomalies counts malformed or cross-checked-inconsistent traffic
+// the node ignored.
+func (p *RepairNode) Anomalies() int { return p.anomalies }
+
+// Committed reports whether the node's compacted rank was confirmed
+// by the sweep (survivors) — vacuously true when no member left.
+func (p *RepairNode) Committed() bool { return p.committed }
+
+// Acked reports whether a joiner's attachment was acknowledged.
+func (p *RepairNode) Acked() bool { return p.acked }
+
+// Init fires the phase-0 emissions: sweep-forest leaves report their
+// census immediately, and joiners greet their bootstrap contact when
+// there is no sweep phase to wait out.
+func (p *RepairNode) Init(ctx *sim.Ctx) {
+	if p.joiner {
+		if p.joinStart == 0 {
+			sim.Send(ctx, p.entry, join1Msg{joiner: p.id, target: p.target})
+		}
+		return
+	}
+	p.maybeCensus(ctx)
+}
+
+// Round drains the inbox — even after the halt round, so delayed
+// traffic still completes attachments — then fires any emission
+// scheduled for this round.
+func (p *RepairNode) Round(ctx *sim.Ctx, inbox []sim.Wire) {
+	r := ctx.Round()
+	var fw []joinEntry
+	for _, w := range inbox {
+		switch w.Kind {
+		case kindCensus:
+			var m censusMsg
+			m.Decode(w)
+			p.censusGot++
+			p.censusAlive += m.alive
+		case kindCommit:
+			var m commitMsg
+			m.Decode(w)
+			if m.members != p.k {
+				p.anomalies++
+			}
+			p.commit(ctx)
+		case kindJoin1:
+			var m join1Msg
+			m.Decode(w)
+			fw = append(fw, joinEntry{m.joiner, m.target})
+		case kindJoin2:
+			var m join2Msg
+			m.Decode(w)
+			fw = append(fw, joinEntry{m.j1, m.t1}, joinEntry{m.j2, m.t2})
+		case kindAttachAck:
+			p.acked = true
+		case kindEpochCommit:
+			var m epochCommitMsg
+			m.Decode(w)
+			if m.members != p.k {
+				p.anomalies++
+			}
+			p.handleEpochCommit(ctx)
+		default:
+			p.anomalies++
+		}
+	}
+	p.maybeCensus(ctx)
+	p.route(ctx, fw)
+	if p.joiner && r == p.joinStart {
+		sim.Send(ctx, p.entry, join1Msg{joiner: p.id, target: p.target})
+	}
+	if r == p.commitStart && p.newRank == 0 {
+		p.handleEpochCommit(ctx)
+	}
+	if r >= p.haltAt {
+		p.done = true
+	}
+}
+
+// maybeCensus fires the node's census report once every sweep child
+// reported; the sweep root instead starts the commit wave down.
+func (p *RepairNode) maybeCensus(ctx *sim.Ctx) {
+	if !p.sweepOn || p.censusSent || p.censusGot < len(p.sweepChildren) {
+		return
+	}
+	p.censusSent = true
+	if p.sweepRoot {
+		if p.censusAlive+1 != p.survivors {
+			p.anomalies++
+		}
+		p.commit(ctx)
+		return
+	}
+	sim.Send(ctx, p.sweepParent, censusMsg{alive: p.censusAlive + 1})
+}
+
+// commit confirms the compacted rank and cascades down the sweep
+// forest.
+func (p *RepairNode) commit(ctx *sim.Ctx) {
+	if p.committed {
+		return
+	}
+	p.committed = true
+	for _, c := range p.sweepChildren {
+		sim.Send(ctx, c, commitMsg{members: p.k})
+	}
+}
+
+// handleEpochCommit forwards the end-of-epoch broadcast down the new
+// heap exactly once.
+func (p *RepairNode) handleEpochCommit(ctx *sim.Ctx) {
+	if p.epochDone {
+		return
+	}
+	p.epochDone = true
+	if p.kidA != ids.Nil {
+		sim.Send(ctx, p.kidA, epochCommitMsg{members: p.k})
+	}
+	if p.kidB != ids.Nil {
+		sim.Send(ctx, p.kidB, epochCommitMsg{members: p.k})
+	}
+}
+
+// route delivers attachment requests addressed to this rank and
+// forwards the rest along fingers, batching pairs that share a next
+// hop. The pairing scan is quadratic in the per-round arrivals, which
+// the join threshold keeps small, and depends only on deterministic
+// inbox order.
+func (p *RepairNode) route(ctx *sim.Ctx, fw []joinEntry) {
+	keep := fw[:0]
+	for _, e := range fw {
+		if e.target == p.newRank {
+			p.adopted = append(p.adopted, e.joiner)
+			sim.Send(ctx, e.joiner, attachAckMsg{})
+			continue
+		}
+		keep = append(keep, e)
+	}
+	if len(keep) == 0 {
+		return
+	}
+	used := make([]bool, len(keep))
+	for i := range keep {
+		if used[i] {
+			continue
+		}
+		hop := p.nextHop(keep[i].target)
+		pair := -1
+		for j := i + 1; j < len(keep); j++ {
+			if !used[j] && p.nextHop(keep[j].target) == hop {
+				pair = j
+				break
+			}
+		}
+		if pair >= 0 {
+			used[pair] = true
+			sim.Send(ctx, hop, join2Msg{
+				j1: keep[i].joiner, t1: keep[i].target,
+				j2: keep[pair].joiner, t2: keep[pair].target,
+			})
+			continue
+		}
+		sim.Send(ctx, hop, join1Msg{joiner: keep[i].joiner, target: keep[i].target})
+	}
+}
+
+// nextHop picks the finger covering the largest power-of-two step
+// that does not overshoot the clockwise distance to target — the same
+// greedy rule as overlays.RouteChord, so measured hop counts match
+// the charged route lengths exactly.
+func (p *RepairNode) nextHop(target int) ids.ID {
+	d := (target - p.newRank + p.k) % p.k
+	t := 0
+	for 1<<(t+1) <= d {
+		t++
+	}
+	return p.fingers[t]
+}
+
+// greedyHops counts the finger hops from rank from to rank to in a
+// ring of k ranks, mirroring nextHop's step rule.
+func greedyHops(k, from, to int) int {
+	hops := 0
+	for cur := from; cur != to; hops++ {
+		d := (to - cur + k) % k
+		step := 1
+		for step<<1 <= d {
+			step <<= 1
+		}
+		cur = (cur + step) % k
+	}
+	return hops
+}
+
+// NewRepairEngine compiles a RepairSpec into an engine of
+// Survivors+Joiners nodes and returns the node slice (repair-index
+// order) plus a run budget that covers the schedule and any
+// adversarial delays. cfg.N is overwritten.
+func NewRepairEngine(spec *RepairSpec, cfg sim.Config) (*sim.Engine, []*RepairNode, int, error) {
+	if err := spec.validate(); err != nil {
+		return nil, nil, 0, err
+	}
+	s, j := spec.Survivors, spec.Joiners
+	k := s + j
+	cfg.N = k
+	protos := make([]*RepairNode, k)
+	nodes := make([]sim.Node, k)
+	for i := range protos {
+		protos[i] = &RepairNode{
+			k: k, survivors: s, newRank: spec.NewRank[i], joiner: i >= s,
+			sweepParent: ids.Nil, kidA: ids.Nil, kidB: ids.Nil, entry: ids.Nil,
+		}
+		nodes[i] = protos[i]
+	}
+	eng := sim.New(cfg, nodes)
+	idOf := eng.IDs()
+	rankOwner := make([]ids.ID, k)
+	for i, r := range spec.NewRank {
+		rankOwner[r] = idOf[i]
+	}
+
+	levels := 0
+	for 1<<levels < k {
+		levels++
+	}
+	fingerArena := make([]ids.ID, 0, k*levels)
+	maxHops := 0
+	for i, p := range protos {
+		p.id = idOf[i]
+		r := spec.NewRank[i]
+		lo := len(fingerArena)
+		for t := 0; t < levels; t++ {
+			fingerArena = append(fingerArena, rankOwner[(r+1<<t)%k])
+		}
+		p.fingers = fingerArena[lo:]
+		if c := 2*r + 1; c < k {
+			p.kidA = rankOwner[c]
+		}
+		if c := 2*r + 2; c < k {
+			p.kidB = rankOwner[c]
+		}
+	}
+	if spec.SweepParent != nil {
+		for i := 0; i < s; i++ {
+			sp := spec.SweepParent[i]
+			protos[i].sweepOn = true
+			if sp == -1 {
+				protos[i].sweepRoot = true
+				continue
+			}
+			protos[i].sweepParent = idOf[sp]
+			protos[sp].sweepChildren = append(protos[sp].sweepChildren, idOf[i])
+		}
+	} else {
+		// No sweep phase: compacted ranks are vacuously confirmed.
+		for i := 0; i < s; i++ {
+			protos[i].committed = true
+		}
+	}
+	for x := 0; x < j; x++ {
+		p := protos[s+x]
+		p.entry = idOf[spec.Entry[x]]
+		p.target = (spec.NewRank[s+x] - 1) / 2
+		if h := greedyHops(k, spec.NewRank[spec.Entry[x]], p.target); h > maxHops {
+			maxHops = h
+		}
+	}
+
+	// Phase schedule; zero-fault measured rounds land one short of the
+	// charged estimate (the charged model bills the final commit hop's
+	// processing round, the engine does not tick past the last
+	// delivery).
+	sweepBudget := 0
+	if spec.SweepParent != nil {
+		sweepBudget = 2 * (spec.OldDepth + 1)
+	}
+	joinBudget := 0
+	if j > 0 {
+		joinBudget = maxHops + 2
+	}
+	d1 := 0
+	for 1<<(d1+1) <= k {
+		d1++
+	}
+	joinStart := sweepBudget
+	commitStart := joinStart + joinBudget
+	haltAt := commitStart + d1
+	if haltAt < 1 {
+		haltAt = 1
+	}
+	for _, p := range protos {
+		p.joinStart = joinStart
+		p.commitStart = commitStart
+		p.haltAt = haltAt
+	}
+	budget := haltAt + 8
+	if adv := cfg.Adversary; adv != nil && (adv.DelayProb > 0 || adv.DelayMax > 1) {
+		dm := adv.DelayMax
+		if dm < 1 {
+			dm = 1
+		}
+		budget = (haltAt + 4) * (dm + 1)
+	}
+	return eng, protos, budget, nil
+}
+
+// ExtractRepair reads the patched tree back out of a finished repair
+// run. It fails — naming the first node left behind — unless every
+// survivor had its compacted rank committed and every joiner was
+// acknowledged by its heap parent; the caller is expected to fall
+// back to a full rebuild in that case.
+func ExtractRepair(spec *RepairSpec, protos []*RepairNode) (*Tree, error) {
+	k := spec.Survivors + spec.Joiners
+	for i, p := range protos {
+		if i < spec.Survivors {
+			if !p.committed {
+				return nil, fmt.Errorf("wft: survivor %d (rank %d) never committed its compacted rank", i, spec.NewRank[i])
+			}
+			continue
+		}
+		if !p.acked {
+			return nil, fmt.Errorf("wft: joiner %d never had its attachment acknowledged", i-spec.Survivors)
+		}
+	}
+	out := &Tree{
+		Parent: make([]int, k),
+		Rank:   make([]int, k),
+		NodeAt: make([]int, k),
+	}
+	for i, r := range spec.NewRank {
+		out.Rank[i] = r
+		out.NodeAt[r] = i
+	}
+	for i, r := range spec.NewRank {
+		if r == 0 {
+			out.Root = i
+			out.Parent[i] = i
+			continue
+		}
+		out.Parent[i] = out.NodeAt[(r-1)/2]
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("wft: repaired tree invalid: %w", err)
+	}
+	return out, nil
+}

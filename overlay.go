@@ -142,39 +142,17 @@ func (t *Tree) Children(v int) []int {
 	return out
 }
 
-// BuildStats reports the cost accounting of a BuildTree run.
+// BuildStats reports the cost accounting of a BuildTree run: the
+// unified Bill (Path "build/fast" or "build/measured"; Rounds charged
+// analytically as L·(ℓ+2) evolutions plus the tree phases on the fast
+// path, measured across both engine phases on the message-level path)
+// plus the expander quality figures.
 type BuildStats struct {
-	// Rounds is the number of synchronous rounds: measured on the
-	// engine for the message-level path, analytically charged (L·(ℓ+2)
-	// evolutions plus the tree phases) for the fast path.
-	Rounds int
-	// MaxMessagesPerRound is the largest per-node per-round unit count
-	// (message-level path only; the NCC0 bound is O(log n)).
-	MaxMessagesPerRound int
-	// MaxMessagesTotal is the largest per-node total (Theorem 1.1
-	// bounds it by O(log² n); message-level path only).
-	MaxMessagesTotal int64
-	// TotalMessages counts every wire message individually simulated
-	// across both engine phases (message-level path only; the fast
-	// path simulates none). Bench harnesses divide it by wall time to
-	// report engine throughput.
-	TotalMessages int64
+	Bill
 	// ExpanderDiameter is the diameter of the final evolved graph.
 	ExpanderDiameter int
 	// SpectralGap estimates the final graph's conductance bracket.
 	SpectralGap float64
-	// CapacityDrops counts receive-capacity drops (0 in correct runs).
-	CapacityDrops int64
-	// FaultDrops and FaultDelays count messages the installed fault
-	// plane discarded or held back (0 without Options.Faults).
-	FaultDrops  int64
-	FaultDelays int64
-	// ProtocolAnomalies counts messages the tree protocol discarded
-	// because its local state could not serve them (unroutable finds,
-	// unserved jump requests) — the degrade-to-silence path faults
-	// push the protocol onto. Always 0 in fault-free builds; tests pin
-	// that.
-	ProtocolAnomalies int64
 }
 
 // BuildResult carries the constructed tree and run statistics.
@@ -284,7 +262,7 @@ func buildFast(m *graphx.Multi, ep expander.Params, opt *Options) (*BuildResult,
 			NodeAt: tree.NodeAt,
 		},
 		Stats: BuildStats{
-			Rounds:           rounds,
+			Bill:             Bill{Path: "build/fast", Rounds: rounds},
 			ExpanderDiameter: diam,
 			SpectralGap:      res.Final.SpectralGapWorkers(200, src.Split(0x9a9), ep.Workers),
 		},
@@ -314,15 +292,18 @@ func buildMessageLevel(m *graphx.Multi, ep expander.Params, opt *Options) (*Buil
 	stats := func(eng2 *sim.Engine) BuildStats {
 		m1 := eng1.Metrics()
 		st := BuildStats{
-			Rounds:              eng1.Round(),
-			MaxMessagesPerRound: m1.MaxRoundSent(),
-			MaxMessagesTotal:    m1.MaxPerNodeSent(),
-			TotalMessages:       m1.TotalMessages,
-			ExpanderDiameter:    s.DiameterEstimate(),
-			SpectralGap:         final.SpectralGapWorkers(200, src.Split(0x9a9), ep.Workers),
-			CapacityDrops:       m1.RecvDrops,
-			FaultDrops:          m1.FaultDrops,
-			FaultDelays:         m1.FaultDelays,
+			Bill: Bill{
+				Path:                "build/measured",
+				Rounds:              eng1.Round(),
+				MaxMessagesPerRound: m1.MaxRoundSent(),
+				MaxMessagesTotal:    m1.MaxPerNodeSent(),
+				Messages:            m1.TotalMessages,
+				CapacityDrops:       m1.RecvDrops,
+				FaultDrops:          m1.FaultDrops,
+				FaultDelays:         m1.FaultDelays,
+			},
+			ExpanderDiameter: s.DiameterEstimate(),
+			SpectralGap:      final.SpectralGapWorkers(200, src.Split(0x9a9), ep.Workers),
 		}
 		if eng2 != nil {
 			m2 := eng2.Metrics()
@@ -331,7 +312,7 @@ func buildMessageLevel(m *graphx.Multi, ep expander.Params, opt *Options) (*Buil
 				st.MaxMessagesPerRound = v
 			}
 			st.MaxMessagesTotal += m2.MaxPerNodeSent()
-			st.TotalMessages += m2.TotalMessages
+			st.Messages += m2.TotalMessages
 			st.CapacityDrops += m2.RecvDrops
 			st.FaultDrops += m2.FaultDrops
 			st.FaultDelays += m2.FaultDelays

@@ -1,0 +1,259 @@
+package overlay
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Plan bundles the two session-level schedules under one roof: the
+// adversarial fault plane and the churn epoch schedule. ParsePlan
+// produces it from a single comma-separated specification, so
+// harnesses configure an entire experiment — faults and churn — with
+// one flag instead of two grammars.
+type Plan struct {
+	// Faults is the fault schedule, or nil when the specification named
+	// no fault directive (no fault plane is installed).
+	Faults *FaultPlan
+	// Churn is the churn schedule, or nil when the specification named
+	// no churn directive.
+	Churn *ChurnPlan
+}
+
+// planGrammar selects which directive set a specification may use.
+// The legacy ParseFaultPlan and ParseChurnPlan grammars are modes of
+// the same parser, so the three grammars can never drift apart.
+type planGrammar int
+
+const (
+	grammarUnified planGrammar = iota
+	grammarFault
+	grammarChurn
+)
+
+// String names the grammar in error messages ("plan directive …").
+func (g planGrammar) String() string {
+	switch g {
+	case grammarFault:
+		return "fault"
+	case grammarChurn:
+		return "churn"
+	}
+	return "plan"
+}
+
+// ParsePlan parses the unified plan specification: a comma-separated
+// list of directives drawn from both schedules. An empty string (or
+// one with no directives) yields a Plan with both schedules nil.
+//
+// Fault directives (any one present makes Plan.Faults non-nil):
+//
+//	seed=S             fault seed (uint64)
+//	drop=P             per-message drop probability
+//	delay=P            per-message delay probability
+//	delaymax=K         maximum delay in rounds (default 1)
+//	crash=NODE@ROUND   crash-stop NODE at global round ROUND (repeatable)
+//	crashfrac=F@ROUND  crash a random F-fraction of nodes at ROUND
+//	cut=LO-HI@FROM-TO  partition nodes LO..HI (inclusive) away from the
+//	                   rest during global rounds [FROM, TO) (repeatable)
+//
+// Churn directives (any one present makes Plan.Churn non-nil, and the
+// resulting schedule must validate — epochs= is then required):
+//
+//	epochs=E      schedule length (>= 1)
+//	join=F        per-epoch join fraction in [0,1]
+//	leave=F       per-epoch leave fraction in [0,1]
+//	churnseed=S   churn seed (uint64; spelled churnseed because seed=
+//	              names the fault seed here)
+//	rebuild=F     patch-vs-rebuild threshold in (0,1]
+//
+// Every directive except crash= and cut= may appear at most once.
+//
+// Example: "drop=0.01,delaymax=3,epochs=10,join=0.02,leave=0.02".
+func ParsePlan(spec string) (*Plan, error) {
+	return parsePlanSpec(spec, grammarUnified)
+}
+
+// parsePlanSpec is the single parser behind ParsePlan, ParseFaultPlan,
+// and ParseChurnPlan. The grammar mode controls which directives are
+// known, how the seed keyword resolves (the legacy grammars both spell
+// their seed as seed=), and the repeat policy the legacy grammars
+// promised.
+func parsePlanSpec(spec string, g planGrammar) (*Plan, error) {
+	faults := &FaultPlan{}
+	churn := &ChurnPlan{}
+	sawFault, sawChurn := false, false
+	// Singleton directives set one field; a repeat would silently
+	// overwrite the earlier value (last-wins), so it is rejected — only
+	// crash= and cut= accumulate.
+	seen := map[string]bool{}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("overlay: %s directive %q is not key=value", g, part)
+		}
+		// Resolve the grammar-local keyword to its canonical directive.
+		dir := key
+		switch g {
+		case grammarFault:
+			switch key {
+			case "seed", "drop", "delay", "delaymax", "crash", "crashfrac", "cut":
+			default:
+				return nil, fmt.Errorf("overlay: unknown fault directive %q", key)
+			}
+		case grammarChurn:
+			switch key {
+			case "epochs", "join", "leave", "rebuild":
+			case "seed":
+				dir = "churnseed"
+			default:
+				return nil, fmt.Errorf("overlay: unknown churn directive %q", key)
+			}
+		default:
+			switch key {
+			case "seed", "drop", "delay", "delaymax", "crash", "crashfrac", "cut",
+				"epochs", "join", "leave", "rebuild", "churnseed":
+			default:
+				return nil, fmt.Errorf("overlay: unknown plan directive %q", key)
+			}
+		}
+		singleton := dir != "crash" && dir != "cut"
+		if g == grammarFault {
+			// The legacy fault grammar only policed its scalar knobs.
+			singleton = dir == "seed" || dir == "drop" || dir == "delay" ||
+				dir == "delaymax" || dir == "crashfrac"
+		}
+		if singleton {
+			if seen[key] {
+				return nil, fmt.Errorf("overlay: %s directive %s= repeated (the earlier value would be silently overwritten)", g, key)
+			}
+			seen[key] = true
+		}
+		switch dir {
+		case "seed":
+			v, err := strconv.ParseUint(val, 0, 64)
+			if err != nil {
+				return nil, fmt.Errorf("overlay: bad fault seed %q: %v", val, err)
+			}
+			faults.Seed = v
+			sawFault = true
+		case "drop", "delay":
+			v, err := strconv.ParseFloat(val, 64)
+			if err != nil || v < 0 || v > 1 {
+				return nil, fmt.Errorf("overlay: %s=%q is not a probability in [0,1]", key, val)
+			}
+			if dir == "drop" {
+				faults.DropProb = v
+			} else {
+				faults.DelayProb = v
+			}
+			sawFault = true
+		case "delaymax":
+			v, err := strconv.Atoi(val)
+			if err != nil || v < 1 {
+				return nil, fmt.Errorf("overlay: delaymax=%q is not a positive round count", val)
+			}
+			faults.DelayMax = v
+			sawFault = true
+		case "crash":
+			node, round, err := parseAtPair(val)
+			if err != nil {
+				return nil, fmt.Errorf("overlay: crash=%q: want NODE@ROUND: %v", val, err)
+			}
+			faults.Crashes = append(faults.Crashes, Crash{Node: node, Round: round})
+			sawFault = true
+		case "crashfrac":
+			fs, rs, ok := strings.Cut(val, "@")
+			if !ok {
+				return nil, fmt.Errorf("overlay: crashfrac=%q: want FRAC@ROUND", val)
+			}
+			f, err := strconv.ParseFloat(fs, 64)
+			if err != nil || f < 0 || f > 1 {
+				return nil, fmt.Errorf("overlay: crashfrac fraction %q is not in [0,1]", fs)
+			}
+			r, err := strconv.Atoi(rs)
+			if err != nil {
+				return nil, fmt.Errorf("overlay: crashfrac round %q: %v", rs, err)
+			}
+			faults.CrashFrac, faults.CrashFracRound = f, r
+			sawFault = true
+		case "cut":
+			rangeSpec, window, ok := strings.Cut(val, "@")
+			if !ok {
+				return nil, fmt.Errorf("overlay: cut=%q: want LO-HI@FROM-TO", val)
+			}
+			lo, hi, err := parseDashPair(rangeSpec)
+			if err != nil || lo > hi {
+				return nil, fmt.Errorf("overlay: cut node range %q: want LO-HI with LO <= HI", rangeSpec)
+			}
+			from, until, err := parseDashPair(window)
+			if err != nil || until <= from {
+				return nil, fmt.Errorf("overlay: cut window %q: want FROM-TO with FROM < TO", window)
+			}
+			side := make([]int, 0, hi-lo+1)
+			for v := lo; v <= hi; v++ {
+				side = append(side, v)
+			}
+			faults.Partitions = append(faults.Partitions, Partition{From: from, Until: until, Side: side})
+			sawFault = true
+		case "epochs":
+			v, err := strconv.Atoi(val)
+			if err != nil || v < 1 {
+				return nil, fmt.Errorf("overlay: epochs=%q is not a positive epoch count", val)
+			}
+			churn.Epochs = v
+			sawChurn = true
+		case "join", "leave", "rebuild":
+			v, err := strconv.ParseFloat(val, 64)
+			if err != nil || v < 0 || v > 1 {
+				return nil, fmt.Errorf("overlay: %s=%q is not a fraction in [0,1]", key, val)
+			}
+			switch dir {
+			case "join":
+				churn.JoinFrac = v
+			case "leave":
+				churn.LeaveFrac = v
+			case "rebuild":
+				if v == 0 {
+					return nil, fmt.Errorf("overlay: rebuild=0 is indistinguishable from unset (0 selects the session default); pass a threshold in (0,1]")
+				}
+				churn.RebuildFraction = v
+			}
+			sawChurn = true
+		case "churnseed":
+			v, err := strconv.ParseUint(val, 0, 64)
+			if err != nil {
+				return nil, fmt.Errorf("overlay: bad churn seed %q: %v", val, err)
+			}
+			churn.Seed = v
+			sawChurn = true
+		}
+	}
+	out := &Plan{}
+	switch g {
+	case grammarFault:
+		// The legacy contract: an empty specification still yields an
+		// empty (but installed) plan.
+		out.Faults = faults
+	case grammarChurn:
+		if err := churn.validate(); err != nil {
+			return nil, err
+		}
+		out.Churn = churn
+	default:
+		if sawFault {
+			out.Faults = faults
+		}
+		if sawChurn {
+			if err := churn.validate(); err != nil {
+				return nil, err
+			}
+			out.Churn = churn
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,115 @@
+package overlay
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestParsePlanUnifiedGrammar covers the merged specification: fault
+// and churn directives in one string, with churnseed= naming the churn
+// seed (seed= is the fault seed).
+func TestParsePlanUnifiedGrammar(t *testing.T) {
+	p, err := ParsePlan("seed=9,drop=0.01,delaymax=3,crash=17@40,cut=0-9@30-60," +
+		"epochs=10,join=0.02,leave=0.03,churnseed=5,rebuild=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Faults == nil || p.Churn == nil {
+		t.Fatalf("both schedules should be present: %+v", p)
+	}
+	if p.Faults.Seed != 9 || p.Faults.DropProb != 0.01 || p.Faults.DelayMax != 3 ||
+		len(p.Faults.Crashes) != 1 || len(p.Faults.Partitions) != 1 {
+		t.Errorf("fault plan wrong: %+v", p.Faults)
+	}
+	if p.Churn.Seed != 5 || p.Churn.Epochs != 10 || p.Churn.JoinFrac != 0.02 ||
+		p.Churn.LeaveFrac != 0.03 || p.Churn.RebuildFraction != 0.5 {
+		t.Errorf("churn plan wrong: %+v", p.Churn)
+	}
+}
+
+// TestParsePlanPartialSpecs: a schedule is only materialized when one
+// of its directives appears, and an empty spec yields neither.
+func TestParsePlanPartialSpecs(t *testing.T) {
+	p, err := ParsePlan("drop=0.1")
+	if err != nil || p.Faults == nil || p.Churn != nil {
+		t.Errorf("fault-only spec: plan %+v, err %v", p, err)
+	}
+	p, err = ParsePlan("epochs=3,join=0.1")
+	if err != nil || p.Faults != nil || p.Churn == nil {
+		t.Errorf("churn-only spec: plan %+v, err %v", p, err)
+	}
+	p, err = ParsePlan("")
+	if err != nil || p.Faults != nil || p.Churn != nil {
+		t.Errorf("empty spec: plan %+v, err %v", p, err)
+	}
+	// A churn directive obliges the churn schedule to validate: without
+	// epochs= it would degenerate silently.
+	if _, err := ParsePlan("join=0.1"); err == nil {
+		t.Error("churn directive without epochs= parsed without error")
+	}
+}
+
+// TestParsePlanErrors: unified-grammar rejections, including the
+// churn-mode spelling of the churn seed and repeat policing on every
+// singleton directive.
+func TestParsePlanErrors(t *testing.T) {
+	for _, bad := range []string{
+		"nope=1",                  // unknown directive
+		"drop",                    // not key=value
+		"drop=2",                  // probability out of range
+		"epochs=0",                // non-positive
+		"rebuild=0",               // ambiguous with unset
+		"churnseed=x",             // malformed seed
+		"drop=0.1,drop=0.2",       // repeated fault singleton
+		"epochs=2,epochs=3",       // repeated churn singleton
+		"churnseed=1,churnseed=2", // repeated churn seed
+	} {
+		if _, err := ParsePlan(bad); err == nil {
+			t.Errorf("spec %q parsed without error", bad)
+		}
+	}
+	if _, err := ParsePlan("wat=1"); err == nil || !strings.Contains(err.Error(), "unknown plan directive") {
+		t.Errorf("unified grammar should report unknown *plan* directives, got %v", err)
+	}
+}
+
+// TestParsePlanMatchesLegacyParsers: the deprecated wrappers and the
+// unified grammar are modes of one parser; a spec legal in both must
+// produce identical plans.
+func TestParsePlanMatchesLegacyParsers(t *testing.T) {
+	faultSpec := "seed=9,drop=0.01,delay=0.05,delaymax=3,crash=17@40,crashfrac=0.25@100,cut=0-99@30-60"
+	legacy, err := ParseFaultPlan(faultSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unified, err := ParsePlan(faultSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(legacy, unified.Faults) {
+		t.Errorf("fault plans diverge:\nlegacy  %+v\nunified %+v", legacy, unified.Faults)
+	}
+
+	churnLegacy, err := ParseChurnPlan("epochs=10,join=0.02,leave=0.03,seed=5,rebuild=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	churnUnified, err := ParsePlan("epochs=10,join=0.02,leave=0.03,churnseed=5,rebuild=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(churnLegacy, churnUnified.Churn) {
+		t.Errorf("churn plans diverge:\nlegacy  %+v\nunified %+v", churnLegacy, churnUnified.Churn)
+	}
+
+	// The churn wrapper keeps its own spelling: seed= is the churn seed
+	// there, and churnseed= stays unknown.
+	if _, err := ParseChurnPlan("epochs=2,churnseed=5"); err == nil {
+		t.Error("ParseChurnPlan accepted churnseed=")
+	}
+	// And the fault wrapper never learns churn directives.
+	if _, err := ParseFaultPlan("epochs=2"); err == nil {
+		t.Error("ParseFaultPlan accepted epochs=")
+	}
+}

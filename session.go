@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"overlay/internal/graphx"
 	"overlay/internal/overlays"
 	"overlay/internal/rng"
 	"overlay/internal/sim"
@@ -50,6 +51,13 @@ type SessionOptions struct {
 	// each rebuild's local clock and index space; it requires
 	// MessageLevel, as in BuildTree.
 	Build Options
+	// Accounting selects how patch epochs are billed: Charged (the
+	// default) estimates analytically; Measured runs each patch as a
+	// real wire protocol on the engine, so the fault plan applies to
+	// the repair traffic itself and the bill reports measured rounds
+	// and messages. A measured patch the adversary defeats falls back
+	// to a full rebuild, with both costs on the epoch's bill.
+	Accounting Accounting
 }
 
 // DefaultRebuildFraction is the patch-vs-rebuild threshold used when
@@ -71,17 +79,16 @@ type EpochBill struct {
 	// compared against the rebuild threshold.
 	ChurnedFraction float64
 	// Rebuilt reports the path taken: false = incremental patch,
-	// true = full BuildTree over the survivor substrate.
+	// true = full BuildTree over the survivor substrate (including the
+	// fallback after a defeated measured patch).
 	Rebuilt bool
-	// Rounds and Messages are the epoch's repair cost: charged for
-	// patches, measured (message-level) or charged (fast path, zero
-	// messages) for rebuilds.
-	Rounds   int
-	Messages int64
+	// Bill is the epoch's unified cost accounting: charged estimates
+	// for Charged-mode patches, engine measurements for Measured-mode
+	// patches and message-level rebuilds. Bill.Path names the path
+	// taken in detail.
+	Bill
 	// Clock is the session's global round count after the epoch.
 	Clock int
-	// Itemized is the human-readable per-phase breakdown.
-	Itemized string
 }
 
 // Session is a live overlay under maintenance. All exported methods
@@ -92,6 +99,12 @@ type Session struct {
 	rebuildFrac float64
 	build       Options
 	faults      *FaultPlan
+	accounting  Accounting
+
+	// expander retains the original build's evolved graph (input-index
+	// space): rebuild epochs widen their substrate with its surviving
+	// edges, so recovery does not depend on the finger ring alone.
+	expander *graphx.Graph
 
 	// members lists the current population as strictly ascending global
 	// identifiers; tree is the current well-formed tree in member-local
@@ -125,6 +138,9 @@ func Open(res *BuildResult, opt *SessionOptions) (*Session, error) {
 	if opt.Build.Faults != nil && !opt.Build.MessageLevel {
 		return nil, errors.New("overlay: SessionOptions.Build.Faults requires MessageLevel (the fast path simulates no messages to fault)")
 	}
+	if opt.Accounting < Charged || opt.Accounting > Measured {
+		return nil, fmt.Errorf("overlay: SessionOptions.Accounting %d is not Charged or Measured", opt.Accounting)
+	}
 	frac := opt.RebuildFraction
 	if frac == 0 {
 		frac = DefaultRebuildFraction
@@ -150,6 +166,8 @@ func Open(res *BuildResult, opt *SessionOptions) (*Session, error) {
 		rebuildFrac: frac,
 		build:       opt.Build,
 		faults:      opt.Build.Faults,
+		accounting:  opt.Accounting,
+		expander:    res.expander,
 		members:     members,
 		tree:        copyTree(res.Tree),
 		clock:       sim.NewClock(opt.Build.Seed),
@@ -363,6 +381,7 @@ func (s *Session) epochPartition(joins, leaves []int) (dead []bool, survivors, n
 // is rank arithmetic afterwards, exactly as in the one-shot build.
 func (s *Session) patchEpoch(joins, leaves []int, seed uint64, bill *EpochBill) error {
 	if len(joins) == 0 && len(leaves) == 0 {
+		bill.Path = "patch/noop"
 		bill.Itemized = fmt.Sprintf("%-28s %5d rounds  %9d msgs (charged)\n", "no-op epoch", 0, 0)
 		return nil
 	}
@@ -380,7 +399,11 @@ func (s *Session) patchEpoch(joins, leaves []int, seed uint64, bill *EpochBill) 
 	if err != nil {
 		return fmt.Errorf("overlay: epoch patch failed: %w", err)
 	}
+	if s.accounting == Measured {
+		return s.patchMeasured(joins, leaves, seed, bill, old, rt, deadMask, newMembers, newOf, depth0)
+	}
 
+	bill.Path = "patch/charged"
 	rounds, itemized := 0, ""
 	var messages int64
 	if len(leaves) > 0 {
@@ -425,6 +448,110 @@ func (s *Session) patchEpoch(joins, leaves []int, seed uint64, bill *EpochBill) 
 	return nil
 }
 
+// patchMeasured runs the patch epoch as a real wire protocol
+// (wft.NewRepairEngine) instead of charging the cost model: the
+// census/commit sweep, the finger-routed joiner attachment, and the
+// commit broadcast execute round by round on the engine, under the
+// session fault plan shifted into the epoch's clock and repair index
+// space (fate phase 3 — the build phases used 1 and 2). With a zero
+// adversary the protocol reproduces the charged path's topology bit
+// for bit; a defeated repair falls back to a full rebuild with both
+// costs accumulated on the bill.
+func (s *Session) patchMeasured(joins, leaves []int, seed uint64, bill *EpochBill, old, rt *wft.Tree, deadMask []bool, newMembers, newOf []int, depth0 int) error {
+	j := len(joins)
+	k1 := len(newMembers)
+	s0 := k1 - j
+	spec := &wft.RepairSpec{Survivors: s0, Joiners: j, OldDepth: depth0, NewRank: rt.Rank}
+	if deadMask != nil {
+		spec.SweepParent = wft.SweepParents(old, deadMask)
+	}
+	if j > 0 {
+		// Same bootstrap-contact draws as the charged path and the
+		// rebuild substrate: entry.Intn(s0) is a new rank in [0, s0),
+		// owned by a survivor.
+		entry := rng.New(seed).Split(0xa77a)
+		spec.Entry = make([]int, j)
+		for i := range spec.Entry {
+			spec.Entry[i] = rt.NodeAt[entry.Intn(s0)]
+		}
+	}
+	cfg := sim.Config{Seed: seed, Sequential: s.build.Sequential, Workers: s.build.Workers}
+	if s.build.CapFactor > 0 {
+		c := s.build.CapFactor * sim.LogBound(k1)
+		cfg.SendCap, cfg.RecvCap = c, c
+	}
+	if s.faults != nil {
+		q := s.faults.shiftForEpoch(s.clock.Round(), bill.Epoch, newMembers)
+		// shiftForEpoch speaks new-member-local indices; the engine
+		// runs in repair-index space (survivors first, then joiners).
+		repairOf := make([]int, k1)
+		for ri, nl := range newOf {
+			repairOf[nl] = ri
+		}
+		for i := range q.Crashes {
+			q.Crashes[i].Node = repairOf[q.Crashes[i].Node]
+		}
+		for pi := range q.Partitions {
+			side := q.Partitions[pi].Side
+			for si, v := range side {
+				side[si] = repairOf[v]
+			}
+		}
+		cfg.Adversary = q.adversary(0, 3, q.materializeCrashes(k1))
+	}
+	eng, protos, budget, err := wft.NewRepairEngine(spec, cfg)
+	if err != nil {
+		return fmt.Errorf("overlay: epoch patch failed: %w", err)
+	}
+	eng.Run(budget)
+	m := eng.Metrics()
+	var anomalies int64
+	for _, p := range protos {
+		anomalies += int64(p.Anomalies())
+	}
+	patch := Bill{
+		Path:                "patch/measured",
+		Rounds:              eng.Round(),
+		Messages:            m.TotalMessages,
+		MaxMessagesPerRound: m.MaxRoundSent(),
+		MaxMessagesTotal:    m.MaxPerNodeSent(),
+		CapacityDrops:       m.RecvDrops,
+		FaultDrops:          m.FaultDrops,
+		FaultDelays:         m.FaultDelays,
+		ProtocolAnomalies:   anomalies,
+	}
+	item := fmt.Sprintf("%-28s %5d rounds  %9d msgs (measured)\n", "patch repair protocol", patch.Rounds, patch.Messages)
+	if patch.FaultDrops+patch.FaultDelays+patch.CapacityDrops > 0 {
+		item += fmt.Sprintf("%-28s dropped=%d delayed=%d capped=%d\n", "  fault plane", patch.FaultDrops, patch.FaultDelays, patch.CapacityDrops)
+	}
+	mt, err := wft.ExtractRepair(spec, protos)
+	if err != nil {
+		// The adversary defeated the repair: recover with a full
+		// rebuild over the survivors, keeping the wasted patch traffic
+		// on the bill. The rebuild re-shifts the fault plan from the
+		// same clock offset the patch used — crashes that fired during
+		// the failed patch are simply dead from the rebuild's start.
+		reason := err
+		if ferr := s.rebuildEpoch(joins, leaves, seed, bill); ferr != nil {
+			return fmt.Errorf("overlay: measured patch aborted (%v); fallback rebuild failed: %w", reason, ferr)
+		}
+		bill.Rebuilt = true
+		rebuilt := bill.Bill
+		rebuiltItem := bill.Itemized
+		bill.Bill = patch
+		bill.Bill.add(rebuilt)
+		bill.Itemized = item +
+			fmt.Sprintf("%-28s %v\n", "patch aborted", reason) +
+			rebuiltItem
+		return nil
+	}
+	s.members = newMembers
+	s.tree = relabelTree(mt, newOf)
+	bill.Bill = patch
+	bill.Itemized = item
+	return nil
+}
+
 // rebuildEpoch is the recovery path: a full BuildTree over the
 // survivors' current Chord overlay plus one bootstrap edge per joiner
 // (each joiner knows a deterministic existing member — the knowledge
@@ -461,6 +588,28 @@ func (s *Session) rebuildEpoch(joins, leaves []int, seed uint64, bill *EpochBill
 			g.AddEdge(u, v)
 		}
 	}
+	// Rebuild-substrate union: the retained expander's surviving edges
+	// widen the recovery graph beyond the finger ring, so a rebuild
+	// does not hinge on the Chord overlay the failed epoch may have
+	// degraded. Expander edges name original input indices, which are
+	// exactly the founding members' global identifiers (joiner
+	// identifiers start above the input space), so membership lookup
+	// suffices to keep only edges between surviving founders.
+	if s.expander != nil {
+		newIndex := func(id int) int {
+			k := sort.SearchInts(newMembers, id)
+			if k < len(newMembers) && newMembers[k] == id {
+				return k
+			}
+			return -1
+		}
+		for _, e := range s.expander.Edges() {
+			u, v := newIndex(e[0]), newIndex(e[1])
+			if u >= 0 && v >= 0 {
+				g.AddEdge(u, v)
+			}
+		}
+	}
 	entry := rng.New(seed).Split(0xa77a)
 	for i := range joins {
 		g.AddEdge(newOf[s0+i], newOf[entry.Intn(s0)])
@@ -488,11 +637,12 @@ func (s *Session) rebuildEpoch(joins, leaves []int, seed uint64, bill *EpochBill
 	}
 	s.members = newMembers
 	s.tree = copyTree(res.Tree)
-	bill.Rounds = res.Stats.Rounds
-	bill.Messages = res.Stats.TotalMessages
+	bill.Bill = res.Stats.Bill
 	mode := "charged"
+	bill.Path = "rebuild/fast"
 	if opts.MessageLevel {
 		mode = "measured"
+		bill.Path = "rebuild/measured"
 	}
 	bill.Itemized = fmt.Sprintf("%-28s %5d rounds  %9d msgs (%s)\n", "full rebuild (BuildTree)", bill.Rounds, bill.Messages, mode)
 	return nil

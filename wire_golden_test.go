@@ -62,8 +62,8 @@ func TestMessageLevelMatchesPreMigrationEngine(t *testing.T) {
 			t.Errorf("n=%d seed=%d: tree fingerprint 0x%016x, want 0x%016x",
 				c.n, c.seed, got, c.hash)
 		}
-		if res.Stats.TotalMessages == 0 {
-			t.Errorf("n=%d seed=%d: TotalMessages not populated", c.n, c.seed)
+		if res.Stats.Messages == 0 {
+			t.Errorf("n=%d seed=%d: Messages not populated", c.n, c.seed)
 		}
 	}
 }
