@@ -52,10 +52,12 @@ cover:
 	$(GO) test -coverprofile=coverage.out ./...
 	$(GO) run ./cmd/covguard -profile coverage.out -min $(COVER_FLOOR)
 
-# The scenario smoke: the canned fault scenarios (crash-stop churn and
-# a lossy delayed network) at n=4096 under the race detector.
+# The scenario smoke: the canned fault scenarios (crash-stop churn,
+# lossy delayed network, the sustained-adversary recovery ladder, and
+# the correlated domain cut) at n=4096 under the race detector, plus
+# the bounded random-spec fuzzer (failing seeds shrink and print).
 scenario-smoke:
-	SCENARIO_N=4096 $(GO) test -race -run 'TestCannedScenarios' -v ./internal/scenario
+	SCENARIO_N=4096 $(GO) test -race -timeout 20m -run 'TestCannedScenarios|TestScenarioFuzzSmoke' -v ./internal/scenario
 
 # Fail (like CI) when any file needs formatting.
 fmt:

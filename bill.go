@@ -13,7 +13,11 @@ type Bill struct {
 	// "build/fast", "build/measured", "patch/charged",
 	// "patch/measured", "patch/noop", "rebuild/fast",
 	// "rebuild/measured", "hybrid", or a "+"-joined sequence when a
-	// measured patch aborted and fell back to a rebuild.
+	// measured patch aborted and fell back to a rebuild. Under the
+	// epoch recovery ladder consecutive repeats compress to a
+	// run-length form — "patch/measured×2+rebuild/measured×3" reads
+	// "two defeated patch attempts, two defeated rebuilds, the third
+	// rebuild committed".
 	Path string
 	// Rounds is the synchronous round cost: measured on the engine for
 	// the message-level paths, analytically charged otherwise.

@@ -28,6 +28,15 @@
 // analytically, measured runs each repair as a real wire protocol on
 // the engine (so the fault plan hits the repair traffic itself) and
 // implies -message-level.
+//
+// -retries R arms the session's epoch recovery ladder with R patch
+// retries and R rebuild retries: a measured epoch the adversary
+// defeats escalates through backoff-stretched patch attempts and
+// rebuild attempts before giving up. Every attempt is itemized in the
+// epoch row's path column (e.g. patch/measured×2+rebuild/measured),
+// and an epoch that exhausts the ladder rolls the session back to its
+// pre-epoch checkpoint — the CLI reports the rollback and keeps
+// serving the remaining epochs from the restored state.
 package main
 
 import (
@@ -53,10 +62,14 @@ func main() {
 		churn    = flag.String("churn", "", "churn epoch schedule, e.g. 'epochs=10,join=0.02,leave=0.02,seed=5,rebuild=0.25'")
 		planSpec = flag.String("plan", "", "unified fault+churn plan (overlay.ParsePlan grammar); replaces -faults and -churn")
 		acctName = flag.String("accounting", "charged", "patch-epoch accounting: charged|measured (measured implies -message-level)")
+		retries  = flag.Int("retries", 0, "epoch recovery ladder: retry a defeated epoch up to this many extra patch and rebuild attempts before rolling back")
 	)
 	flag.Parse()
 	if *n < 1 {
 		log.Fatal("-n must be >= 1")
+	}
+	if *retries < 0 {
+		log.Fatal("-retries must be >= 0")
 	}
 	var acct overlay.Accounting
 	switch *acctName {
@@ -168,6 +181,8 @@ func main() {
 	sess, err := overlay.Open(res, &overlay.SessionOptions{
 		RebuildFraction: churnPlan.RebuildFraction,
 		Accounting:      acct,
+		PatchRetries:    *retries,
+		RebuildRetries:  *retries,
 		Build: overlay.Options{
 			Seed: *seed, MessageLevel: *msgLvl, CapFactor: *capFac, Faults: plan,
 		},
@@ -177,26 +192,44 @@ func main() {
 	}
 	fmt.Printf("\nchurn           %s\n", churnSpec)
 	fmt.Printf("accounting      %s\n", acct)
-	fmt.Printf("%-6s %6s %6s %8s  %-24s %8s %10s  %s\n",
-		"epoch", "join", "leave", "members", "path", "rounds", "messages", "invariants")
-	clean := true
+	if *retries > 0 {
+		fmt.Printf("ladder          up to %d extra patch and %d extra rebuild attempts per epoch\n", *retries, *retries)
+	}
+	fmt.Printf("%-6s %6s %6s %8s %8s  %-32s %8s %10s  %s\n",
+		"epoch", "join", "leave", "members", "tries", "path", "rounds", "messages", "invariants")
+	clean, rollbacks := true, 0
 	for e := 0; e < churnPlan.Epochs; e++ {
 		joins, leaves := churnPlan.Epoch(e, sess.Members(), sess.NextID())
 		bill, err := sess.ApplyEpoch(joins, leaves)
 		if err != nil {
-			fmt.Printf("%-6d epoch failed: %v\n", e, err)
-			os.Exit(1)
+			if bill == nil || !bill.Aborted {
+				fmt.Printf("%-6d epoch failed: %v\n", e, err)
+				os.Exit(1)
+			}
+			// A reasoned abort: the ladder exhausted and the session
+			// rolled back to its pre-epoch checkpoint. Report it and
+			// keep serving the remaining epochs from the restored state.
+			rollbacks++
+			fmt.Printf("%-6d %6d %6d %8d %8d  %-32s %8d %10d  ROLLED BACK: %s\n",
+				bill.Epoch, bill.Joined, bill.Left, len(sess.Members()), bill.Attempts,
+				bill.Path, bill.Rounds, bill.Messages, bill.AbortReason)
+			continue
 		}
 		verdict := "all hold"
 		if viols := scenario.CheckEpoch(sess, bill, plan); len(viols) > 0 {
 			clean = false
 			verdict = "VIOLATED: " + viols[0]
 		}
-		fmt.Printf("%-6d %6d %6d %8d  %-24s %8d %10d  %s\n",
-			bill.Epoch, bill.Joined, bill.Left, bill.Members, bill.Path, bill.Rounds, bill.Messages, verdict)
+		fmt.Printf("%-6d %6d %6d %8d %8d  %-32s %8d %10d  %s\n",
+			bill.Epoch, bill.Joined, bill.Left, bill.Members, bill.Attempts,
+			bill.Path, bill.Rounds, bill.Messages, verdict)
 	}
-	fmt.Printf("session         %d members after %d epochs, clock at round %d\n",
+	fmt.Printf("session         %d members after %d epochs, clock at round %d",
 		len(sess.Members()), sess.Epoch(), sess.ClockRound())
+	if rollbacks > 0 {
+		fmt.Printf(", %d epochs rolled back", rollbacks)
+	}
+	fmt.Println()
 	if !clean {
 		os.Exit(1)
 	}

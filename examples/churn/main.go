@@ -85,7 +85,10 @@ func main() {
 	// Routing keeps working between epochs: look up a recent joiner
 	// from the oldest surviving member.
 	members := sess.Members()
-	path := sess.RouteLookup(members[0], members[len(members)-1])
+	path, err := sess.RouteLookup(members[0], members[len(members)-1])
+	if err != nil {
+		log.Fatalf("lookup: %v", err)
+	}
 	fmt.Printf("\nlookup %d -> %d routes over %d Chord hops\n",
 		members[0], members[len(members)-1], len(path)-1)
 

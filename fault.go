@@ -44,6 +44,28 @@ type FaultPlan struct {
 	// Partitions lists temporary cuts: during global rounds
 	// [From, Until) no message crosses between Side and its complement.
 	Partitions []Partition
+	// Domains partitions the build's node id space [0, n) into this
+	// many contiguous, rack-shaped correlated failure domains: node v
+	// belongs to domain v·Domains/n, so domains differ in size by at
+	// most one node. Zero means no domain structure. Nodes joining a
+	// session later (id >= n) belong to no domain.
+	Domains int
+	// DomainCuts fail entire domains at once, expressing the
+	// correlated rack/pod failures independent per-node faults cannot.
+	// A cut with Until == 0 crash-stops every member of the domain at
+	// round From; a cut with Until > From partitions the domain from
+	// the rest of the network during [From, Until). Cuts expand
+	// deterministically into Crashes/Partitions before the plan is
+	// compiled, so they compose with every other directive.
+	DomainCuts []DomainCut
+}
+
+// DomainCut fails one correlated failure domain as a unit: a
+// crash-stop of all members at round From when Until is zero, or a
+// partition of the domain from its complement during [From, Until).
+type DomainCut struct {
+	Domain      int
+	From, Until int
 }
 
 // Crash is a crash-stop fault at a global build round.
@@ -90,7 +112,69 @@ func (p *FaultPlan) validate(n int) error {
 			}
 		}
 	}
+	if p.Domains < 0 || p.Domains > n {
+		return fmt.Errorf("overlay: FaultPlan.Domains %d outside [0,%d]", p.Domains, n)
+	}
+	if len(p.DomainCuts) > 0 && p.Domains < 1 {
+		return fmt.Errorf("overlay: FaultPlan has %d domain cuts but no domains (set Domains)", len(p.DomainCuts))
+	}
+	for i, cut := range p.DomainCuts {
+		if cut.Domain < 0 || cut.Domain >= p.Domains {
+			return fmt.Errorf("overlay: FaultPlan domain cut %d names domain %d, but the plan has %d domains", i, cut.Domain, p.Domains)
+		}
+		if cut.Until != 0 && cut.Until <= cut.From {
+			return fmt.Errorf("overlay: FaultPlan domain cut %d has empty window [%d,%d)", i, cut.From, cut.Until)
+		}
+	}
 	return nil
+}
+
+// domainMembers enumerates the nodes of domain d when an n-node id
+// space is split into D contiguous domains: the block from ⌈d·n/D⌉ up
+// to (but excluding) ⌈(d+1)·n/D⌉.
+func domainMembers(d, D, n int) []int {
+	lo := (d*n + D - 1) / D
+	hi := ((d+1)*n + D - 1) / D
+	if hi > n {
+		hi = n
+	}
+	if lo >= hi {
+		return nil
+	}
+	members := make([]int, 0, hi-lo)
+	for v := lo; v < hi; v++ {
+		members = append(members, v)
+	}
+	return members
+}
+
+// expandDomains folds the plan's correlated-domain cuts into its
+// plain crash and partition schedules over an n-node id space and
+// returns a flattened copy with no domain structure left. Plans
+// without domain cuts come back unchanged, so callers expand
+// unconditionally before compiling or shifting a plan.
+func (p *FaultPlan) expandDomains(n int) *FaultPlan {
+	if p == nil || p.Domains <= 0 || len(p.DomainCuts) == 0 {
+		return p
+	}
+	q := *p
+	q.Crashes = append([]Crash(nil), p.Crashes...)
+	q.Partitions = append([]Partition(nil), p.Partitions...)
+	q.Domains, q.DomainCuts = 0, nil
+	for _, cut := range p.DomainCuts {
+		members := domainMembers(cut.Domain, p.Domains, n)
+		if len(members) == 0 {
+			continue
+		}
+		if cut.Until == 0 {
+			for _, v := range members {
+				q.Crashes = append(q.Crashes, Crash{Node: v, Round: cut.From})
+			}
+		} else {
+			q.Partitions = append(q.Partitions, Partition{From: cut.From, Until: cut.Until, Side: members})
+		}
+	}
+	return &q
 }
 
 // materializeCrashes resolves CrashFrac into explicit crashes and

@@ -34,9 +34,38 @@ import "overlay"
 //     still converge to a machine-checked tree — the bill just shows
 //     the held messages and the extra rounds.
 //
+//   - sustained-adversary: a fault-free build, then measured churn
+//     epochs under a long network partition that severs an eighth of
+//     the membership from the start of the session phase. Single
+//     attempts die inside the partition window, so under
+//     single-attempt semantics the first epoch simply aborts; with
+//     the recovery ladder armed the session escalates —
+//     backoff-stretched patch retries, then rebuild retries, each
+//     failed rung advancing the session clock — until an attempt
+//     starts past the window and commits. The bill itemizes every
+//     rung (Path like "patch/measured×2+rebuild/measured×N"). This
+//     spec caps its population at 1024 (an explicit, not silent,
+//     bound): the ladder deliberately pays for several defeated
+//     full-rebuild protocols back to back, so larger populations
+//     multiply the smoke job's wall clock without adding coverage —
+//     the escalation logic is population-independent.
+//
+//   - domain-rack-cut: correlated failure-domain faults on the build
+//     itself: the input space is carved into 16 rack-shaped domains
+//     and one whole domain crash-stops mid-build. The evolved
+//     expander must absorb the correlated loss exactly as it absorbs
+//     the same number of independent crashes — a well-formed tree
+//     over the survivors, with the whole rack gone.
+//
 // Every spec is deterministic: same n, same outcome, bit for bit, at
 // any worker count.
 func Canned(n int) []Spec {
+	// See the sustained-adversary doc above: its ladder runs several
+	// full rebuild protocols, so its population is capped.
+	ladderN := n
+	if ladderN > 1024 {
+		ladderN = 1024
+	}
 	return []Spec{
 		{
 			Name:     "mid-build-crashes",
@@ -89,6 +118,47 @@ func Canned(n int) []Spec {
 				Seed:      31,
 				DelayProb: 0.05,
 				DelayMax:  3,
+			},
+		},
+		{
+			Name:       "sustained-adversary",
+			Topology:   "ring",
+			N:          ladderN,
+			Seed:       37,
+			Accounting: overlay.Measured,
+			Churn: &overlay.ChurnPlan{
+				Seed:      41,
+				Epochs:    2,
+				JoinFrac:  0.02,
+				LeaveFrac: 0.02,
+			},
+			// A single rack-shaped partition pinned over the first
+			// eighth of the input ids, opening the moment the build
+			// completes (rounds are session-relative) and holding for
+			// hundreds of rounds: long enough to defeat several
+			// attempts, short enough that the ladder's clock advance
+			// escapes it.
+			SessionFaults: &overlay.FaultPlan{
+				Seed:    43,
+				Domains: 8,
+				DomainCuts: []overlay.DomainCut{
+					{Domain: 0, From: 1, Until: 650},
+				},
+			},
+			PatchRetries:   1,
+			RebuildRetries: 3,
+		},
+		{
+			Name:     "domain-rack-cut",
+			Topology: "grid",
+			N:        n,
+			Seed:     47,
+			Faults: &overlay.FaultPlan{
+				Seed:    53,
+				Domains: 16,
+				DomainCuts: []overlay.DomainCut{
+					{Domain: 5, From: 30},
+				},
 			},
 		},
 	}

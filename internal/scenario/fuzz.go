@@ -1,0 +1,162 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+
+	"overlay"
+)
+
+// fuzzTopologies is the topology alphabet the fuzzer draws from.
+var fuzzTopologies = []string{"line", "ring", "tree", "grid"}
+
+// RandomSpec derives a bounded random scenario from a seed: a pure
+// function, so a failing seed replays bit for bit. The bounds keep
+// every draw inside the regime the invariants promise to hold in —
+// small node counts, few epochs, fault probabilities low enough that
+// completion is plausible (a reasoned abort is a clean outcome, but a
+// fuzzer that aborts everything probes nothing) — while still mixing
+// every axis the harness exposes: topology, crash fractions, message
+// loss and delay, correlated failure domains, churn, measured
+// accounting, session-phase faults, and the recovery ladder.
+func RandomSpec(seed uint64) Spec {
+	r := rand.New(rand.NewSource(int64(seed)))
+	s := Spec{
+		Name:     fmt.Sprintf("fuzz-%d", seed),
+		Topology: fuzzTopologies[r.Intn(len(fuzzTopologies))],
+		N:        48 + r.Intn(180),
+		Seed:     uint64(r.Int63()),
+	}
+
+	if r.Float64() < 0.7 {
+		f := &overlay.FaultPlan{Seed: uint64(r.Int63())}
+		switch r.Intn(4) {
+		case 0: // random crash fraction mid-build
+			f.CrashFrac = 0.01 + 0.04*r.Float64()
+			f.CrashFracRound = 10 + r.Intn(60)
+		case 1: // lossy / delayed network, kept survivable-ish
+			f.DropProb = 0.003 * r.Float64()
+			f.DelayProb = 0.02 * r.Float64()
+			f.DelayMax = 1 + r.Intn(3)
+		case 2: // a correlated failure domain crashes mid-build
+			f.Domains = 4 + r.Intn(13)
+			f.DomainCuts = []overlay.DomainCut{
+				{Domain: r.Intn(f.Domains), From: 10 + r.Intn(60)},
+			}
+		case 3: // a transient build-phase partition of one domain
+			f.Domains = 4 + r.Intn(13)
+			from := 5 + r.Intn(40)
+			f.DomainCuts = []overlay.DomainCut{
+				{Domain: r.Intn(f.Domains), From: from, Until: from + 5 + r.Intn(30)},
+			}
+		}
+		s.Faults = f
+	}
+
+	if r.Float64() < 0.6 {
+		s.Churn = &overlay.ChurnPlan{
+			Seed:      uint64(r.Int63()),
+			Epochs:    1 + r.Intn(4),
+			JoinFrac:  0.04 * r.Float64(),
+			LeaveFrac: 0.04 * r.Float64(),
+		}
+		if r.Float64() < 0.5 {
+			s.Accounting = overlay.Measured
+			// Only measured sessions exercise the ladder: arm it
+			// sometimes, and sometimes fault the repair traffic itself.
+			s.PatchRetries = r.Intn(3)
+			s.RebuildRetries = r.Intn(3)
+			if r.Float64() < 0.4 {
+				s.SessionFaults = &overlay.FaultPlan{
+					Seed:      uint64(r.Int63()),
+					DelayProb: 0.05 * r.Float64(),
+					DelayMax:  1 + r.Intn(3),
+				}
+			}
+		}
+	}
+	return s
+}
+
+// Shrink greedily minimizes a failing spec: it tries one simplifying
+// edit at a time — fewer epochs, no session faults, no ladder, no
+// faults, no churn, fewer nodes, a plain line topology — keeps any
+// edit that still fails, and stops when a full pass finds nothing
+// removable or the run budget is spent. fails must be the predicate
+// that made the original spec interesting (typically "Run reports a
+// violation"); budget bounds the total number of candidate runs.
+func Shrink(s Spec, fails func(Spec) bool, budget int) Spec {
+	try := func(cand Spec) bool {
+		if budget <= 0 {
+			return false
+		}
+		budget--
+		return fails(cand)
+	}
+	for changed := true; changed && budget > 0; {
+		changed = false
+		// Drop whole axes first: the biggest simplifications.
+		if s.SessionFaults != nil {
+			c := s
+			c.SessionFaults = nil
+			if try(c) {
+				s, changed = c, true
+				continue
+			}
+		}
+		if s.PatchRetries > 0 || s.RebuildRetries > 0 {
+			c := s
+			c.PatchRetries, c.RebuildRetries = 0, 0
+			if try(c) {
+				s, changed = c, true
+				continue
+			}
+		}
+		if s.Churn != nil {
+			c := s
+			c.Churn = nil
+			c.SessionFaults = nil
+			c.Accounting = 0
+			c.PatchRetries, c.RebuildRetries = 0, 0
+			if try(c) {
+				s, changed = c, true
+				continue
+			}
+			if s.Churn.Epochs > 1 {
+				c = s
+				plan := *s.Churn
+				plan.Epochs--
+				c.Churn = &plan
+				if try(c) {
+					s, changed = c, true
+					continue
+				}
+			}
+		}
+		if s.Faults != nil {
+			c := s
+			c.Faults = nil
+			if try(c) {
+				s, changed = c, true
+				continue
+			}
+		}
+		if s.N > 48 {
+			c := s
+			c.N = 48 + (s.N-48)/2
+			if try(c) {
+				s, changed = c, true
+				continue
+			}
+		}
+		if s.Topology != "line" {
+			c := s
+			c.Topology = "line"
+			if try(c) {
+				s, changed = c, true
+				continue
+			}
+		}
+	}
+	return s
+}

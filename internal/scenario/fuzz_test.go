@@ -1,0 +1,92 @@
+package scenario
+
+import (
+	"os"
+	"strconv"
+	"testing"
+)
+
+// TestScenarioFuzzSmoke runs a bounded batch of random specs through
+// the full harness and requires every report clean (a reasoned abort
+// is clean; an invariant violation or hard error is not). On failure
+// it greedily shrinks the spec and prints the seed, so the exact run
+// replays with SCENARIO_FUZZ_SEED=<seed> SCENARIO_FUZZ_COUNT=1.
+func TestScenarioFuzzSmoke(t *testing.T) {
+	base := uint64(0x5eedf00d)
+	if v := os.Getenv("SCENARIO_FUZZ_SEED"); v != "" {
+		n, err := strconv.ParseUint(v, 0, 64)
+		if err != nil {
+			t.Fatalf("bad SCENARIO_FUZZ_SEED=%q", v)
+		}
+		base = n
+	}
+	count := 8
+	if v := os.Getenv("SCENARIO_FUZZ_COUNT"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			t.Fatalf("bad SCENARIO_FUZZ_COUNT=%q", v)
+		}
+		count = n
+	}
+	fails := func(s Spec) bool { return !Run(s).OK() }
+	for i := 0; i < count; i++ {
+		seed := base + uint64(i)
+		spec := RandomSpec(seed)
+		rep := Run(spec)
+		t.Logf("seed %#x: %s", seed, rep.String())
+		if rep.OK() {
+			continue
+		}
+		shrunk := Shrink(spec, fails, 40)
+		final := Run(shrunk)
+		t.Errorf("seed %#x failed (replay: SCENARIO_FUZZ_SEED=%#x SCENARIO_FUZZ_COUNT=1)", seed, seed)
+		t.Errorf("original: err=%v violations=%v", rep.Err, rep.Violations)
+		t.Errorf("shrunk spec: %+v", shrunk)
+		t.Errorf("shrunk: err=%v violations=%v", final.Err, final.Violations)
+	}
+}
+
+// TestRandomSpecDeterministic: the fuzzer's spec derivation is a pure
+// function of the seed — otherwise the printed repro seed is a lie.
+func TestRandomSpecDeterministic(t *testing.T) {
+	for seed := uint64(1); seed < 32; seed++ {
+		a, b := RandomSpec(seed), RandomSpec(seed)
+		if a.Name != b.Name || a.Topology != b.Topology || a.N != b.N || a.Seed != b.Seed {
+			t.Fatalf("seed %d: spec derivation not deterministic", seed)
+		}
+	}
+}
+
+// TestShrinkMinimizes: the shrinker strips every axis that is not
+// needed to reproduce a failure. With a predicate that only requires
+// churn to be present, everything else must shrink away.
+func TestShrinkMinimizes(t *testing.T) {
+	spec := RandomSpec(0xdead)
+	// Force a maximal spec so there is something to strip.
+	spec.Topology = "grid"
+	spec.N = 200
+	if spec.Churn == nil {
+		spec.Churn = RandomSpec(0xbeef).Churn
+	}
+	if spec.Churn == nil {
+		t.Fatal("could not build a churny spec")
+	}
+	spec.PatchRetries, spec.RebuildRetries = 2, 2
+	fails := func(s Spec) bool { return s.Churn != nil }
+	got := Shrink(spec, fails, 100)
+	if got.Churn == nil {
+		t.Fatal("shrinker removed the axis the predicate needs")
+	}
+	if got.Churn.Epochs != 1 {
+		t.Errorf("epochs not minimized: %d", got.Churn.Epochs)
+	}
+	if got.Faults != nil || got.SessionFaults != nil || got.PatchRetries != 0 || got.RebuildRetries != 0 {
+		t.Errorf("irrelevant axes survived: %+v", got)
+	}
+	if got.N != 48 {
+		t.Errorf("n not minimized: %d", got.N)
+	}
+	if got.Topology != "line" {
+		t.Errorf("topology not minimized: %s", got.Topology)
+	}
+}

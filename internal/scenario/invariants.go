@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"fmt"
+	"strings"
 
 	"overlay"
 	"overlay/internal/sim"
@@ -209,25 +210,58 @@ func CheckEpoch(sess *overlay.Session, bill *overlay.EpochBill, faults *overlay.
 		bad("bill reports %d members, session has %d", bill.Members, k)
 	}
 	v = append(v, TreeShapeViolations(k, sess.Tree())...)
-	if bill.Rebuilt {
-		if budget := DefaultRoundBudget(k, faults); bill.Rounds > budget {
-			bad("rebuild epoch took %d rounds, budget %d", bill.Rounds, budget)
+
+	// Ladder accounting: every epoch runs at least one attempt, the
+	// attempt bills match the count, and the unified bill is their
+	// fold (round-exact).
+	if bill.Attempts < 1 {
+		bad("epoch bill reports %d attempts, want >= 1", bill.Attempts)
+	}
+	if len(bill.AttemptBills) != bill.Attempts {
+		bad("epoch bill itemizes %d attempt bills for %d attempts", len(bill.AttemptBills), bill.Attempts)
+	}
+	sum := 0
+	for _, a := range bill.AttemptBills {
+		sum += a.Rounds
+	}
+	if len(bill.AttemptBills) > 0 && sum != bill.Rounds {
+		bad("attempt bills sum to %d rounds, epoch bill says %d", sum, bill.Rounds)
+	}
+
+	patchBound := 6*sim.LogBound(k) + 12
+	// A measured patch under message delays legitimately stretches:
+	// every protocol round can be held back up to DelayMax rounds, so
+	// the O(log n) bound scales by the worst-case stretch factor.
+	if faults != nil && faults.DelayProb > 0 {
+		dm := faults.DelayMax
+		if dm < 1 {
+			dm = 1
 		}
-	} else {
-		bound := 6*sim.LogBound(k) + 12
-		// A measured patch under message delays legitimately stretches:
-		// every protocol round can be held back up to DelayMax rounds, so
-		// the O(log n) bound scales by the worst-case stretch factor.
-		if faults != nil && faults.DelayProb > 0 {
-			dm := faults.DelayMax
-			if dm < 1 {
-				dm = 1
+		patchBound *= dm + 1
+	}
+	rebuildBudget := DefaultRoundBudget(k, faults)
+	if len(bill.AttemptBills) > 0 {
+		// Per-rung budgets: each patch rung gets the O(log n) patch
+		// bound plus its backoff slack (rung i runs i·(⌈log₂ k⌉+4)
+		// extra rounds), each rebuild rung the one-shot build budget.
+		budget, patchRung := 0, 0
+		for _, a := range bill.AttemptBills {
+			if strings.HasPrefix(a.Path, "patch") {
+				budget += patchBound + patchRung*(sim.LogBound(k)+4)
+				patchRung++
+			} else {
+				budget += rebuildBudget
 			}
-			bound *= dm + 1
 		}
-		if bill.Rounds > bound {
-			bad("patch epoch took %d rounds, O(log n) bound %d", bill.Rounds, bound)
+		if bill.Rounds > budget {
+			bad("epoch took %d rounds over %d attempts, ladder budget %d", bill.Rounds, bill.Attempts, budget)
 		}
+	} else if bill.Rebuilt {
+		if bill.Rounds > rebuildBudget {
+			bad("rebuild epoch took %d rounds, budget %d", bill.Rounds, rebuildBudget)
+		}
+	} else if bill.Rounds > patchBound {
+		bad("patch epoch took %d rounds, O(log n) bound %d", bill.Rounds, patchBound)
 	}
 	return v
 }

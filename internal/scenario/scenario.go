@@ -52,8 +52,17 @@ type Spec struct {
 	// fault plan: the initial build runs under Faults (nil = fault-free)
 	// while the maintenance epochs run under SessionFaults. This is how
 	// a scenario faults the repair traffic itself without also having to
-	// survive the same adversary during construction.
+	// survive the same adversary during construction. Round fields in
+	// SessionFaults are relative to the end of the build (round 0 is
+	// the round the build completed), so a session-phase schedule reads
+	// the same at every N; the runner shifts them onto the session
+	// clock before opening the session.
 	SessionFaults *overlay.FaultPlan
+	// PatchRetries and RebuildRetries size the session's epoch
+	// recovery ladder (overlay.SessionOptions); zero keeps the
+	// single-attempt semantics.
+	PatchRetries   int
+	RebuildRetries int
 	// Accounting selects how the session bills patch epochs
 	// (overlay.Charged estimates analytically, overlay.Measured runs
 	// each repair as a wire protocol on the engine).
@@ -159,11 +168,15 @@ func runChurn(s *Spec, rep *Report) {
 	}
 	sessionFaults := s.Faults
 	if s.SessionFaults != nil {
-		sessionFaults = s.SessionFaults
+		// SessionFaults rounds are relative to the end of the build;
+		// shift them onto the session clock.
+		sessionFaults = shiftPlan(s.SessionFaults, res.Stats.Rounds)
 	}
 	sess, err := overlay.Open(res, &overlay.SessionOptions{
 		RebuildFraction: s.Churn.RebuildFraction,
 		Accounting:      s.Accounting,
+		PatchRetries:    s.PatchRetries,
+		RebuildRetries:  s.RebuildRetries,
 		Build: overlay.Options{
 			Seed:         s.Seed,
 			MessageLevel: true,
@@ -179,12 +192,30 @@ func runChurn(s *Spec, rep *Report) {
 	}
 	for e := 0; e < s.Churn.Epochs; e++ {
 		joins, leaves := s.Churn.Epoch(e, sess.Members(), sess.NextID())
+		prevMembers := sess.Members()
+		prevTree := sess.Tree()
+		prevShape := fmt.Sprintf("%v|%v|%v|%v", prevTree.Root, prevTree.Parent, prevTree.Rank, prevTree.NodeAt)
 		bill, err := sess.ApplyEpoch(joins, leaves)
 		if err != nil {
-			// An epoch that cannot converge is the adversary winning the
-			// maintenance game — a violation of fair termination, not a
-			// spec error.
-			bad("epoch %d: %v", e, err)
+			if bill == nil || !bill.Aborted {
+				// An epoch the session cannot even attempt is a spec error —
+				// a violation, not fair termination.
+				bad("epoch %d: %v", e, err)
+				break
+			}
+			// A reasoned abort is fair termination: the ladder ran out of
+			// rungs and the session rolled back. The rollback must restore
+			// the pre-epoch state bit for bit — serving lookups from the
+			// last committed overlay is the whole point of the checkpoint.
+			rep.EpochBills = append(rep.EpochBills, *bill)
+			tree := sess.Tree()
+			shape := fmt.Sprintf("%v|%v|%v|%v", tree.Root, tree.Parent, tree.Rank, tree.NodeAt)
+			if !equalInts(sess.Members(), prevMembers) || shape != prevShape {
+				bad("epoch %d: aborted epoch did not roll back to the pre-epoch state", e)
+			}
+			if bill.Attempts < 1 || len(bill.AttemptBills) != bill.Attempts {
+				bad("epoch %d: aborted bill itemizes %d attempt bills for %d attempts", e, len(bill.AttemptBills), bill.Attempts)
+			}
 			break
 		}
 		rep.EpochBills = append(rep.EpochBills, *bill)
@@ -201,6 +232,50 @@ func runChurn(s *Spec, rep *Report) {
 		}
 	}
 	rep.FinalMembers = len(sess.Members())
+}
+
+// shiftPlan returns a copy of a fault plan with every round field
+// moved offset rounds later: a relative session-phase schedule
+// (round 0 = the build's completion) becomes an absolute
+// session-clock schedule. Domain-cut crash rungs (Until == 0) keep
+// their zero Until — it is a mode marker, not a round.
+func shiftPlan(p *overlay.FaultPlan, offset int) *overlay.FaultPlan {
+	q := *p
+	q.Crashes = append([]overlay.Crash(nil), p.Crashes...)
+	for i := range q.Crashes {
+		q.Crashes[i].Round += offset
+	}
+	if q.CrashFrac > 0 {
+		q.CrashFracRound += offset
+	}
+	q.Partitions = make([]overlay.Partition, len(p.Partitions))
+	for i, pt := range p.Partitions {
+		q.Partitions[i] = overlay.Partition{
+			From: pt.From + offset, Until: pt.Until + offset,
+			Side: append([]int(nil), pt.Side...),
+		}
+	}
+	q.DomainCuts = append([]overlay.DomainCut(nil), p.DomainCuts...)
+	for i := range q.DomainCuts {
+		q.DomainCuts[i].From += offset
+		if q.DomainCuts[i].Until > 0 {
+			q.DomainCuts[i].Until += offset
+		}
+	}
+	return &q
+}
+
+// equalInts compares two int slices element-wise.
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // BuildTopology constructs the named input knowledge graph on n nodes.

@@ -64,6 +64,8 @@ var cannedWantAbort = map[string]bool{
 	"epoch-churn":           false,
 	"lossy-delayed-network": true,
 	"fault-during-repair":   false,
+	"sustained-adversary":   false,
+	"domain-rack-cut":       false,
 }
 
 // TestCannedScenarios runs every canned fault scenario and requires a
@@ -162,6 +164,63 @@ func TestFaultDuringRepairOutcome(t *testing.T) {
 	}
 	if delays == 0 {
 		t.Error("no held messages on any bill: the fault plane never touched the repair traffic")
+	}
+}
+
+// TestSustainedAdversaryOutcome pins the sustained-adversary canned
+// scenario's documented shape: the partition defeats at least one
+// attempt, the recovery ladder escalates past it (some epoch bills
+// more than one attempt, visible in the Path grammar), and the same
+// spec with the ladder disarmed — single-attempt PR-6 semantics —
+// fails the epoch outright. That contrast is the scenario's reason to
+// exist: it certifies the ladder converts a fatal adversary into an
+// itemized recovery.
+func TestSustainedAdversaryOutcome(t *testing.T) {
+	var spec Spec
+	for _, s := range Canned(smokeN(t)) {
+		if s.Name == "sustained-adversary" {
+			spec = s
+		}
+	}
+	if spec.Churn == nil || spec.SessionFaults == nil {
+		t.Fatal("no sustained-adversary canned scenario")
+	}
+	rep := Run(spec)
+	t.Log(rep.String())
+	if !rep.OK() {
+		t.Fatalf("not clean: err=%v violations=%v", rep.Err, rep.Violations)
+	}
+	if len(rep.EpochBills) != spec.Churn.Epochs {
+		t.Fatalf("applied %d epochs, want %d", len(rep.EpochBills), spec.Churn.Epochs)
+	}
+	multi := 0
+	for _, b := range rep.EpochBills {
+		if b.Aborted {
+			t.Fatalf("epoch %d aborted (%s); the ladder must outlast this adversary", b.Epoch, b.AbortReason)
+		}
+		if b.Attempts > 1 {
+			multi++
+			t.Logf("epoch %d: %d attempts, path %s", b.Epoch, b.Attempts, b.Path)
+		}
+	}
+	if multi == 0 {
+		t.Error("no epoch needed more than one attempt: the adversary never bit, scenario proves nothing")
+	}
+
+	// Disarm the ladder: the same adversary under single-attempt
+	// semantics must defeat an epoch.
+	flat := spec
+	flat.PatchRetries, flat.RebuildRetries = 0, 0
+	flatRep := Run(flat)
+	t.Log(flatRep.String())
+	aborted := false
+	for _, b := range flatRep.EpochBills {
+		if b.Aborted {
+			aborted = true
+		}
+	}
+	if !aborted {
+		t.Error("single-attempt run survived the partition: the ladder is not what saved the armed run")
 	}
 }
 

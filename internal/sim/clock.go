@@ -48,6 +48,16 @@ func (c *Clock) RetractEpoch() {
 	}
 }
 
+// Snapshot returns a value copy of the clock's complete state. The
+// seed source is a pure value (splitting never mutates it), so the
+// copy is an independent clock: restoring it replays rounds, epoch
+// index, and per-epoch seeds exactly.
+func (c *Clock) Snapshot() Clock { return *c }
+
+// Restore rewinds the clock to a state previously captured by
+// Snapshot.
+func (c *Clock) Restore(s Clock) { *c = s }
+
 // NextEpoch closes the current epoch and returns its index along with
 // the epoch's deterministic seed. The seed depends only on the base
 // seed and the epoch index, never on how many rounds earlier epochs

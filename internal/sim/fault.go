@@ -56,6 +56,56 @@ type Adversary struct {
 	Crashes []Crash
 	// Partitions lists temporary network cuts.
 	Partitions []Partition
+	// Domains assigns each node to a correlated failure domain:
+	// Domains[i] is node i's domain id, and a negative id leaves the
+	// node outside every domain. Nil means no domain structure. The
+	// assignment only matters when DomainCuts is non-empty.
+	Domains []int
+	// DomainCuts fail entire domains at once. A cut with Until == 0
+	// crash-stops every member of the domain at round From; a cut with
+	// Until > From partitions the domain's members from the rest of
+	// the network during [From, Until). Cuts expand into the ordinary
+	// Crashes/Partitions schedules before compilation, so they compose
+	// with per-node faults and obey the same clock semantics.
+	DomainCuts []DomainCut
+}
+
+// DomainCut fails every node of one correlated failure domain
+// together: a crash-stop at round From when Until is zero, or a
+// partition of the domain from its complement during [From, Until).
+type DomainCut struct {
+	Domain      int
+	From, Until int
+}
+
+// expandDomainCuts folds an adversary's domain cuts into its plain
+// crash and partition schedules, returning a copy with no domain
+// structure left. Members of each domain are enumerated in ascending
+// node order so the expansion is deterministic.
+func expandDomainCuts(a *Adversary, n int) *Adversary {
+	out := *a
+	out.Crashes = append([]Crash(nil), a.Crashes...)
+	out.Partitions = append([]Partition(nil), a.Partitions...)
+	out.Domains, out.DomainCuts = nil, nil
+	for _, cut := range a.DomainCuts {
+		var members []int
+		for v := 0; v < n && v < len(a.Domains); v++ {
+			if a.Domains[v] == cut.Domain {
+				members = append(members, v)
+			}
+		}
+		if len(members) == 0 {
+			continue
+		}
+		if cut.Until == 0 {
+			for _, v := range members {
+				out.Crashes = append(out.Crashes, Crash{Node: v, Round: cut.From})
+			}
+		} else {
+			out.Partitions = append(out.Partitions, Partition{From: cut.From, Until: cut.Until, Side: members})
+		}
+	}
+	return &out
 }
 
 // Crash is a crash-stop fault: Node executes rounds < Round and is
@@ -105,6 +155,9 @@ type partState struct {
 func compileAdversary(a *Adversary, n int) *advState {
 	if a == nil {
 		return nil
+	}
+	if len(a.DomainCuts) > 0 && len(a.Domains) > 0 {
+		a = expandDomainCuts(a, n)
 	}
 	s := &advState{
 		seed:     a.Seed,

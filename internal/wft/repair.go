@@ -157,6 +157,12 @@ type RepairSpec struct {
 	// Entry holds, per joiner, the repair index of the survivor that
 	// bootstraps its attachment. Entries must be survivors.
 	Entry []int
+	// BudgetSlack stretches the halt schedule by this many extra
+	// rounds, giving delayed traffic more time to land before nodes
+	// stop. Retrying callers use it as deterministic backoff: each
+	// attempt runs with a larger slack. Zero reproduces the tight
+	// schedule bit for bit.
+	BudgetSlack int
 }
 
 func (s *RepairSpec) validate() error {
@@ -595,6 +601,9 @@ func NewRepairEngine(spec *RepairSpec, cfg sim.Config) (*sim.Engine, []*RepairNo
 	joinStart := sweepBudget
 	commitStart := joinStart + joinBudget
 	haltAt := commitStart + d1
+	if spec.BudgetSlack > 0 {
+		haltAt += spec.BudgetSlack
+	}
 	if haltAt < 1 {
 		haltAt = 1
 	}

@@ -277,7 +277,9 @@ func buildFast(m *graphx.Multi, ep expander.Params, opt *Options) (*BuildResult,
 // Aborted (with partial statistics) rather than as an error.
 func buildMessageLevel(m *graphx.Multi, ep expander.Params, opt *Options) (*BuildResult, error) {
 	engCfg := sim.Config{Seed: opt.Seed, Sequential: opt.Sequential, Workers: opt.Workers}
-	faults := opt.Faults
+	// Correlated failure domains flatten into plain crashes and
+	// partitions over the build's id space before compilation.
+	faults := opt.Faults.expandDomains(m.N)
 	var crashes []Crash
 	if faults != nil {
 		crashes = faults.materializeCrashes(m.N)

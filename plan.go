@@ -56,6 +56,14 @@ func (g planGrammar) String() string {
 //	crashfrac=F@ROUND  crash a random F-fraction of nodes at ROUND
 //	cut=LO-HI@FROM-TO  partition nodes LO..HI (inclusive) away from the
 //	                   rest during global rounds [FROM, TO) (repeatable)
+//	domains=D          split the id space into D contiguous correlated
+//	                   failure domains (rack-shaped; node v is in
+//	                   domain v·D/n)
+//	domaincut=I@ROUND  crash-stop every node of domain I at ROUND
+//	                   (repeatable; requires domains=)
+//	domaincut=I@F-T    partition domain I away from the rest during
+//	                   global rounds [F, T) (repeatable; requires
+//	                   domains=)
 //
 // Churn directives (any one present makes Plan.Churn non-nil, and the
 // resulting schedule must validate — epochs= is then required):
@@ -67,7 +75,10 @@ func (g planGrammar) String() string {
 //	              names the fault seed here)
 //	rebuild=F     patch-vs-rebuild threshold in (0,1]
 //
-// Every directive except crash= and cut= may appear at most once.
+// Every directive except crash=, cut=, and domaincut= may appear at
+// most once; an exactly repeated domaincut= (same domain, same
+// window) is rejected too, since the identical cut firing twice is
+// always a typo.
 //
 // Example: "drop=0.01,delaymax=3,epochs=10,join=0.02,leave=0.02".
 func ParsePlan(spec string) (*Plan, error) {
@@ -85,8 +96,11 @@ func parsePlanSpec(spec string, g planGrammar) (*Plan, error) {
 	sawFault, sawChurn := false, false
 	// Singleton directives set one field; a repeat would silently
 	// overwrite the earlier value (last-wins), so it is rejected — only
-	// crash= and cut= accumulate.
+	// crash=, cut=, and domaincut= accumulate. domaincut= additionally
+	// rejects an exactly repeated value: the identical cut twice is a
+	// typo, never a schedule.
 	seen := map[string]bool{}
+	seenCuts := map[string]bool{}
 	for _, part := range strings.Split(spec, ",") {
 		part = strings.TrimSpace(part)
 		if part == "" {
@@ -116,12 +130,13 @@ func parsePlanSpec(spec string, g planGrammar) (*Plan, error) {
 		default:
 			switch key {
 			case "seed", "drop", "delay", "delaymax", "crash", "crashfrac", "cut",
+				"domains", "domaincut",
 				"epochs", "join", "leave", "rebuild", "churnseed":
 			default:
 				return nil, fmt.Errorf("overlay: unknown plan directive %q", key)
 			}
 		}
-		singleton := dir != "crash" && dir != "cut"
+		singleton := dir != "crash" && dir != "cut" && dir != "domaincut"
 		if g == grammarFault {
 			// The legacy fault grammar only policed its scalar knobs.
 			singleton = dir == "seed" || dir == "drop" || dir == "delay" ||
@@ -200,6 +215,39 @@ func parsePlanSpec(spec string, g planGrammar) (*Plan, error) {
 			}
 			faults.Partitions = append(faults.Partitions, Partition{From: from, Until: until, Side: side})
 			sawFault = true
+		case "domains":
+			v, err := strconv.Atoi(val)
+			if err != nil || v < 1 {
+				return nil, fmt.Errorf("overlay: domains=%q is not a positive domain count", val)
+			}
+			faults.Domains = v
+			sawFault = true
+		case "domaincut":
+			if seenCuts[val] {
+				return nil, fmt.Errorf("overlay: %s directive domaincut=%s repeated (the identical cut would fire twice)", g, val)
+			}
+			seenCuts[val] = true
+			ds, ws, ok := strings.Cut(val, "@")
+			if !ok {
+				return nil, fmt.Errorf("overlay: domaincut=%q: want DOMAIN@ROUND or DOMAIN@FROM-TO", val)
+			}
+			d, err := strconv.Atoi(ds)
+			if err != nil || d < 0 {
+				return nil, fmt.Errorf("overlay: domaincut domain %q is not a nonnegative id", ds)
+			}
+			if from, until, werr := parseDashPair(ws); werr == nil {
+				if until <= from {
+					return nil, fmt.Errorf("overlay: domaincut window %q: want FROM-TO with FROM < TO", ws)
+				}
+				faults.DomainCuts = append(faults.DomainCuts, DomainCut{Domain: d, From: from, Until: until})
+			} else {
+				r, rerr := strconv.Atoi(ws)
+				if rerr != nil {
+					return nil, fmt.Errorf("overlay: domaincut=%q: want DOMAIN@ROUND or DOMAIN@FROM-TO", val)
+				}
+				faults.DomainCuts = append(faults.DomainCuts, DomainCut{Domain: d, From: r})
+			}
+			sawFault = true
 		case "epochs":
 			v, err := strconv.Atoi(val)
 			if err != nil || v < 1 {
@@ -231,6 +279,14 @@ func parsePlanSpec(spec string, g planGrammar) (*Plan, error) {
 			}
 			churn.Seed = v
 			sawChurn = true
+		}
+	}
+	if len(faults.DomainCuts) > 0 && faults.Domains < 1 {
+		return nil, fmt.Errorf("overlay: domaincut= requires domains= (no domain count declared)")
+	}
+	for _, cut := range faults.DomainCuts {
+		if cut.Domain >= faults.Domains {
+			return nil, fmt.Errorf("overlay: domaincut domain %d out of range (domains=%d declares ids 0..%d)", cut.Domain, faults.Domains, faults.Domains-1)
 		}
 	}
 	out := &Plan{}

@@ -74,6 +74,61 @@ func TestParsePlanErrors(t *testing.T) {
 	}
 }
 
+// TestParsePlanDomains covers the correlated-failure-domain grammar:
+// domains= declares the rack count, domaincut= crashes (ID@ROUND) or
+// partitions (ID@FROM-TO) a whole domain, and every malformed or
+// inconsistent spelling is rejected with an exact, actionable error.
+func TestParsePlanDomains(t *testing.T) {
+	p, err := ParsePlan("seed=9,domains=16,domaincut=5@30,domaincut=2@40-90")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Faults == nil || p.Faults.Domains != 16 {
+		t.Fatalf("domain count not parsed: %+v", p.Faults)
+	}
+	want := []DomainCut{{Domain: 5, From: 30}, {Domain: 2, From: 40, Until: 90}}
+	if !reflect.DeepEqual(p.Faults.DomainCuts, want) {
+		t.Fatalf("domain cuts %+v, want %+v", p.Faults.DomainCuts, want)
+	}
+
+	for _, c := range []struct{ spec, wantErr string }{
+		{"domains=0", "not a positive domain count"},
+		{"domains=x", "not a positive domain count"},
+		{"domains=4,domains=8", "directive domains= repeated"},
+		{"domains=4,domaincut=1@10,domaincut=1@10", "repeated (the identical cut would fire twice)"},
+		{"domaincut=1@10", "domaincut= requires domains="},
+		{"domains=4,domaincut=4@10", "out of range (domains=4 declares ids 0..3)"},
+		{"domains=4,domaincut=-1@10", "not a nonnegative id"},
+		{"domains=4,domaincut=1@50-20", "want FROM-TO with FROM < TO"},
+		{"domains=4,domaincut=1@20-20", "want FROM-TO with FROM < TO"},
+		{"domains=4,domaincut=1", "want DOMAIN@ROUND or DOMAIN@FROM-TO"},
+		{"domains=4,domaincut=1@x", "want DOMAIN@ROUND or DOMAIN@FROM-TO"},
+	} {
+		_, err := ParsePlan(c.spec)
+		if err == nil {
+			t.Errorf("spec %q parsed without error", c.spec)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("spec %q: error %q does not contain %q", c.spec, err, c.wantErr)
+		}
+	}
+
+	// Repeating domaincut= with *different* cuts is legal (it is a list
+	// directive, like crash= and cut=).
+	if _, err := ParsePlan("domains=4,domaincut=1@10,domaincut=1@20"); err != nil {
+		t.Errorf("distinct cuts on one domain rejected: %v", err)
+	}
+
+	// The legacy wrappers never learn the domain grammar.
+	if _, err := ParseFaultPlan("domains=4"); err == nil {
+		t.Error("ParseFaultPlan accepted domains=")
+	}
+	if _, err := ParseChurnPlan("epochs=2,domaincut=1@10"); err == nil {
+		t.Error("ParseChurnPlan accepted domaincut=")
+	}
+}
+
 // TestParsePlanMatchesLegacyParsers: the deprecated wrappers and the
 // unified grammar are modes of one parser; a spec legal in both must
 // produce identical plans.

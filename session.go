@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 
 	"overlay/internal/graphx"
 	"overlay/internal/overlays"
@@ -58,6 +59,20 @@ type SessionOptions struct {
 	// and messages. A measured patch the adversary defeats falls back
 	// to a full rebuild, with both costs on the epoch's bill.
 	Accounting Accounting
+	// PatchRetries and RebuildRetries size the epoch recovery ladder.
+	// A defeated measured patch is retried up to PatchRetries times,
+	// each retry running with a re-derived fate/seed stream, a fault
+	// plan shifted past the rounds the failed attempts consumed, and a
+	// growing round-budget slack (deterministic backoff); the ladder
+	// then falls to the recovery rebuild, itself retried up to
+	// RebuildRetries times the same way. Zero (the default) keeps the
+	// pre-ladder semantics: one patch attempt, one fallback rebuild.
+	// When every rung fails, ApplyEpoch rolls the session back to its
+	// pre-epoch checkpoint and returns the aborted bill alongside a
+	// reasoned error — the session keeps serving lookups from the last
+	// committed state.
+	PatchRetries   int
+	RebuildRetries int
 }
 
 // DefaultRebuildFraction is the patch-vs-rebuild threshold used when
@@ -85,10 +100,24 @@ type EpochBill struct {
 	// Bill is the epoch's unified cost accounting: charged estimates
 	// for Charged-mode patches, engine measurements for Measured-mode
 	// patches and message-level rebuilds. Bill.Path names the path
-	// taken in detail.
+	// taken in detail; an epoch that climbed the recovery ladder joins
+	// the attempts with "+" and compresses repeats as "×N", e.g.
+	// "patch/measured×2+rebuild/measured".
 	Bill
 	// Clock is the session's global round count after the epoch.
 	Clock int
+	// Attempts counts the recovery-ladder rungs the epoch ran — always
+	// at least 1, and exactly 1 for an epoch whose first attempt
+	// committed. AttemptBills itemizes each rung's own cost, in ladder
+	// order; the embedded Bill is their fold.
+	Attempts     int
+	AttemptBills []Bill
+	// Aborted reports that every ladder rung failed: the session was
+	// rolled back to its pre-epoch checkpoint and AbortReason joins
+	// the per-rung defeat reasons. ApplyEpoch returns the aborted bill
+	// alongside its error; aborted bills are never appended to Bills.
+	Aborted     bool
+	AbortReason string
 }
 
 // Session is a live overlay under maintenance. All exported methods
@@ -96,10 +125,12 @@ type EpochBill struct {
 // original build for founding members, and whatever integers later
 // epochs admitted for joiners.
 type Session struct {
-	rebuildFrac float64
-	build       Options
-	faults      *FaultPlan
-	accounting  Accounting
+	rebuildFrac    float64
+	build          Options
+	faults         *FaultPlan
+	accounting     Accounting
+	patchRetries   int
+	rebuildRetries int
 
 	// expander retains the original build's evolved graph (input-index
 	// space): rebuild epochs widen their substrate with its surviving
@@ -115,6 +146,13 @@ type Session struct {
 	clock  *sim.Clock
 	nextID int
 	bills  []EpochBill
+
+	// departed records every identifier that was once part of this
+	// session's world and is gone: id → the epoch it left or crashed
+	// in, or -1 for founders who died during the initial build.
+	// RouteLookup uses it to distinguish a departed endpoint from one
+	// that never existed.
+	departed map[int]int
 }
 
 // Open starts a maintenance session over a completed build. The
@@ -141,6 +179,9 @@ func Open(res *BuildResult, opt *SessionOptions) (*Session, error) {
 	if opt.Accounting < Charged || opt.Accounting > Measured {
 		return nil, fmt.Errorf("overlay: SessionOptions.Accounting %d is not Charged or Measured", opt.Accounting)
 	}
+	if opt.PatchRetries < 0 || opt.RebuildRetries < 0 {
+		return nil, fmt.Errorf("overlay: negative retry counts (PatchRetries %d, RebuildRetries %d)", opt.PatchRetries, opt.RebuildRetries)
+	}
 	frac := opt.RebuildFraction
 	if frac == 0 {
 		frac = DefaultRebuildFraction
@@ -162,16 +203,29 @@ func Open(res *BuildResult, opt *SessionOptions) (*Session, error) {
 	if res.expander != nil && res.expander.N > nextID {
 		nextID = res.expander.N
 	}
+	// Correlated failure domains are assigned over the build's input
+	// id space; flattening the plan here means every later shift into
+	// epoch-local clocks and index spaces sees only plain crashes and
+	// partitions.
 	s := &Session{
-		rebuildFrac: frac,
-		build:       opt.Build,
-		faults:      opt.Build.Faults,
-		accounting:  opt.Accounting,
-		expander:    res.expander,
-		members:     members,
-		tree:        copyTree(res.Tree),
-		clock:       sim.NewClock(opt.Build.Seed),
-		nextID:      nextID,
+		rebuildFrac:    frac,
+		build:          opt.Build,
+		faults:         opt.Build.Faults.expandDomains(nextID),
+		accounting:     opt.Accounting,
+		patchRetries:   opt.PatchRetries,
+		rebuildRetries: opt.RebuildRetries,
+		expander:       res.expander,
+		members:        members,
+		tree:           copyTree(res.Tree),
+		clock:          sim.NewClock(opt.Build.Seed),
+		nextID:         nextID,
+		departed:       map[int]int{},
+	}
+	// Founders the faulted build killed are departed from the start.
+	for id := 0; id < nextID; id++ {
+		if _, ok := s.memberIndex(id); !ok {
+			s.departed[id] = -1
+		}
 	}
 	s.clock.Advance(res.Stats.Rounds)
 	return s, nil
@@ -220,21 +274,46 @@ func (s *Session) Chord() [][2]int {
 	return out
 }
 
+// ErrDeparted reports a lookup endpoint that was once part of the
+// session's world but left or crashed; the wrapping error says when.
+var ErrDeparted = errors.New("overlay: lookup endpoint departed the session")
+
+// ErrNotMember reports a lookup endpoint this session has never seen:
+// neither a current member nor a recorded departure.
+var ErrNotMember = errors.New("overlay: lookup endpoint was never a member of this session")
+
 // RouteLookup returns the greedy Chord routing path between two
-// current members as a global-identifier sequence of length O(log n),
-// or nil if either endpoint is not a member.
-func (s *Session) RouteLookup(from, to int) []int {
+// current members as a global-identifier sequence of length O(log n).
+// A non-member endpoint yields a reasoned error: one wrapping
+// ErrDeparted (naming the epoch the node left or crashed in, or the
+// initial build) when the identifier was once part of the session,
+// and one wrapping ErrNotMember when it never was.
+func (s *Session) RouteLookup(from, to int) ([]int, error) {
 	fi, ok1 := s.memberIndex(from)
 	ti, ok2 := s.memberIndex(to)
-	if !ok1 || !ok2 {
-		return nil
+	if !ok1 {
+		return nil, s.lookupErr(from)
+	}
+	if !ok2 {
+		return nil, s.lookupErr(to)
 	}
 	ranks := overlays.RouteChord(len(s.members), s.tree.Rank[fi], s.tree.Rank[ti])
 	path := make([]int, len(ranks))
 	for i, r := range ranks {
 		path[i] = s.members[s.tree.NodeAt[r]]
 	}
-	return path
+	return path, nil
+}
+
+// lookupErr explains why a non-member identifier cannot be routed to.
+func (s *Session) lookupErr(id int) error {
+	if e, ok := s.departed[id]; ok {
+		if e < 0 {
+			return fmt.Errorf("%w: node %d crashed during the initial build", ErrDeparted, id)
+		}
+		return fmt.Errorf("%w: node %d left or crashed in epoch %d", ErrDeparted, id, e)
+	}
+	return fmt.Errorf("%w: node %d", ErrNotMember, id)
 }
 
 // memberIndex locates a global identifier in the ascending member
@@ -247,6 +326,65 @@ func (s *Session) memberIndex(id int) (int, bool) {
 	return 0, false
 }
 
+// Checkpoint is a restorable snapshot of a session's committed state:
+// membership, the well-formed tree (topology, ranks, and thereby the
+// Chord fingers), the per-epoch bills, the departure record, and the
+// session clock. The retained expander substrate is shared, not
+// copied — it is immutable for the session's lifetime. A checkpoint
+// is reusable: Restore copies out of it, so the same checkpoint can
+// roll the session back more than once.
+type Checkpoint struct {
+	owner    *Session
+	members  []int
+	tree     *Tree
+	clock    sim.Clock
+	nextID   int
+	bills    []EpochBill
+	departed map[int]int
+}
+
+// Checkpoint snapshots the session's current committed state.
+// ApplyEpoch takes one internally before every epoch and restores it
+// when the whole recovery ladder fails; callers can take their own to
+// re-apply an epoch later or to bracket experiments.
+func (s *Session) Checkpoint() *Checkpoint {
+	departed := make(map[int]int, len(s.departed))
+	for id, e := range s.departed {
+		departed[id] = e
+	}
+	return &Checkpoint{
+		owner:    s,
+		members:  append([]int(nil), s.members...),
+		tree:     copyTree(s.tree),
+		clock:    s.clock.Snapshot(),
+		nextID:   s.nextID,
+		bills:    append([]EpochBill(nil), s.bills...),
+		departed: departed,
+	}
+}
+
+// Restore rolls the session back to a checkpoint previously taken
+// from it. Restoring a foreign (or nil) checkpoint is an error and
+// leaves the session untouched. After a restore the session serves
+// lookups, bills, and epochs exactly as it did when the checkpoint
+// was taken — bit for bit.
+func (s *Session) Restore(cp *Checkpoint) error {
+	if cp == nil || cp.owner != s {
+		return errors.New("overlay: Restore needs a checkpoint taken from this session")
+	}
+	s.members = append([]int(nil), cp.members...)
+	s.tree = copyTree(cp.tree)
+	s.clock.Restore(cp.clock)
+	s.nextID = cp.nextID
+	s.bills = append([]EpochBill(nil), cp.bills...)
+	departed := make(map[int]int, len(cp.departed))
+	for id, e := range cp.departed {
+		departed[id] = e
+	}
+	s.departed = departed
+	return nil
+}
+
 // ApplyEpoch advances the session by one churn epoch: the listed
 // members leave (crash-stop semantics: they say no goodbyes) and the
 // listed fresh identifiers join. On return the session holds a
@@ -254,11 +392,20 @@ func (s *Session) memberIndex(id int) (int, bool) {
 // appended to Bills; on error the session is unchanged. Joins and
 // leaves may arrive in any order but must be disjoint, duplicate-free,
 // and — for leaves — current members (joins must be non-members).
+//
+// A defeated epoch climbs the recovery ladder (see
+// SessionOptions.PatchRetries/RebuildRetries). When every rung fails,
+// the session rolls back to its pre-epoch checkpoint and ApplyEpoch
+// returns the aborted bill (Aborted set, every attempt itemized)
+// together with a reasoned error: the caller can re-apply the epoch
+// or keep serving lookups from the last committed state. Invalid
+// arguments return (nil, error) without consuming an epoch.
 func (s *Session) ApplyEpoch(joins, leaves []int) (*EpochBill, error) {
 	joins, leaves, err := s.checkEpochArgs(joins, leaves)
 	if err != nil {
 		return nil, err
 	}
+	cp := s.Checkpoint()
 	k0 := len(s.members)
 	churned := float64(len(joins)+len(leaves)) / float64(k0)
 	epoch, seed := s.clock.NextEpoch()
@@ -269,21 +416,23 @@ func (s *Session) ApplyEpoch(joins, leaves []int) (*EpochBill, error) {
 		ChurnedFraction: churned,
 		Rebuilt:         churned > s.rebuildFrac,
 	}
-	if bill.Rebuilt {
-		err = s.rebuildEpoch(joins, leaves, seed, bill)
-	} else {
-		err = s.patchEpoch(joins, leaves, seed, bill)
-	}
-	if err != nil {
-		// The epoch failed; roll the clock's epoch counter forward
-		// anyway? No: the session must stay replayable, and a failed
-		// epoch changed nothing, so the counter must not advance either.
-		s.clock.RetractEpoch()
+	if err := s.runEpochLadder(joins, leaves, seed, bill); err != nil {
+		// Hard specification error (not an adversary defeat): the
+		// session must stay replayable, so the epoch counter must not
+		// advance either.
+		s.Restore(cp)
 		return nil, err
+	}
+	if bill.Aborted {
+		s.Restore(cp)
+		bill.Members = len(s.members)
+		bill.Clock = s.clock.Round()
+		return bill, fmt.Errorf("overlay: epoch %d aborted after %d attempts: %s; session rolled back to the pre-epoch checkpoint", epoch, bill.Attempts, bill.AbortReason)
 	}
 	bill.Members = len(s.members)
 	s.clock.Advance(bill.Rounds)
 	bill.Clock = s.clock.Round()
+	s.noteDepartures(epoch, cp.members, joins)
 	if len(joins) > 0 {
 		if last := joins[len(joins)-1]; last >= s.nextID {
 			s.nextID = last + 1
@@ -291,6 +440,139 @@ func (s *Session) ApplyEpoch(joins, leaves []int) (*EpochBill, error) {
 	}
 	s.bills = append(s.bills, *bill)
 	return bill, nil
+}
+
+// noteDepartures records everyone who was in the epoch's world — a
+// pre-epoch member or a scheduled joiner — and is absent from the
+// committed membership: scheduled leavers, rebuild casualties, and
+// joiners a faulted rebuild killed before they arrived.
+func (s *Session) noteDepartures(epoch int, prevMembers, joins []int) {
+	mark := func(id int) {
+		if _, ok := s.memberIndex(id); !ok {
+			s.departed[id] = epoch
+		}
+	}
+	for _, id := range prevMembers {
+		mark(id)
+	}
+	for _, id := range joins {
+		mark(id)
+	}
+}
+
+// runEpochLadder executes the epoch's recovery ladder: the patch
+// rungs (measured epochs only — a charged or no-op patch is analytic
+// and cannot be defeated), then the rebuild rungs. Each rung runs
+// with a per-attempt derived seed and fate stream, a fault plan
+// shifted past the rounds earlier failed rungs consumed, and — for
+// patch rungs — a growing round-budget slack. The first rung that
+// commits wins; its state is already applied when this returns. When
+// every rung fails, bill.Aborted is set with every attempt itemized
+// and the session left for the caller to roll back. A non-nil error
+// is a hard specification failure, never an adversary defeat.
+func (s *Session) runEpochLadder(joins, leaves []int, seed uint64, bill *EpochBill) error {
+	measuredPatch := !bill.Rebuilt && s.accounting == Measured && len(joins)+len(leaves) > 0
+	if !bill.Rebuilt && !measuredPatch {
+		// No-op and charged patches commit analytically in one attempt.
+		if err := s.patchEpoch(joins, leaves, seed, bill); err != nil {
+			return err
+		}
+		bill.Attempts = 1
+		bill.AttemptBills = []Bill{bill.Bill}
+		return nil
+	}
+
+	var attempts []Bill
+	var reasons []string
+	spent := 0 // rounds consumed by failed attempts, advancing each retry's fault-plan offset
+	commit := func(b Bill, rebuilt bool) {
+		attempts = append(attempts, b)
+		bill.Rebuilt = bill.Rebuilt || rebuilt
+		sealLadderBill(bill, attempts)
+	}
+	fail := func(b Bill, kind string, reason error) {
+		b.Itemized += fmt.Sprintf("%-28s %v\n", kind+" aborted", reason)
+		attempts = append(attempts, b)
+		spent += b.Rounds
+		reasons = append(reasons, fmt.Sprintf("measured %s aborted (%v)", kind, reason))
+	}
+
+	if measuredPatch {
+		for a := 0; a <= s.patchRetries; a++ {
+			b, reason, err := s.patchMeasuredAttempt(joins, leaves, attemptSeed(seed, 0x9a7c, a), bill.Epoch, a, spent)
+			if err != nil {
+				return err
+			}
+			if reason == nil {
+				commit(b, false)
+				return nil
+			}
+			fail(b, "patch", reason)
+		}
+	}
+	for a := 0; a <= s.rebuildRetries; a++ {
+		b, reason, err := s.rebuildAttempt(joins, leaves, attemptSeed(seed, 0x4eb1, a), bill, a, spent)
+		if err != nil {
+			return err
+		}
+		if reason == nil {
+			commit(b, true)
+			return nil
+		}
+		fail(b, "rebuild", reason)
+	}
+	bill.Aborted = true
+	bill.AbortReason = compressRuns(reasons, "; ")
+	sealLadderBill(bill, attempts)
+	return nil
+}
+
+// attemptSeed derives rung a's seed: attempt 0 uses the epoch seed
+// verbatim (so single-attempt epochs reproduce the pre-ladder runs
+// bit for bit), later attempts split a fresh stream per rung.
+func attemptSeed(seed, label uint64, a int) uint64 {
+	if a == 0 {
+		return seed
+	}
+	return rng.New(seed).Split(label + uint64(a)).Uint64()
+}
+
+// sealLadderBill folds the attempt bills into the epoch's unified
+// bill and stamps the ladder path.
+func sealLadderBill(bill *EpochBill, attempts []Bill) {
+	bill.Attempts = len(attempts)
+	bill.AttemptBills = attempts
+	var total Bill
+	for _, a := range attempts {
+		total.add(a)
+	}
+	paths := make([]string, len(attempts))
+	for i, a := range attempts {
+		paths[i] = a.Path
+	}
+	total.Path = compressRuns(paths, "+")
+	bill.Bill = total
+}
+
+// compressRuns joins the parts with sep, compressing consecutive
+// repeats as "part×N" — the bill's ladder-path grammar. A single
+// part comes back verbatim, so one-attempt epochs keep the familiar
+// path strings.
+func compressRuns(parts []string, sep string) string {
+	var out []string
+	for i := 0; i < len(parts); {
+		j := i
+		for j < len(parts) && parts[j] == parts[i] {
+			j++
+		}
+		p := parts[i]
+		if j-i > 1 {
+			p = fmt.Sprintf("%s×%d", p, j-i)
+		}
+		out = append(out, p)
+		i = j
+	}
+	return strings.Join(out, sep)
 }
 
 // checkEpochArgs validates and normalizes (sorts copies of) the epoch
@@ -399,9 +681,6 @@ func (s *Session) patchEpoch(joins, leaves []int, seed uint64, bill *EpochBill) 
 	if err != nil {
 		return fmt.Errorf("overlay: epoch patch failed: %w", err)
 	}
-	if s.accounting == Measured {
-		return s.patchMeasured(joins, leaves, seed, bill, old, rt, deadMask, newMembers, newOf, depth0)
-	}
 
 	bill.Path = "patch/charged"
 	rounds, itemized := 0, ""
@@ -448,20 +727,38 @@ func (s *Session) patchEpoch(joins, leaves []int, seed uint64, bill *EpochBill) 
 	return nil
 }
 
-// patchMeasured runs the patch epoch as a real wire protocol
+// patchMeasuredAttempt runs one patch rung as a real wire protocol
 // (wft.NewRepairEngine) instead of charging the cost model: the
 // census/commit sweep, the finger-routed joiner attachment, and the
 // commit broadcast execute round by round on the engine, under the
-// session fault plan shifted into the epoch's clock and repair index
-// space (fate phase 3 — the build phases used 1 and 2). With a zero
-// adversary the protocol reproduces the charged path's topology bit
-// for bit; a defeated repair falls back to a full rebuild with both
-// costs accumulated on the bill.
-func (s *Session) patchMeasured(joins, leaves []int, seed uint64, bill *EpochBill, old, rt *wft.Tree, deadMask []bool, newMembers, newOf []int, depth0 int) error {
+// session fault plan shifted into the attempt's clock offset and
+// repair index space (fate phase 3 — the build phases used 1 and 2).
+// With a zero adversary the protocol reproduces the charged path's
+// topology bit for bit. seed is the rung's derived seed; spent is the
+// rounds earlier failed rungs consumed (advancing the fault-plan
+// offset), and attempt > 0 re-derives the fate stream and stretches
+// the engine budget (backoff). A committed attempt applies the new
+// state and returns a nil reason; a defeated one returns its wasted
+// bill and the defeat reason. A non-nil error is a hard failure.
+func (s *Session) patchMeasuredAttempt(joins, leaves []int, seed uint64, epoch, attempt, spent int) (Bill, error, error) {
+	dead, _, newMembers, newOf := s.epochPartition(joins, leaves)
+	var deadMask []bool
+	if len(leaves) > 0 {
+		deadMask = dead
+	}
+	old := &wft.Tree{Root: s.tree.Root, Rank: s.tree.Rank, NodeAt: s.tree.NodeAt, Parent: s.tree.Parent}
+	depth0 := old.Depth()
+	rt, err := wft.Repair(old, deadMask, len(joins))
+	if err != nil {
+		return Bill{}, nil, fmt.Errorf("overlay: epoch patch failed: %w", err)
+	}
 	j := len(joins)
 	k1 := len(newMembers)
 	s0 := k1 - j
 	spec := &wft.RepairSpec{Survivors: s0, Joiners: j, OldDepth: depth0, NewRank: rt.Rank}
+	if attempt > 0 {
+		spec.BudgetSlack = attempt * (sim.LogBound(k1) + 4)
+	}
 	if deadMask != nil {
 		spec.SweepParent = wft.SweepParents(old, deadMask)
 	}
@@ -481,7 +778,12 @@ func (s *Session) patchMeasured(joins, leaves []int, seed uint64, bill *EpochBil
 		cfg.SendCap, cfg.RecvCap = c, c
 	}
 	if s.faults != nil {
-		q := s.faults.shiftForEpoch(s.clock.Round(), bill.Epoch, newMembers)
+		q := s.faults.shiftForEpoch(s.clock.Round()+spent, epoch, newMembers)
+		if attempt > 0 {
+			// Retry rungs draw a fresh fate stream: replaying the defeated
+			// attempt's exact drop/delay pattern could never converge.
+			q.Seed = rng.New(q.Seed).Split(uint64(attempt) + 0xfa7e).Uint64()
+		}
 		// shiftForEpoch speaks new-member-local indices; the engine
 		// runs in repair-index space (survivors first, then joiners).
 		repairOf := make([]int, k1)
@@ -501,7 +803,7 @@ func (s *Session) patchMeasured(joins, leaves []int, seed uint64, bill *EpochBil
 	}
 	eng, protos, budget, err := wft.NewRepairEngine(spec, cfg)
 	if err != nil {
-		return fmt.Errorf("overlay: epoch patch failed: %w", err)
+		return Bill{}, nil, fmt.Errorf("overlay: epoch patch failed: %w", err)
 	}
 	eng.Run(budget)
 	m := eng.Metrics()
@@ -520,51 +822,40 @@ func (s *Session) patchMeasured(joins, leaves []int, seed uint64, bill *EpochBil
 		FaultDelays:         m.FaultDelays,
 		ProtocolAnomalies:   anomalies,
 	}
-	item := fmt.Sprintf("%-28s %5d rounds  %9d msgs (measured)\n", "patch repair protocol", patch.Rounds, patch.Messages)
+	patch.Itemized = fmt.Sprintf("%-28s %5d rounds  %9d msgs (measured)\n", "patch repair protocol", patch.Rounds, patch.Messages)
 	if patch.FaultDrops+patch.FaultDelays+patch.CapacityDrops > 0 {
-		item += fmt.Sprintf("%-28s dropped=%d delayed=%d capped=%d\n", "  fault plane", patch.FaultDrops, patch.FaultDelays, patch.CapacityDrops)
+		patch.Itemized += fmt.Sprintf("%-28s dropped=%d delayed=%d capped=%d\n", "  fault plane", patch.FaultDrops, patch.FaultDelays, patch.CapacityDrops)
 	}
 	mt, err := wft.ExtractRepair(spec, protos)
 	if err != nil {
-		// The adversary defeated the repair: recover with a full
-		// rebuild over the survivors, keeping the wasted patch traffic
-		// on the bill. The rebuild re-shifts the fault plan from the
-		// same clock offset the patch used — crashes that fired during
-		// the failed patch are simply dead from the rebuild's start.
-		reason := err
-		if ferr := s.rebuildEpoch(joins, leaves, seed, bill); ferr != nil {
-			return fmt.Errorf("overlay: measured patch aborted (%v); fallback rebuild failed: %w", reason, ferr)
-		}
-		bill.Rebuilt = true
-		rebuilt := bill.Bill
-		rebuiltItem := bill.Itemized
-		bill.Bill = patch
-		bill.Bill.add(rebuilt)
-		bill.Itemized = item +
-			fmt.Sprintf("%-28s %v\n", "patch aborted", reason) +
-			rebuiltItem
-		return nil
+		// The adversary defeated the repair: hand the wasted traffic
+		// and the reason back to the ladder, which decides whether to
+		// retry the patch or fall to the recovery rebuild.
+		return patch, err, nil
 	}
 	s.members = newMembers
 	s.tree = relabelTree(mt, newOf)
-	bill.Bill = patch
-	bill.Itemized = item
-	return nil
+	return patch, nil, nil
 }
 
-// rebuildEpoch is the recovery path: a full BuildTree over the
-// survivors' current Chord overlay plus one bootstrap edge per joiner
-// (each joiner knows a deterministic existing member — the knowledge
-// graph a fresh node realistically starts from). The build runs on
-// the epoch's derived seed; a session fault plan is shifted into the
-// rebuild's local clock and index space, and its casualties shrink the
-// membership beyond the scheduled leavers.
-func (s *Session) rebuildEpoch(joins, leaves []int, seed uint64, bill *EpochBill) error {
+// rebuildAttempt is one rung of the recovery path: a full BuildTree
+// over the survivors' current Chord overlay plus one bootstrap edge
+// per joiner (each joiner knows a deterministic existing member — the
+// knowledge graph a fresh node realistically starts from). The build
+// runs on the rung's derived seed; a session fault plan is shifted
+// into the rebuild's local clock (past the spent rounds of earlier
+// failed rungs) and index space, with attempt > 0 re-deriving the
+// fate stream. A committed rebuild applies the new state (its
+// casualties shrink the membership beyond the scheduled leavers,
+// counted into bill.Left) and returns a nil reason; an
+// adversary-aborted one returns its partial bill and the abort
+// reason. A non-nil error is a hard failure that ends the ladder.
+func (s *Session) rebuildAttempt(joins, leaves []int, seed uint64, bill *EpochBill, attempt, spent int) (Bill, error, error) {
 	_, survivors, newMembers, newOf := s.epochPartition(joins, leaves)
 	s0 := len(survivors)
 	k1 := len(newMembers)
 	if s0 == 0 {
-		return errors.New("overlay: rebuild has no survivors to anchor on")
+		return Bill{}, nil, errors.New("overlay: rebuild has no survivors to anchor on")
 	}
 
 	// Survivor substrate: the current finger ring, restricted to
@@ -618,14 +909,27 @@ func (s *Session) rebuildEpoch(joins, leaves []int, seed uint64, bill *EpochBill
 	opts := s.build
 	opts.Seed = seed
 	if s.faults != nil {
-		opts.Faults = s.faults.shiftForEpoch(s.clock.Round(), bill.Epoch, newMembers)
+		q := s.faults.shiftForEpoch(s.clock.Round()+spent, bill.Epoch, newMembers)
+		if attempt > 0 {
+			// Retry rungs draw a fresh fate stream, like the patch rungs.
+			q.Seed = rng.New(q.Seed).Split(uint64(attempt) + 0xfa7e).Uint64()
+		}
+		opts.Faults = q
 	}
 	res, err := BuildTree(g, &opts)
 	if err != nil {
-		return fmt.Errorf("overlay: epoch rebuild failed: %w", err)
+		return Bill{}, nil, fmt.Errorf("overlay: epoch rebuild failed: %w", err)
+	}
+	b := res.Stats.Bill
+	mode := "charged"
+	b.Path = "rebuild/fast"
+	if opts.MessageLevel {
+		mode = "measured"
+		b.Path = "rebuild/measured"
 	}
 	if res.Aborted {
-		return fmt.Errorf("overlay: epoch rebuild aborted: %s", res.AbortReason)
+		b.Itemized = fmt.Sprintf("%-28s %5d rounds  %9d msgs (%s)\n", "rebuild attempt (BuildTree)", b.Rounds, b.Messages, mode)
+		return b, errors.New(res.AbortReason), nil
 	}
 	if res.Survivors != nil {
 		picked := make([]int, len(res.Survivors))
@@ -637,15 +941,8 @@ func (s *Session) rebuildEpoch(joins, leaves []int, seed uint64, bill *EpochBill
 	}
 	s.members = newMembers
 	s.tree = copyTree(res.Tree)
-	bill.Bill = res.Stats.Bill
-	mode := "charged"
-	bill.Path = "rebuild/fast"
-	if opts.MessageLevel {
-		mode = "measured"
-		bill.Path = "rebuild/measured"
-	}
-	bill.Itemized = fmt.Sprintf("%-28s %5d rounds  %9d msgs (%s)\n", "full rebuild (BuildTree)", bill.Rounds, bill.Messages, mode)
-	return nil
+	b.Itemized = fmt.Sprintf("%-28s %5d rounds  %9d msgs (%s)\n", "full rebuild (BuildTree)", b.Rounds, b.Messages, mode)
+	return b, nil, nil
 }
 
 // copyTree deep-copies a tree.

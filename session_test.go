@@ -1,7 +1,9 @@
 package overlay
 
 import (
+	"errors"
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -225,7 +227,10 @@ func TestSessionRouteLookup(t *testing.T) {
 	}
 	members := sess.Members()
 	from, to := members[5], 502
-	path := sess.RouteLookup(from, to)
+	path, err := sess.RouteLookup(from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(path) == 0 || path[0] != from || path[len(path)-1] != to {
 		t.Fatalf("path %v does not connect %d -> %d", path, from, to)
 	}
@@ -241,11 +246,16 @@ func TestSessionRouteLookup(t *testing.T) {
 			t.Fatalf("path routes through non-member %d", id)
 		}
 	}
-	if sess.RouteLookup(3, from) != nil {
-		t.Error("lookup from a departed member did not return nil")
+	// Non-member endpoints return reasoned errors: a departed member is
+	// distinguished from an identifier the session has never seen, and
+	// the departure error names the epoch.
+	if p, err := sess.RouteLookup(3, from); p != nil || !errors.Is(err, ErrDeparted) {
+		t.Errorf("lookup from departed member 3: path %v, err %v; want nil path wrapping ErrDeparted", p, err)
+	} else if !strings.Contains(err.Error(), "epoch 0") {
+		t.Errorf("departure error %q does not name epoch 0", err)
 	}
-	if sess.RouteLookup(from, 999) != nil {
-		t.Error("lookup to a never-joined id did not return nil")
+	if p, err := sess.RouteLookup(from, 999); p != nil || !errors.Is(err, ErrNotMember) {
+		t.Errorf("lookup to never-joined id 999: path %v, err %v; want nil path wrapping ErrNotMember", p, err)
 	}
 }
 
