@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-guard bench-scale profile fmt fmt-fix vet cover scenario-smoke ci
+.PHONY: all build test race bench bench-json bench-guard bench-scale profile fmt fmt-fix vet cover scenario-smoke service-smoke service-bench ci
 
 # The committed coverage floor (total statement coverage, percent).
 # Raise it when coverage rises; CI fails below it.
@@ -59,6 +59,18 @@ cover:
 scenario-smoke:
 	SCENARIO_N=4096 $(GO) test -race -timeout 20m -run 'TestCannedScenarios|TestScenarioFuzzSmoke' -v ./internal/scenario
 
+# The service smoke: overlayd under the race detector, closed-loop
+# loadgen with a churn+fault plan applied over the wire mid-run, a
+# load burst overlapping the SIGTERM drain, and a clean exit-0
+# shutdown (zero hung requests, zero dropped-on-floor errors).
+service-smoke:
+	bash scripts/service_smoke.sh
+
+# Regenerate the `service` section of BENCH_results.json (the
+# closed-loop lookups/sec baseline cmd/benchguard fences).
+service-bench:
+	bash scripts/service_bench.sh
+
 # Fail (like CI) when any file needs formatting.
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; fi
@@ -69,4 +81,4 @@ fmt-fix:
 vet:
 	$(GO) vet ./...
 
-ci: fmt vet build race bench bench-guard cover scenario-smoke
+ci: fmt vet build race bench bench-guard cover scenario-smoke service-smoke

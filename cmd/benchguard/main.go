@@ -20,10 +20,14 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"time"
@@ -31,6 +35,7 @@ import (
 	overlay "overlay"
 	"overlay/internal/benchops"
 	"overlay/internal/experiments"
+	"overlay/internal/service"
 )
 
 type baselineResult struct {
@@ -46,14 +51,20 @@ type baselineReport struct {
 	E12ScaleNs      []int            `json:"e12_scale_ns"`
 	Results         []baselineResult `json:"results"`
 	GraphMicrobench []baselineResult `json:"graph_microbench"`
+	// Service is the loadgen-recorded closed-loop section; the guard
+	// re-drives the same lookup workload against an in-process server
+	// and fences its throughput (loosely — wall-clock noise — but
+	// errors are fenced at zero).
+	Service *benchops.ServiceResult `json:"service"`
 }
 
 func main() {
 	log.SetFlags(0)
 	var (
-		baseline = flag.String("baseline", "BENCH_results.json", "committed baseline file")
-		factor   = flag.Float64("factor", 2.0, "fail when fresh E12 mallocs exceed baseline by this factor")
-		workers  = flag.Int("workers", 1, "engine worker pool for the guard run (keep 1: sequential allocation counts are core-count independent)")
+		baseline      = flag.String("baseline", "BENCH_results.json", "committed baseline file")
+		factor        = flag.Float64("factor", 2.0, "fail when fresh E12 mallocs exceed baseline by this factor")
+		workers       = flag.Int("workers", 1, "engine worker pool for the guard run (keep 1: sequential allocation counts are core-count independent)")
+		serviceFactor = flag.Float64("service-factor", 10, "fail when the service lookups/sec fall below baseline by this factor (loose: wall clock is noisy)")
 	)
 	flag.Parse()
 
@@ -144,8 +155,74 @@ func main() {
 		fail = true
 	}
 
+	// Fence the service plane: re-drive the closed-loop RouteLookup
+	// workload loadgen recorded, against an in-process server, and
+	// require (a) zero unexpected errors — the fair-termination
+	// contract — and (b) throughput within -service-factor of the
+	// baseline. The factor is deliberately loose: lookups/sec is wall
+	// clock, and CI machines are noisy; a 10x collapse is a real
+	// regression, a 2x wobble is a shared runner.
+	if base.Service == nil {
+		log.Fatalf("%s has no service section to guard against; generate it with `make service-bench`", *baseline)
+	}
+	sres, err := guardService(base.Seed)
+	if err != nil {
+		log.Fatalf("service guard run failed: %v", err)
+	}
+	floor := base.Service.LookupsPerSec / *serviceFactor
+	fmt.Printf("service: %.0f lookups/s, p99 %.3fms, %d errors (baseline %.0f/s, floor 1/%.0fx = %.0f/s)\n",
+		sres.LookupsPerSec, sres.P99Ms, sres.Errors, base.Service.LookupsPerSec, *serviceFactor, floor)
+	if sres.Errors > 0 {
+		fmt.Printf("FAIL: service guard run dropped %d requests on the floor\n", sres.Errors)
+		fail = true
+	}
+	if sres.LookupsPerSec < floor {
+		fmt.Printf("FAIL: service lookups/s regressed more than %.0fx\n", *serviceFactor)
+		fail = true
+	}
+
 	if fail {
 		os.Exit(1)
 	}
 	fmt.Println("OK: within the allocation budget")
+}
+
+// guardService boots the service layer in-process (real TCP loopback,
+// same handler stack overlayd serves) and re-drives the benchops
+// closed-loop lookup workload over a fixed request count.
+func guardService(seed uint64) (benchops.ServiceResult, error) {
+	srv := service.New(service.Options{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return benchops.ServiceResult{}, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+
+	body, _ := json.Marshal(map[string]any{"name": "guard", "n": 2048, "seed": seed})
+	resp, err := http.Post(base+"/v1/overlays", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return benchops.ServiceResult{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return benchops.ServiceResult{}, fmt.Errorf("create guard overlay: status %d: %s", resp.StatusCode, msg)
+	}
+	var info struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return benchops.ServiceResult{}, err
+	}
+	return benchops.DriveLookups(benchops.DriveConfig{
+		BaseURL:   base,
+		OverlayID: info.ID,
+		Clients:   4,
+		Total:     4000,
+		Duration:  30 * time.Second, // hang backstop only; Total trips first
+		Seed:      seed,
+	})
 }

@@ -1,0 +1,116 @@
+// Command overlayd is the overlay-as-a-service daemon: it hosts many
+// concurrent overlay sessions behind a REST/JSON control plane, each
+// inside a supervisor that serializes epoch mutations through a
+// bounded queue, isolates panics with checkpoint rollback, and
+// reports a per-session state machine (ready → repairing → degraded →
+// evicted). Every request runs under a deadline; overload answers
+// with typed 429/503 + Retry-After, never an unbounded goroutine
+// pile-up.
+//
+// Endpoints (all JSON):
+//
+//	GET  /healthz                      liveness (200 even while draining)
+//	GET  /readyz                       readiness (503 once draining)
+//	POST /v1/overlays                  build + host an overlay
+//	GET  /v1/overlays                  paged listing {overlays, total}
+//	GET  /v1/overlays/{id}             inspect (state, epoch, queue, last fault)
+//	DELETE /v1/overlays/{id}           drain + evict one overlay
+//	GET  /v1/overlays/{id}/nodes       paged member listing
+//	GET  /v1/overlays/{id}/epochs      paged epoch summaries
+//	GET  /v1/overlays/{id}/bills       paged full cost accounting
+//	POST /v1/overlays/{id}/epochs      apply one {joins, leaves} epoch
+//	POST /v1/overlays/{id}/plan        apply a ParsePlan spec (churn + faults)
+//	GET  /v1/overlays/{id}/lookup      RouteLookup ?from=&to=
+//	POST /v1/overlays/{id}/inject      debug fault hooks (-debug only)
+//
+// Paged listings take ?pageSize= (default 20), ?current= (1-based),
+// ?order=ascend|descend; every endpoint takes ?timeout= (Go duration).
+//
+// SIGTERM/SIGINT drains gracefully: admission stops (readyz flips,
+// data endpoints answer the typed draining 503), in-flight epochs
+// finish, every session is checkpointed, and the process exits 0 —
+// exit 1 only if a session could not be checkpointed inside
+// -drain-timeout.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"overlay/internal/service"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("overlayd: ")
+	var (
+		addr           = flag.String("addr", "127.0.0.1:8080", "listen address")
+		addrFile       = flag.String("addr-file", "", "write the bound address to this file (for :0 listeners and scripts)")
+		queueDepth     = flag.Int("queue-depth", 8, "per-session mutation queue bound (full = 429)")
+		maxInFlight    = flag.Int("max-inflight", 256, "global concurrent-request bound (full = 503)")
+		defaultTimeout = flag.Duration("default-timeout", 30*time.Second, "per-request deadline when the client names none")
+		maxTimeout     = flag.Duration("max-timeout", 5*time.Minute, "cap on client-requested ?timeout= values")
+		maxBuildN      = flag.Int("max-build-n", 1<<16, "largest overlay a create request may build")
+		drainTimeout   = flag.Duration("drain-timeout", 30*time.Second, "bound on the SIGTERM drain sweep")
+		debug          = flag.Bool("debug", false, "enable the /inject fault hooks (tests and smoke drivers only)")
+	)
+	flag.Parse()
+
+	srv := service.New(service.Options{
+		QueueDepth:     *queueDepth,
+		MaxInFlight:    *maxInFlight,
+		DefaultTimeout: *defaultTimeout,
+		MaxTimeout:     *maxTimeout,
+		MaxBuildN:      *maxBuildN,
+		Debug:          *debug,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("listen %s: %v", *addr, err)
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			log.Fatalf("write %s: %v", *addrFile, err)
+		}
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	log.Printf("serving on %s (queue-depth %d, max-inflight %d, default timeout %s, debug %v)",
+		ln.Addr(), *queueDepth, *maxInFlight, *defaultTimeout, *debug)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case s := <-sig:
+		log.Printf("%s: draining (finish in-flight epochs, checkpoint all sessions)", s)
+	case err := <-serveErr:
+		log.Fatalf("serve: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Drain first: admission stops server-wide, every supervisor
+	// finishes its admitted queue and checkpoints. Then the HTTP layer
+	// shuts down, letting straggler responses flush.
+	rep, derr := srv.Drain(ctx)
+	if serr := hs.Shutdown(ctx); serr != nil && derr == nil {
+		derr = serr
+	}
+	log.Printf("drain: %d sessions, %d checkpointed, %d epochs served, %d members hosted",
+		rep.Sessions, rep.Checkpointed, rep.EpochsServed, rep.MembersTotal)
+	if derr != nil {
+		log.Printf("drain incomplete: %v (%d sessions not checkpointed)", derr, rep.Uncheckpointd)
+		os.Exit(1)
+	}
+	fmt.Println("overlayd: clean drain, exiting 0")
+}

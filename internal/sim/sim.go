@@ -99,6 +99,15 @@ type Config struct {
 	// installed adversary remain a pure function of (protocol, Seed,
 	// Adversary) at every worker count.
 	Adversary *Adversary
+	// Interrupt, if non-nil, is polled at every round boundary; when it
+	// reports true the engine stops before running the next round and
+	// Interrupted() reports true. It is how deadline-aware callers
+	// (context cancellation, per-request timeouts) bound a run without
+	// perturbing it: an uninterrupted run is bit-identical with the
+	// check installed, since the poll happens between rounds and
+	// consumes no protocol randomness. The function must be safe to
+	// call from the engine's driving goroutine.
+	Interrupt func() bool
 }
 
 // workers resolves the effective worker count.
@@ -155,9 +164,10 @@ type Engine struct {
 	// installed, in which case delivery takes the unchecked fast path.
 	adv *advState
 
-	metrics Metrics
-	round   int
-	inited  bool
+	metrics     Metrics
+	round       int
+	inited      bool
+	interrupted bool
 }
 
 // shardState is one delivery worker's private accumulator. Shards own
@@ -401,10 +411,20 @@ func (e *Engine) Run(maxRounds int) int {
 		if len(e.runList) == 0 && !e.pendingHeld() {
 			break
 		}
+		if e.cfg.Interrupt != nil && e.cfg.Interrupt() {
+			e.interrupted = true
+			break
+		}
 		e.step()
 	}
 	return e.round
 }
+
+// Interrupted reports that a Run stopped because Config.Interrupt
+// fired (as opposed to quiescing or exhausting its round budget). The
+// network state is whatever the completed rounds left behind; callers
+// treat an interrupted run as void.
+func (e *Engine) Interrupted() bool { return e.interrupted }
 
 // pendingHeld reports whether any delivery shard still holds delayed
 // messages; the engine keeps ticking (possibly empty) rounds until the

@@ -107,6 +107,13 @@ type Options struct {
 	// BuildResult.Aborted with a reason — it never errors merely
 	// because the adversary won.
 	Faults *FaultPlan
+	// Interrupt, if non-nil, is polled between engine rounds (and at
+	// phase boundaries of the fast path); when it reports true the
+	// build stops and BuildTree returns an error wrapping
+	// ErrInterrupted. Deadline-aware callers install a poll of their
+	// context here; a build that runs to completion is bit-identical
+	// whether or not the check was installed.
+	Interrupt func() bool
 }
 
 // Tree is a well-formed tree: rooted, degree ≤ 3, depth ⌈log₂ n⌉.
@@ -183,6 +190,12 @@ type BuildResult struct {
 // connected (use ConnectedComponents for multi-component inputs).
 var ErrNotConnected = errors.New("overlay: input graph is not weakly connected")
 
+// ErrInterrupted is returned (wrapped) when Options.Interrupt — or the
+// context a Session.ApplyEpochCtx caller installed — fired before the
+// run completed. It is a hard error, never an adversary abort: a
+// session epoch that hits it rolls back to the pre-epoch state.
+var ErrInterrupted = errors.New("overlay: run interrupted before completion")
+
 // BuildTree constructs a well-formed tree over the input graph.
 func BuildTree(g *Graph, opt *Options) (*BuildResult, error) {
 	if opt == nil {
@@ -206,6 +219,9 @@ func BuildTree(g *Graph, opt *Options) (*BuildResult, error) {
 		if err := opt.Faults.validate(g.N); err != nil {
 			return nil, err
 		}
+	}
+	if opt.Interrupt != nil && opt.Interrupt() {
+		return nil, fmt.Errorf("%w (before the build started)", ErrInterrupted)
 	}
 
 	bp := benign.Defaults(g.N, dg.MaxDegree())
@@ -243,6 +259,9 @@ func BuildTree(g *Graph, opt *Options) (*BuildResult, error) {
 func buildFast(m *graphx.Multi, ep expander.Params, opt *Options) (*BuildResult, error) {
 	src := rng.New(opt.Seed)
 	res := expander.CreateExpander(m, ep, src)
+	if opt.Interrupt != nil && opt.Interrupt() {
+		return nil, fmt.Errorf("%w (after expander evolution)", ErrInterrupted)
+	}
 	s := res.Final.Simple()
 	if !s.IsConnected() {
 		return nil, fmt.Errorf("overlay: evolved graph disconnected (raise Delta or Evolutions)")
@@ -276,7 +295,7 @@ func buildFast(m *graphx.Multi, ep expander.Params, opt *Options) (*BuildResult,
 // compiled adversary; a build the adversary defeats is reported as
 // Aborted (with partial statistics) rather than as an error.
 func buildMessageLevel(m *graphx.Multi, ep expander.Params, opt *Options) (*BuildResult, error) {
-	engCfg := sim.Config{Seed: opt.Seed, Sequential: opt.Sequential, Workers: opt.Workers}
+	engCfg := sim.Config{Seed: opt.Seed, Sequential: opt.Sequential, Workers: opt.Workers, Interrupt: opt.Interrupt}
 	// Correlated failure domains flatten into plain crashes and
 	// partitions over the build's id space before compilation.
 	faults := opt.Faults.expandDomains(m.N)
@@ -286,6 +305,9 @@ func buildMessageLevel(m *graphx.Multi, ep expander.Params, opt *Options) (*Buil
 		engCfg.Adversary = faults.adversary(0, 1, crashes)
 	}
 	final, eng1, _ := expander.RunMessageLevel(m, ep, engCfg, opt.CapFactor)
+	if eng1.Interrupted() {
+		return nil, fmt.Errorf("%w (expander phase, round %d)", ErrInterrupted, eng1.Round())
+	}
 	s := final.Simple()
 	src := rng.New(opt.Seed)
 
@@ -343,7 +365,7 @@ func buildMessageLevel(m *graphx.Multi, ep expander.Params, opt *Options) (*Buil
 	}
 	cfg2 := sim.Config{
 		Seed: opt.Seed + 1, SendCap: cap, RecvCap: cap,
-		Sequential: opt.Sequential, Workers: opt.Workers,
+		Sequential: opt.Sequential, Workers: opt.Workers, Interrupt: opt.Interrupt,
 	}
 	r1 := eng1.Round()
 	if faults != nil {
@@ -351,6 +373,9 @@ func buildMessageLevel(m *graphx.Multi, ep expander.Params, opt *Options) (*Buil
 	}
 	eng2, protos := wft.BuildEngine(s, flood, cfg2)
 	eng2.Run(wft.Rounds(flood, m.N) + 4)
+	if eng2.Interrupted() {
+		return nil, fmt.Errorf("%w (tree phase, round %d)", ErrInterrupted, r1+eng2.Round())
+	}
 	var anomalies int64
 	for _, p := range protos {
 		anomalies += int64(p.Anomalies())

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Regenerate the `service` section of BENCH_results.json: boot a
+# release-build overlayd, run the closed-loop loadgen for a fixed
+# duration, and merge the result into the committed baseline (the
+# section cmd/benchguard fences). Run on a quiet machine, like the
+# other bench baselines.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+DURATION="${BENCH_DURATION:-10s}"
+BIN="$(mktemp -d)"
+ADDR_FILE="$BIN/addr"
+trap 'kill "$DAEMON_PID" 2>/dev/null || true; rm -rf "$BIN"' EXIT
+
+go build -o "$BIN/overlayd" ./cmd/overlayd
+go build -o "$BIN/loadgen" ./cmd/loadgen
+
+"$BIN/overlayd" -addr 127.0.0.1:0 -addr-file "$ADDR_FILE" &
+DAEMON_PID=$!
+for _ in $(seq 1 100); do
+  [ -s "$ADDR_FILE" ] && break
+  sleep 0.1
+done
+[ -s "$ADDR_FILE" ] || { echo "overlayd never wrote its address" >&2; exit 1; }
+
+"$BIN/loadgen" -addr "$(cat "$ADDR_FILE")" -duration "$DURATION" -clients 4 \
+  -strict -bench-json BENCH_results.json
+
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID"
+DAEMON_PID=""
+echo "OK: service section of BENCH_results.json regenerated"

@@ -1,10 +1,12 @@
 package overlay
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"overlay/internal/graphx"
 	"overlay/internal/overlays"
@@ -124,7 +126,26 @@ type EpochBill struct {
 // speak global node identifiers — the input-graph indices of the
 // original build for founding members, and whatever integers later
 // epochs admitted for joiners.
+//
+// Concurrency contract: a Session is single-writer, multi-reader. The
+// read-side methods (RouteLookup, Members, Tree, Chord, Bills, Epoch,
+// ClockRound, NextID, Checkpoint) may be called from any number of
+// goroutines concurrently with each other and with one in-flight
+// mutation (ApplyEpoch, ApplyEpochCtx, Restore, SetFaults); mutations
+// themselves must not overlap, and the Session serializes them with
+// an internal write lock so misuse degrades to queueing, never to a
+// data race. Readers observe either the pre-epoch or the committed
+// post-epoch state, never a partial repair.
 type Session struct {
+	// mu is the single-writer/multi-reader guard: mutating methods
+	// hold it exclusively for their full duration (an epoch repair is
+	// atomic from a reader's point of view), readers share it.
+	mu sync.RWMutex
+	// interrupt, when non-nil, is the installed deadline poll of the
+	// in-flight ApplyEpochCtx call; engine runs and rebuilds check it
+	// between rounds. Only touched while mu is held exclusively.
+	interrupt func() bool
+
 	rebuildFrac    float64
 	build          Options
 	faults         *FaultPlan
@@ -234,6 +255,8 @@ func Open(res *BuildResult, opt *SessionOptions) (*Session, error) {
 // Members returns the current population, ascending. The slice is a
 // copy.
 func (s *Session) Members() []int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	out := make([]int, len(s.members))
 	copy(out, s.members)
 	return out
@@ -241,24 +264,44 @@ func (s *Session) Members() []int {
 
 // Tree returns the current well-formed tree in member-local index
 // space: tree node v is global node Members()[v]. Callers must not
-// mutate it.
-func (s *Session) Tree() *Tree { return s.tree }
+// mutate it. Epochs replace the tree wholesale (they never mutate one
+// in place), so a returned tree stays internally consistent even if
+// an epoch commits after the call — it is simply the snapshot it was.
+func (s *Session) Tree() *Tree {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tree
+}
 
 // Epoch returns the number of epochs applied so far.
-func (s *Session) Epoch() int { return s.clock.Epoch() }
+func (s *Session) Epoch() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.clock.Epoch()
+}
 
 // ClockRound returns the session's global round count: the initial
 // build plus every epoch repair so far.
-func (s *Session) ClockRound() int { return s.clock.Round() }
+func (s *Session) ClockRound() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.clock.Round()
+}
 
 // NextID returns the smallest global identifier never yet used by this
 // session — the conventional identifier source for joiners (past
 // identifiers are never reused, so a rejoining peer is a new node).
-func (s *Session) NextID() int { return s.nextID }
+func (s *Session) NextID() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.nextID
+}
 
 // Bills returns the per-epoch accounting, one entry per applied
 // epoch. The slice is a copy.
 func (s *Session) Bills() []EpochBill {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return append([]EpochBill(nil), s.bills...)
 }
 
@@ -266,6 +309,8 @@ func (s *Session) Bills() []EpochBill {
 // pairs — the routing substrate RouteLookup greedily descends and the
 // knowledge graph an epoch rebuild starts from.
 func (s *Session) Chord() [][2]int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	local := overlays.Chord(s.tree.NodeAt).Edges()
 	out := make([][2]int, len(local))
 	for i, e := range local {
@@ -282,13 +327,48 @@ var ErrDeparted = errors.New("overlay: lookup endpoint departed the session")
 // neither a current member nor a recorded departure.
 var ErrNotMember = errors.New("overlay: lookup endpoint was never a member of this session")
 
+// DepartedError is the structured form of an ErrDeparted lookup
+// failure: which node, and the epoch it left or crashed in (-1 for a
+// founder the initial build killed). errors.Is(err, ErrDeparted)
+// matches it; errors.As extracts the fields, so API layers can report
+// {code, reason, epoch} without parsing message strings.
+type DepartedError struct {
+	Node  int
+	Epoch int
+}
+
+func (e *DepartedError) Error() string {
+	if e.Epoch < 0 {
+		return fmt.Sprintf("%v: node %d crashed during the initial build", ErrDeparted, e.Node)
+	}
+	return fmt.Sprintf("%v: node %d left or crashed in epoch %d", ErrDeparted, e.Node, e.Epoch)
+}
+
+// Unwrap ties the structured error to the ErrDeparted sentinel.
+func (e *DepartedError) Unwrap() error { return ErrDeparted }
+
+// NotMemberError is the structured form of an ErrNotMember lookup
+// failure. errors.Is(err, ErrNotMember) matches it.
+type NotMemberError struct {
+	Node int
+}
+
+func (e *NotMemberError) Error() string {
+	return fmt.Sprintf("%v: node %d", ErrNotMember, e.Node)
+}
+
+// Unwrap ties the structured error to the ErrNotMember sentinel.
+func (e *NotMemberError) Unwrap() error { return ErrNotMember }
+
 // RouteLookup returns the greedy Chord routing path between two
 // current members as a global-identifier sequence of length O(log n).
-// A non-member endpoint yields a reasoned error: one wrapping
-// ErrDeparted (naming the epoch the node left or crashed in, or the
-// initial build) when the identifier was once part of the session,
-// and one wrapping ErrNotMember when it never was.
+// A non-member endpoint yields a reasoned error: a *DepartedError
+// (naming the epoch the node left or crashed in, or the initial
+// build) when the identifier was once part of the session, and a
+// *NotMemberError when it never was.
 func (s *Session) RouteLookup(from, to int) ([]int, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	fi, ok1 := s.memberIndex(from)
 	ti, ok2 := s.memberIndex(to)
 	if !ok1 {
@@ -308,12 +388,9 @@ func (s *Session) RouteLookup(from, to int) ([]int, error) {
 // lookupErr explains why a non-member identifier cannot be routed to.
 func (s *Session) lookupErr(id int) error {
 	if e, ok := s.departed[id]; ok {
-		if e < 0 {
-			return fmt.Errorf("%w: node %d crashed during the initial build", ErrDeparted, id)
-		}
-		return fmt.Errorf("%w: node %d left or crashed in epoch %d", ErrDeparted, id, e)
+		return &DepartedError{Node: id, Epoch: e}
 	}
-	return fmt.Errorf("%w: node %d", ErrNotMember, id)
+	return &NotMemberError{Node: id}
 }
 
 // memberIndex locates a global identifier in the ascending member
@@ -348,6 +425,14 @@ type Checkpoint struct {
 // when the whole recovery ladder fails; callers can take their own to
 // re-apply an epoch later or to bracket experiments.
 func (s *Session) Checkpoint() *Checkpoint {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.checkpointLocked()
+}
+
+// checkpointLocked is Checkpoint with the lock already held (shared
+// or exclusive).
+func (s *Session) checkpointLocked() *Checkpoint {
 	departed := make(map[int]int, len(s.departed))
 	for id, e := range s.departed {
 		departed[id] = e
@@ -369,6 +454,13 @@ func (s *Session) Checkpoint() *Checkpoint {
 // lookups, bills, and epochs exactly as it did when the checkpoint
 // was taken — bit for bit.
 func (s *Session) Restore(cp *Checkpoint) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.restoreLocked(cp)
+}
+
+// restoreLocked is Restore with the write lock already held.
+func (s *Session) restoreLocked(cp *Checkpoint) error {
 	if cp == nil || cp.owner != s {
 		return errors.New("overlay: Restore needs a checkpoint taken from this session")
 	}
@@ -382,6 +474,26 @@ func (s *Session) Restore(cp *Checkpoint) error {
 		departed[id] = e
 	}
 	s.departed = departed
+	return nil
+}
+
+// SetFaults installs (or, with nil, removes) a session fault plan for
+// the epochs that follow, replacing whatever plan Open installed. The
+// plan is interpreted exactly like SessionOptions.Build.Faults: on the
+// session clock and in global node identifiers, shifted into each
+// epoch's local clock and index space; correlated failure domains are
+// carved over the identifier space the session has used so far. It
+// requires a MessageLevel build configuration, as at Open — the
+// analytic paths simulate no messages to fault. This is the
+// fault-injection entry point of a live service: an operator (or a
+// chaos driver) arms the adversary mid-session without reopening it.
+func (s *Session) SetFaults(p *FaultPlan) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p != nil && !s.build.MessageLevel {
+		return errors.New("overlay: SetFaults requires a MessageLevel build configuration (the fast path simulates no messages to fault)")
+	}
+	s.faults = p.expandDomains(s.nextID)
 	return nil
 }
 
@@ -401,11 +513,50 @@ func (s *Session) Restore(cp *Checkpoint) error {
 // or keep serving lookups from the last committed state. Invalid
 // arguments return (nil, error) without consuming an epoch.
 func (s *Session) ApplyEpoch(joins, leaves []int) (*EpochBill, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.applyEpochLocked(joins, leaves)
+}
+
+// ApplyEpochCtx is ApplyEpoch bounded by a context: the deadline (or
+// cancellation) is polled between engine rounds of measured patches
+// and rebuilds, at rung boundaries of the recovery ladder, and before
+// the analytic paths commit. An epoch the context interrupts is a
+// hard error wrapping both ErrInterrupted and the context's error —
+// the session rolls back to its pre-epoch state (bit-identical, epoch
+// counter not advanced) and keeps serving lookups, so a timed-out
+// request observably never happened. ApplyEpochCtx(context.Background(),
+// …) is exactly ApplyEpoch.
+func (s *Session) ApplyEpochCtx(ctx context.Context, joins, leaves []int) (*EpochBill, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ctx != nil && ctx.Done() != nil {
+		s.interrupt = func() bool { return ctx.Err() != nil }
+		defer func() { s.interrupt = nil }()
+	}
+	bill, err := s.applyEpochLocked(joins, leaves)
+	if err != nil && errors.Is(err, ErrInterrupted) && ctx.Err() != nil {
+		err = fmt.Errorf("%w: %w", err, ctx.Err())
+	}
+	return bill, err
+}
+
+// interrupted reports whether the in-flight ApplyEpochCtx deadline
+// has fired.
+func (s *Session) interrupted() bool {
+	return s.interrupt != nil && s.interrupt()
+}
+
+// applyEpochLocked is the epoch body; the write lock is held.
+func (s *Session) applyEpochLocked(joins, leaves []int) (*EpochBill, error) {
 	joins, leaves, err := s.checkEpochArgs(joins, leaves)
 	if err != nil {
 		return nil, err
 	}
-	cp := s.Checkpoint()
+	if s.interrupted() {
+		return nil, fmt.Errorf("%w (before epoch %d started)", ErrInterrupted, s.clock.Epoch())
+	}
+	cp := s.checkpointLocked()
 	k0 := len(s.members)
 	churned := float64(len(joins)+len(leaves)) / float64(k0)
 	epoch, seed := s.clock.NextEpoch()
@@ -420,11 +571,11 @@ func (s *Session) ApplyEpoch(joins, leaves []int) (*EpochBill, error) {
 		// Hard specification error (not an adversary defeat): the
 		// session must stay replayable, so the epoch counter must not
 		// advance either.
-		s.Restore(cp)
+		s.restoreLocked(cp)
 		return nil, err
 	}
 	if bill.Aborted {
-		s.Restore(cp)
+		s.restoreLocked(cp)
 		bill.Members = len(s.members)
 		bill.Clock = s.clock.Round()
 		return bill, fmt.Errorf("overlay: epoch %d aborted after %d attempts: %s; session rolled back to the pre-epoch checkpoint", epoch, bill.Attempts, bill.AbortReason)
@@ -499,6 +650,9 @@ func (s *Session) runEpochLadder(joins, leaves []int, seed uint64, bill *EpochBi
 
 	if measuredPatch {
 		for a := 0; a <= s.patchRetries; a++ {
+			if s.interrupted() {
+				return fmt.Errorf("%w (patch rung %d of epoch %d)", ErrInterrupted, a, bill.Epoch)
+			}
 			b, reason, err := s.patchMeasuredAttempt(joins, leaves, attemptSeed(seed, 0x9a7c, a), bill.Epoch, a, spent)
 			if err != nil {
 				return err
@@ -511,6 +665,9 @@ func (s *Session) runEpochLadder(joins, leaves []int, seed uint64, bill *EpochBi
 		}
 	}
 	for a := 0; a <= s.rebuildRetries; a++ {
+		if s.interrupted() {
+			return fmt.Errorf("%w (rebuild rung %d of epoch %d)", ErrInterrupted, a, bill.Epoch)
+		}
 		b, reason, err := s.rebuildAttempt(joins, leaves, attemptSeed(seed, 0x4eb1, a), bill, a, spent)
 		if err != nil {
 			return err
@@ -772,7 +929,7 @@ func (s *Session) patchMeasuredAttempt(joins, leaves []int, seed uint64, epoch, 
 			spec.Entry[i] = rt.NodeAt[entry.Intn(s0)]
 		}
 	}
-	cfg := sim.Config{Seed: seed, Sequential: s.build.Sequential, Workers: s.build.Workers}
+	cfg := sim.Config{Seed: seed, Sequential: s.build.Sequential, Workers: s.build.Workers, Interrupt: s.interrupt}
 	if s.build.CapFactor > 0 {
 		c := s.build.CapFactor * sim.LogBound(k1)
 		cfg.SendCap, cfg.RecvCap = c, c
@@ -806,6 +963,9 @@ func (s *Session) patchMeasuredAttempt(joins, leaves []int, seed uint64, epoch, 
 		return Bill{}, nil, fmt.Errorf("overlay: epoch patch failed: %w", err)
 	}
 	eng.Run(budget)
+	if eng.Interrupted() {
+		return Bill{}, nil, fmt.Errorf("%w (measured patch, round %d)", ErrInterrupted, eng.Round())
+	}
 	m := eng.Metrics()
 	var anomalies int64
 	for _, p := range protos {
@@ -908,6 +1068,7 @@ func (s *Session) rebuildAttempt(joins, leaves []int, seed uint64, bill *EpochBi
 
 	opts := s.build
 	opts.Seed = seed
+	opts.Interrupt = s.interrupt
 	if s.faults != nil {
 		q := s.faults.shiftForEpoch(s.clock.Round()+spent, bill.Epoch, newMembers)
 		if attempt > 0 {
