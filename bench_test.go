@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"overlay/internal/experiments"
+	"overlay/internal/overlays"
 )
 
 const benchSeed = 2021 // PODC year; fixed for reproducibility
@@ -225,6 +226,59 @@ func BenchmarkSessionEpochMeasured_4096(b *testing.B) {
 		}
 		if bill.Rebuilt || bill.Path != "patch/measured" {
 			b.Fatalf("bench epoch took path %q (rebuilt=%v), want patch/measured", bill.Path, bill.Rebuilt)
+		}
+	}
+}
+
+// BenchmarkSessionEpochChordReads measures repeated Chord-view reads
+// between epochs — the overlayd hot path the per-epoch derived-view
+// cache exists for: every read after the first returns the cached
+// global-identifier edge list under RLock. Contrast with
+// BenchmarkSessionEpochChordReadsUncached below, which pays the
+// pre-cache cost on every read.
+func BenchmarkSessionEpochChordReads(b *testing.B) {
+	res, err := BuildTree(lineInput(4096), &Options{Seed: 7, MessageLevel: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess, err := Open(res, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess.Chord() // prime the per-epoch cache; reads are the measured op
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(sess.Chord()) == 0 {
+			b.Fatal("empty chord view")
+		}
+	}
+}
+
+// BenchmarkSessionEpochChordReadsUncached recomputes the O(n log n)
+// finger edge list and its global-identifier mapping on every read —
+// exactly what Session.Chord did before the per-epoch cache. The gap
+// against BenchmarkSessionEpochChordReads is the repeated-read win.
+func BenchmarkSessionEpochChordReadsUncached(b *testing.B) {
+	res, err := BuildTree(lineInput(4096), &Options{Seed: 7, MessageLevel: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess, err := Open(res, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		members := sess.Members()
+		local := overlays.Chord(sess.Tree().NodeAt).Edges()
+		out := make([][2]int, len(local))
+		for j, e := range local {
+			out[j] = [2]int{members[e[0]], members[e[1]]}
+		}
+		if len(out) == 0 {
+			b.Fatal("empty chord view")
 		}
 	}
 }

@@ -155,6 +155,43 @@ func main() {
 		fail = true
 	}
 
+	// Fence the derived/workload row: the same churn schedule with the
+	// maintained hybrid workloads syncing each epoch and the per-epoch
+	// derived-view cache swept between epochs. The workload itself
+	// hard-fails if an incremental sync is not strictly cheaper than
+	// the from-scratch price, so this fence guards both the allocation
+	// behavior (a broken view cache recomputes O(n log n) edge lists
+	// per read and blows the budget) and the speedup guarantee.
+	const derivedRow = "SessionDerived_4096_x10"
+	var dref *baselineResult
+	for i := range base.GraphMicrobench {
+		if base.GraphMicrobench[i].Name == derivedRow {
+			dref = &base.GraphMicrobench[i]
+			break
+		}
+	}
+	if dref == nil {
+		log.Fatalf("%s has no %s row to guard against; regenerate it with `make bench-json`", *baseline, derivedRow)
+	}
+	runtime.ReadMemStats(&before)
+	start = time.Now()
+	dmsgs, err := benchops.SessionDerived(build, *workers, 10)
+	dwall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		log.Fatalf("%s failed: %v", derivedRow, err)
+	}
+	dmallocs := after.Mallocs - before.Mallocs
+	dlimit := uint64(float64(dref.Mallocs) * *factor)
+	fmt.Printf("%s: %d mallocs (baseline %d, limit %.1fx = %d)\n",
+		derivedRow, dmallocs, dref.Mallocs, *factor, dlimit)
+	fmt.Printf("%s: %.2fs wall, %d messages, %.0f msgs/s (informational; baseline %.2fs)\n",
+		derivedRow, dwall.Seconds(), dmsgs, float64(dmsgs)/dwall.Seconds(), dref.WallSeconds)
+	if dmallocs > dlimit {
+		fmt.Printf("FAIL: %s mallocs regressed more than %.1fx\n", derivedRow, *factor)
+		fail = true
+	}
+
 	// Fence the service plane: re-drive the closed-loop RouteLookup
 	// workload loadgen recorded, against an in-process server, and
 	// require (a) zero unexpected errors — the fair-termination

@@ -144,6 +144,19 @@ func graphMicrobench(workers int) ([]jsonResult, error) {
 		}
 		out = append(out, sessRes.withThroughput(repairMsgs))
 	}
+
+	// The derived/workload row: the same churn schedule with the three
+	// maintained hybrid workloads syncing each epoch and the cached
+	// derived views swept between epochs. cmd/benchguard fences it.
+	var derErr error
+	var derMsgs int64
+	derRes := measured("SessionDerived_4096_x10", func() {
+		derMsgs, derErr = benchops.SessionDerived(build, workers, 10)
+	})
+	if derErr != nil {
+		return nil, derErr
+	}
+	out = append(out, derRes.withThroughput(derMsgs))
 	return out, nil
 }
 

@@ -63,6 +63,7 @@ func main() {
 		planSpec = flag.String("plan", "", "unified fault+churn plan (overlay.ParsePlan grammar); replaces -faults and -churn")
 		acctName = flag.String("accounting", "charged", "patch-epoch accounting: charged|measured (measured implies -message-level)")
 		retries  = flag.Int("retries", 0, "epoch recovery ladder: retry a defeated epoch up to this many extra patch and rebuild attempts before rolling back")
+		workl    = flag.Bool("workloads", false, "with -churn: keep the maintained hybrid workloads (components, spanning forest, MIS) open across the epochs and print each sync's bill against the from-scratch price")
 	)
 	flag.Parse()
 	if *n < 1 {
@@ -195,6 +196,22 @@ func main() {
 	if *retries > 0 {
 		fmt.Printf("ladder          up to %d extra patch and %d extra rebuild attempts per epoch\n", *retries, *retries)
 	}
+	var wlComp *overlay.MaintainedComponents
+	var wlST *overlay.MaintainedSpanningTree
+	var wlMIS *overlay.MaintainedMIS
+	if *workl {
+		wopt := &overlay.MaintainedOptions{Seed: *seed*2 + 1}
+		if wlComp, err = overlay.OpenMaintainedComponents(sess, wopt); err != nil {
+			log.Fatal(err)
+		}
+		if wlST, err = overlay.OpenMaintainedSpanningTree(sess, wopt); err != nil {
+			log.Fatal(err)
+		}
+		if wlMIS, err = overlay.OpenMaintainedMIS(sess, wopt); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("workloads       components, spanning forest, MIS maintained across epochs\n")
+	}
 	fmt.Printf("%-6s %6s %6s %8s %8s  %-32s %8s %10s  %s\n",
 		"epoch", "join", "leave", "members", "tries", "path", "rounds", "messages", "invariants")
 	clean, rollbacks := true, 0
@@ -223,6 +240,15 @@ func main() {
 		fmt.Printf("%-6d %6d %6d %8d %8d  %-32s %8d %10d  %s\n",
 			bill.Epoch, bill.Joined, bill.Left, bill.Members, bill.Attempts,
 			bill.Path, bill.Rounds, bill.Messages, verdict)
+		if wlComp != nil {
+			cb := wlComp.Sync()
+			wlST.Sync()
+			wlMIS.Sync()
+			price := wlComp.ScratchBill()
+			fmt.Printf("       workloads cc=%d st-roots=%d mis=%d %11s %-32s %8d %10d  (scratch: %d rounds, %d msgs)\n",
+				wlComp.NumComponents(), len(wlST.Roots()), len(wlMIS.Set()), "",
+				cb.Path, cb.Rounds, cb.Messages, price.Rounds, price.Messages)
+		}
 	}
 	fmt.Printf("session         %d members after %d epochs, clock at round %d",
 		len(sess.Members()), sess.Epoch(), sess.ClockRound())
@@ -230,6 +256,10 @@ func main() {
 		fmt.Printf(", %d epochs rolled back", rollbacks)
 	}
 	fmt.Println()
+	if *derived {
+		fmt.Printf("derived         ring=%d chord=%d hypercube=%d debruijn=%d edges at epoch %d\n",
+			len(sess.Ring()), len(sess.Chord()), len(sess.Hypercube()), len(sess.DeBruijn()), sess.Epoch())
+	}
 	if !clean {
 		os.Exit(1)
 	}

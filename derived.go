@@ -1,6 +1,9 @@
 package overlay
 
 import (
+	"errors"
+	"fmt"
+
 	"overlay/internal/graphx"
 	"overlay/internal/overlays"
 )
@@ -48,22 +51,48 @@ func (r *BuildResult) DeBruijn() [][2]int {
 	return edgePairs(overlays.DeBruijn(r.Tree.NodeAt))
 }
 
-// RouteLookup returns the greedy Chord routing path between two tree
-// nodes (survivor-local indices when Survivors is non-nil) as a
+// ErrAborted reports a routing request against an aborted build: there
+// is no tree, so there is nothing to route over. The wrapping error
+// carries the build's AbortReason.
+var ErrAborted = errors.New("overlay: build aborted, no tree to route over")
+
+// RouteLookupErr returns the greedy Chord routing path between two
+// tree nodes (survivor-local indices when Survivors is non-nil) as a
 // node-index sequence of length O(log n) in the same index space.
-// It returns nil on an Aborted result or out-of-range endpoints.
-func (r *BuildResult) RouteLookup(from, to int) []int {
+// Failures are reasoned, mirroring Session.RouteLookup: an aborted (or
+// tree-less) result yields an error wrapping ErrAborted with the abort
+// reason, and an out-of-range endpoint yields a *NotMemberError naming
+// it — errors.Is/errors.As work on both.
+func (r *BuildResult) RouteLookupErr(from, to int) ([]int, error) {
 	if r.Tree == nil {
-		return nil
+		if r.Aborted && r.AbortReason != "" {
+			return nil, fmt.Errorf("%w (%s)", ErrAborted, r.AbortReason)
+		}
+		return nil, ErrAborted
 	}
 	n := len(r.Tree.Rank)
-	if from < 0 || from >= n || to < 0 || to >= n {
-		return nil
+	if from < 0 || from >= n {
+		return nil, &NotMemberError{Node: from}
+	}
+	if to < 0 || to >= n {
+		return nil, &NotMemberError{Node: to}
 	}
 	ranks := overlays.RouteChord(n, r.Tree.Rank[from], r.Tree.Rank[to])
 	path := make([]int, len(ranks))
 	for i, rk := range ranks {
 		path[i] = r.Tree.NodeAt[rk]
+	}
+	return path, nil
+}
+
+// RouteLookup is RouteLookupErr with the legacy nil-on-failure
+// contract: it returns nil on an Aborted result or out-of-range
+// endpoints, discarding the reason. Callers that need to distinguish
+// the failure modes should use RouteLookupErr.
+func (r *BuildResult) RouteLookup(from, to int) []int {
+	path, err := r.RouteLookupErr(from, to)
+	if err != nil {
+		return nil
 	}
 	return path
 }

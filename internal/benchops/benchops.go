@@ -5,6 +5,8 @@
 package benchops
 
 import (
+	"fmt"
+
 	"overlay"
 )
 
@@ -38,6 +40,77 @@ func SessionEpochs(build *overlay.BuildResult, workers, epochs int, acct overlay
 			return msgs, err
 		}
 		msgs += bill.Messages
+	}
+	return msgs, nil
+}
+
+// maintained is the slice of every Maintained* workload SessionDerived
+// drives uniformly.
+type maintained interface {
+	Sync() overlay.WorkloadBill
+	ScratchBill() overlay.WorkloadBill
+}
+
+// SessionDerived is the SessionDerived_4096_x10 row's workload: a
+// session over build with the three maintained hybrid workloads
+// (components, spanning forest, MIS) open, applying the same 2%+2%
+// seed-3 churn schedule as SessionEpochs. After every committed epoch
+// it syncs all three workloads and sweeps the four derived views 32
+// times — reads the per-epoch cache must serve without recomputation,
+// so a broken cache shows up as a malloc regression under the
+// benchguard fence. It also verifies, per patch epoch, that every
+// incremental sync billed strictly fewer rounds and messages than the
+// priced from-scratch recompute — a lost speedup fails the bench, not
+// just a test. Returns total billed messages (epoch repair plus
+// workload syncs).
+func SessionDerived(build *overlay.BuildResult, workers, epochs int) (int64, error) {
+	sess, err := overlay.Open(build, &overlay.SessionOptions{
+		Build: overlay.Options{Seed: 1, MessageLevel: true, Workers: workers},
+	})
+	if err != nil {
+		return 0, err
+	}
+	wopt := &overlay.MaintainedOptions{Seed: 5}
+	comp, err := overlay.OpenMaintainedComponents(sess, wopt)
+	if err != nil {
+		return 0, err
+	}
+	st, err := overlay.OpenMaintainedSpanningTree(sess, wopt)
+	if err != nil {
+		return 0, err
+	}
+	mis, err := overlay.OpenMaintainedMIS(sess, wopt)
+	if err != nil {
+		return 0, err
+	}
+	workloads := []maintained{comp, st, mis}
+	plan := &overlay.ChurnPlan{Seed: 3, Epochs: epochs, JoinFrac: 0.02, LeaveFrac: 0.02}
+	var msgs int64
+	for e := 0; e < plan.Epochs; e++ {
+		joins, leaves := plan.Epoch(e, sess.Members(), sess.NextID())
+		bill, err := sess.ApplyEpoch(joins, leaves)
+		if err != nil {
+			return msgs, err
+		}
+		msgs += bill.Messages
+		for _, w := range workloads {
+			b := w.Sync()
+			msgs += b.Messages
+			if !bill.Rebuilt && bill.Joined+bill.Left > 0 {
+				sb := w.ScratchBill()
+				if b.Rounds >= sb.Rounds || b.Messages >= sb.Messages {
+					return msgs, fmt.Errorf("benchops: epoch %d incremental sync (%d rounds, %d msgs) not strictly cheaper than from-scratch (%d rounds, %d msgs)",
+						e, b.Rounds, b.Messages, sb.Rounds, sb.Messages)
+				}
+			}
+		}
+		edges := 0
+		for i := 0; i < 32; i++ {
+			edges += len(sess.Ring()) + len(sess.Chord()) + len(sess.Hypercube()) + len(sess.DeBruijn())
+		}
+		if edges == 0 {
+			return msgs, fmt.Errorf("benchops: epoch %d served empty derived views", e)
+		}
 	}
 	return msgs, nil
 }

@@ -43,11 +43,18 @@ func Ring(nodeAt []int) *graphx.Graph {
 func Chord(nodeAt []int) *graphx.Graph {
 	n := len(nodeAt)
 	g := graphx.NewGraph(n)
+	// Dedupe locally: probing g.HasEdge between inserts would re-fold
+	// the CSR arrays on every probe, turning the build quadratic.
+	seen := make(map[[2]int]bool, 2*n)
 	for r := 0; r < n; r++ {
 		for step := 1; step < n; step <<= 1 {
 			s := (r + step) % n
 			u, v := nodeAt[r], nodeAt[s]
-			if u != v && !g.HasEdge(u, v) {
+			if u > v {
+				u, v = v, u
+			}
+			if u != v && !seen[[2]int{u, v}] {
+				seen[[2]int{u, v}] = true
 				g.AddEdge(u, v)
 			}
 		}
@@ -80,10 +87,15 @@ func Hypercube(nodeAt []int) *graphx.Graph {
 func DeBruijn(nodeAt []int) *graphx.Graph {
 	n := len(nodeAt)
 	g := graphx.NewGraph(n)
+	seen := make(map[[2]int]bool, 2*n)
 	for r := 0; r < n; r++ {
 		for _, s := range []int{(2 * r) % n, (2*r + 1) % n} {
 			u, v := nodeAt[r], nodeAt[s]
-			if u != v && !g.HasEdge(u, v) {
+			if u > v {
+				u, v = v, u
+			}
+			if u != v && !seen[[2]int{u, v}] {
+				seen[[2]int{u, v}] = true
 				g.AddEdge(u, v)
 			}
 		}

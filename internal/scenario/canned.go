@@ -50,6 +50,16 @@ import "overlay"
 //     multiply the smoke job's wall clock without adding coverage —
 //     the escalation logic is population-independent.
 //
+//   - hybrid-churn: a fault-free grid build, then eight churn epochs
+//     (3% joins + 3% leaves) with the three maintained hybrid
+//     workloads — connected components, spanning forest, MIS — kept
+//     open over the session. After every epoch each workload must
+//     equal its from-scratch oracle exactly, every derived view
+//     (ring/chord/hypercube/De Bruijn) must hold its degree and
+//     routing bounds, and each incremental sync must bill strictly
+//     fewer rounds and messages than the priced from-scratch
+//     recompute — the maintained-state guarantee, machine-checked.
+//
 //   - domain-rack-cut: correlated failure-domain faults on the build
 //     itself: the input space is carved into 16 rack-shaped domains
 //     and one whole domain crash-stops mid-build. The evolved
@@ -147,6 +157,19 @@ func Canned(n int) []Spec {
 			},
 			PatchRetries:   1,
 			RebuildRetries: 3,
+		},
+		{
+			Name:      "hybrid-churn",
+			Topology:  "grid",
+			N:         n,
+			Seed:      59,
+			Workloads: true,
+			Churn: &overlay.ChurnPlan{
+				Seed:      61,
+				Epochs:    8,
+				JoinFrac:  0.03,
+				LeaveFrac: 0.03,
+			},
 		},
 		{
 			Name:     "domain-rack-cut",

@@ -266,6 +266,90 @@ func CheckEpoch(sess *overlay.Session, bill *overlay.EpochBill, faults *overlay.
 	return v
 }
 
+// CheckDerived machine-checks the Section 1.4 derived views the
+// session serves for its current committed epoch: every view's edges
+// connect current members only (no self-loops, no duplicates), the
+// corollary's degree bounds hold (ring 2, hypercube ⌈log₂ k⌉,
+// De Bruijn 4, chord 2⌈log₂ k⌉ + 2), the ring closes the full cycle,
+// greedy finger routing crosses the membership within the O(log n)
+// hop bound, and the epoch bill charges the ⌈log₂ k⌉ + 1 derived
+// re-establishment rounds.
+func CheckDerived(sess *overlay.Session, bill *overlay.EpochBill) []string {
+	var v []string
+	bad := func(format string, args ...any) {
+		v = append(v, fmt.Sprintf(format, args...))
+	}
+	members := sess.Members()
+	k := len(members)
+	isMember := make(map[int]bool, k)
+	for _, id := range members {
+		isMember[id] = true
+	}
+	views := []struct {
+		name     string
+		edges    [][2]int
+		degBound int
+	}{
+		{"ring", sess.Ring(), 2},
+		{"chord", sess.Chord(), 2*sim.LogBound(k) + 2},
+		{"hypercube", sess.Hypercube(), sim.LogBound(k)},
+		{"debruijn", sess.DeBruijn(), 4},
+	}
+	for _, view := range views {
+		deg := make(map[int]int, k)
+		seen := make(map[[2]int]bool, len(view.edges))
+		for _, e := range view.edges {
+			if e[0] == e[1] {
+				bad("%s view has a self-loop at %d", view.name, e[0])
+				continue
+			}
+			if !isMember[e[0]] || !isMember[e[1]] {
+				bad("%s view edge (%d, %d) touches a non-member", view.name, e[0], e[1])
+				continue
+			}
+			key := e
+			if key[0] > key[1] {
+				key[0], key[1] = key[1], key[0]
+			}
+			if seen[key] {
+				bad("%s view repeats edge (%d, %d)", view.name, key[0], key[1])
+			}
+			seen[key] = true
+			deg[e[0]]++
+			deg[e[1]]++
+		}
+		for _, id := range members {
+			if deg[id] > view.degBound {
+				bad("%s view gives member %d degree %d, bound %d", view.name, id, deg[id], view.degBound)
+				break
+			}
+		}
+	}
+	ringWant := 0
+	switch {
+	case k == 2:
+		ringWant = 1
+	case k >= 3:
+		ringWant = k
+	}
+	if len(views[0].edges) != ringWant {
+		bad("ring view has %d edges over %d members, want %d", len(views[0].edges), k, ringWant)
+	}
+	if k >= 2 {
+		path, err := sess.RouteLookup(members[0], members[k-1])
+		if err != nil {
+			bad("chord route across the membership failed: %v", err)
+		} else if len(path)-1 > sim.LogBound(k) {
+			bad("chord route takes %d hops, O(log n) bound %d", len(path)-1, sim.LogBound(k))
+		}
+	}
+	if bill != nil && bill.DerivedRounds != sim.LogBound(k)+1 {
+		bad("epoch bill charges %d derived re-establishment rounds, want ⌈log₂ %d⌉+1 = %d",
+			bill.DerivedRounds, k, sim.LogBound(k)+1)
+	}
+	return v
+}
+
 // survivorsConnected checks connectivity of the survivor-induced
 // subgraph. survivors == nil means all n nodes.
 func survivorsConnected(n int, edges [][2]int, survivors []int) bool {

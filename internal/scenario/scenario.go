@@ -63,6 +63,12 @@ type Spec struct {
 	// single-attempt semantics.
 	PatchRetries   int
 	RebuildRetries int
+	// Workloads opens the three maintained hybrid workloads
+	// (components, spanning forest, MIS) over the session and, after
+	// every committed epoch, syncs them and checks them against
+	// independent from-scratch oracles — plus the incremental-
+	// strictly-cheaper-than-scratch billing guarantee on patch epochs.
+	Workloads bool
 	// Accounting selects how the session bills patch epochs
 	// (overlay.Charged estimates analytically, overlay.Measured runs
 	// each repair as a wire protocol on the engine).
@@ -190,6 +196,17 @@ func runChurn(s *Spec, rep *Report) {
 		rep.Err = err
 		return
 	}
+	var work *workloads
+	if s.Workloads {
+		work, err = openWorkloads(sess, s.Seed)
+		if err != nil {
+			rep.Err = err
+			return
+		}
+		for _, viol := range work.check() {
+			bad("open: %s", viol)
+		}
+	}
 	for e := 0; e < s.Churn.Epochs; e++ {
 		joins, leaves := s.Churn.Epoch(e, sess.Members(), sess.NextID())
 		prevMembers := sess.Members()
@@ -216,11 +233,28 @@ func runChurn(s *Spec, rep *Report) {
 			if bill.Attempts < 1 || len(bill.AttemptBills) != bill.Attempts {
 				bad("epoch %d: aborted bill itemizes %d attempt bills for %d attempts", e, len(bill.AttemptBills), bill.Attempts)
 			}
+			if work != nil {
+				// The rolled-back session still serves the pre-epoch
+				// overlay; a workload sync against it must be a clean
+				// no-op that leaves every result oracle-exact.
+				work.sync()
+				for _, viol := range work.check() {
+					bad("epoch %d (rolled back): %s", e, viol)
+				}
+			}
 			break
 		}
 		rep.EpochBills = append(rep.EpochBills, *bill)
 		for _, viol := range CheckEpoch(sess, bill, sessionFaults) {
 			bad("epoch %d: %s", e, viol)
+		}
+		for _, viol := range CheckDerived(sess, bill) {
+			bad("epoch %d: %s", e, viol)
+		}
+		if work != nil {
+			for _, viol := range work.syncAndCheck(bill) {
+				bad("epoch %d: %s", e, viol)
+			}
 		}
 		if !bill.Rebuilt && bill.Joined+bill.Left > 0 {
 			if bill.Rounds >= res.Stats.Rounds {

@@ -65,6 +65,7 @@ var cannedWantAbort = map[string]bool{
 	"lossy-delayed-network": true,
 	"fault-during-repair":   false,
 	"sustained-adversary":   false,
+	"hybrid-churn":          false,
 	"domain-rack-cut":       false,
 }
 

@@ -1,0 +1,259 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+
+	"overlay"
+)
+
+// workloads bundles the three maintained hybrid workloads a
+// Spec.Workloads scenario keeps open over the session, with the
+// from-scratch oracles that re-derive every result independently
+// after each sync. The oracles share nothing with the incremental
+// code paths: components come from union-find where the workload uses
+// region BFS, the forest and the MIS are recomputed wholesale from
+// the workload graph's edge list.
+type workloads struct {
+	comp *overlay.MaintainedComponents
+	st   *overlay.MaintainedSpanningTree
+	mis  *overlay.MaintainedMIS
+}
+
+// openWorkloads opens the three workloads over a freshly churned-in
+// session. The contact seed is derived from, but distinct from, the
+// protocol seed so workload determinism is probed on its own axis.
+func openWorkloads(sess *overlay.Session, seed uint64) (*workloads, error) {
+	opt := &overlay.MaintainedOptions{Seed: seed*2 + 1}
+	comp, err := overlay.OpenMaintainedComponents(sess, opt)
+	if err != nil {
+		return nil, err
+	}
+	st, err := overlay.OpenMaintainedSpanningTree(sess, opt)
+	if err != nil {
+		return nil, err
+	}
+	mis, err := overlay.OpenMaintainedMIS(sess, opt)
+	if err != nil {
+		return nil, err
+	}
+	return &workloads{comp: comp, st: st, mis: mis}, nil
+}
+
+// sync advances all three workloads to the session's committed epoch,
+// returning each sync's bill.
+func (w *workloads) sync() []overlay.WorkloadBill {
+	return []overlay.WorkloadBill{w.comp.Sync(), w.st.Sync(), w.mis.Sync()}
+}
+
+// syncAndCheck syncs the workloads after a committed epoch and checks
+// the full contract: the billing path matches the epoch kind, a patch
+// epoch's incremental bill is strictly cheaper — rounds and messages —
+// than the priced from-scratch recompute, and every result equals its
+// from-scratch oracle.
+func (w *workloads) syncAndCheck(bill *overlay.EpochBill) []string {
+	var v []string
+	names := []string{"components", "spanning-tree", "mis"}
+	scratch := []func() overlay.WorkloadBill{w.comp.ScratchBill, w.st.ScratchBill, w.mis.ScratchBill}
+	churned := bill.Joined+bill.Left > 0
+	for i, b := range w.sync() {
+		name := names[i]
+		if bill.Rebuilt {
+			if b.Incremental {
+				v = append(v, fmt.Sprintf("%s: rebuild epoch took the incremental path", name))
+			}
+			continue
+		}
+		if !churned {
+			continue
+		}
+		if !b.Incremental {
+			v = append(v, fmt.Sprintf("%s: patch epoch took the from-scratch path", name))
+			continue
+		}
+		sb := scratch[i]()
+		if b.Rounds >= sb.Rounds {
+			v = append(v, fmt.Sprintf("%s: incremental sync cost %d rounds, from-scratch %d — not strictly cheaper", name, b.Rounds, sb.Rounds))
+		}
+		if b.Messages >= sb.Messages {
+			v = append(v, fmt.Sprintf("%s: incremental sync cost %d messages, from-scratch %d — not strictly cheaper", name, b.Messages, sb.Messages))
+		}
+	}
+	return append(v, w.check()...)
+}
+
+// check re-derives every workload result from scratch and compares.
+func (w *workloads) check() []string {
+	var v []string
+	bad := func(format string, args ...any) {
+		v = append(v, fmt.Sprintf(format, args...))
+	}
+
+	// All three workloads are opened with the same options over the
+	// same session, so their graphs must have evolved identically.
+	members := w.comp.Members()
+	edges := w.comp.GraphEdges()
+	if !equalEdges(edges, w.st.GraphEdges()) || !equalEdges(edges, w.mis.GraphEdges()) {
+		bad("workload graphs diverged across the three workloads")
+		return v
+	}
+
+	// Components against a union-find oracle.
+	want := oracleLabels(members, edges)
+	got := w.comp.Labels()
+	if len(got) != len(want) {
+		bad("components: %d labels, oracle has %d", len(got), len(want))
+	} else {
+		for _, id := range members {
+			if got[id] != want[id] {
+				bad("components: member %d labeled %d, oracle says %d", id, got[id], want[id])
+				break
+			}
+		}
+	}
+	comps := 0
+	for id, l := range want {
+		if id == l {
+			comps++
+		}
+	}
+	if n := w.comp.NumComponents(); n != comps {
+		bad("components: NumComponents = %d, oracle counts %d", n, comps)
+	}
+
+	// Spanning forest against a from-scratch canonical BFS oracle.
+	wantF := oracleForest(members, edges)
+	gotF := w.st.Forest()
+	if !equalEdges(gotF, wantF) {
+		bad("spanning-tree: forest has %d edges, oracle recomputes %d (or they differ)", len(gotF), len(wantF))
+	}
+	roots := w.st.Roots()
+	if len(roots) != comps {
+		bad("spanning-tree: %d roots for %d components", len(roots), comps)
+	}
+	for _, r := range roots {
+		if want[r] != r {
+			bad("spanning-tree: root %d is not its component's minimum %d", r, want[r])
+			break
+		}
+	}
+
+	// MIS against the lexicographic fixpoint property, which uniquely
+	// characterizes it: v is in the set iff no smaller neighbor is.
+	// (Independence and maximality are both corollaries.)
+	adj := adjacency(edges)
+	in := map[int]bool{}
+	for _, id := range w.mis.Set() {
+		in[id] = true
+	}
+	for _, id := range members {
+		st := true
+		for _, nb := range adj[id] {
+			if nb < id && in[nb] {
+				st = false
+				break
+			}
+		}
+		if in[id] != st {
+			bad("mis: member %d in-set=%v violates the lexicographic fixpoint", id, in[id])
+			break
+		}
+	}
+	return v
+}
+
+// adjacency expands an undirected edge list into sorted neighbor
+// lists.
+func adjacency(edges [][2]int) map[int][]int {
+	adj := map[int][]int{}
+	for _, e := range edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	for id := range adj {
+		sort.Ints(adj[id])
+	}
+	return adj
+}
+
+// oracleLabels computes min-identifier component labels by union-find
+// — a different algorithm than the workload's region BFS on purpose.
+func oracleLabels(members []int, edges [][2]int) map[int]int {
+	parent := make(map[int]int, len(members))
+	for _, id := range members {
+		parent[id] = id
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, e := range edges {
+		a, b := find(e[0]), find(e[1])
+		if a != b {
+			if a > b {
+				a, b = b, a
+			}
+			parent[b] = a
+		}
+	}
+	labels := make(map[int]int, len(members))
+	for _, id := range members {
+		labels[id] = find(id)
+	}
+	return labels
+}
+
+// oracleForest recomputes the canonical spanning forest from scratch:
+// one BFS per component, rooted at the component minimum, expanding
+// ascending adjacency. Returns sorted (u < v) edges.
+func oracleForest(members []int, edges [][2]int) [][2]int {
+	adj := adjacency(edges)
+	seen := make(map[int]bool, len(members))
+	var out [][2]int
+	for _, root := range members {
+		if seen[root] {
+			continue
+		}
+		seen[root] = true
+		queue := []int{root}
+		for h := 0; h < len(queue); h++ {
+			u := queue[h]
+			for _, nb := range adj[u] {
+				if seen[nb] {
+					continue
+				}
+				seen[nb] = true
+				if u < nb {
+					out = append(out, [2]int{u, nb})
+				} else {
+					out = append(out, [2]int{nb, u})
+				}
+				queue = append(queue, nb)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// equalEdges compares two sorted edge lists element-wise.
+func equalEdges(a, b [][2]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"sort"
 	"strconv"
@@ -73,6 +74,14 @@ type Overlay struct {
 
 	sup *Supervisor
 
+	// The maintained hybrid workloads kept open over the session for
+	// its whole hosted life. Synced inside the same supervised
+	// mutation that commits each epoch, so every read observes a
+	// workload state consistent with some committed epoch.
+	comp *overlay.MaintainedComponents
+	st   *overlay.MaintainedSpanningTree
+	mis  *overlay.MaintainedMIS
+
 	// Debug gate: a block job parks the supervisor worker on this
 	// channel until unblock closes it — the deterministic way tests
 	// and the smoke driver fill the queue without sleeps.
@@ -115,6 +124,8 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("POST /v1/overlays/{id}/epochs", s.guard(s.handleApplyEpoch))
 	s.mux.HandleFunc("POST /v1/overlays/{id}/plan", s.guard(s.handlePlan))
 	s.mux.HandleFunc("GET /v1/overlays/{id}/lookup", s.guard(s.handleLookup))
+	s.mux.HandleFunc("GET /v1/overlays/{id}/derived", s.guard(s.handleDerived))
+	s.mux.HandleFunc("GET /v1/overlays/{id}/workloads", s.guard(s.handleWorkloads))
 	if s.opts.Debug {
 		s.mux.HandleFunc("POST /v1/overlays/{id}/inject", s.guard(s.handleInject))
 	}
@@ -266,6 +277,23 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	wopt := &overlay.MaintainedOptions{Seed: req.Seed*2 + 1}
+	comp, err := overlay.OpenMaintainedComponents(sess, wopt)
+	if err != nil {
+		writeError(w, apiErr(http.StatusInternalServerError, "internal", err.Error()))
+		return
+	}
+	st, err := overlay.OpenMaintainedSpanningTree(sess, wopt)
+	if err != nil {
+		writeError(w, apiErr(http.StatusInternalServerError, "internal", err.Error()))
+		return
+	}
+	mis, err := overlay.OpenMaintainedMIS(sess, wopt)
+	if err != nil {
+		writeError(w, apiErr(http.StatusInternalServerError, "internal", err.Error()))
+		return
+	}
+
 	s.mu.Lock()
 	s.nextID++
 	ov := &Overlay{
@@ -277,6 +305,9 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		Seed:         req.Seed,
 		MessageLevel: req.MessageLevel,
 		sup:          NewSupervisor(sess, s.opts.QueueDepth),
+		comp:         comp,
+		st:           st,
+		mis:          mis,
 	}
 	s.overlays[ov.ID] = ov
 	s.order = append(s.order, ov.ID)
@@ -383,6 +414,12 @@ func parsePage(r *http.Request) (pageArgs, *APIError) {
 		p.descend = true
 	default:
 		return p, apiErr(http.StatusBadRequest, "bad_request", "order must be ascend or descend")
+	}
+	// (current-1)*pageSize is the page window's start; a current large
+	// enough to overflow it would wrap negative and slice garbage.
+	if p.current-1 > (math.MaxInt-p.pageSize)/p.pageSize {
+		return p, apiErr(http.StatusBadRequest, "bad_request",
+			fmt.Sprintf("current=%d with pageSize=%d overflows the page window", p.current, p.pageSize))
 	}
 	return p, nil
 }
@@ -513,6 +550,7 @@ type epochSummary struct {
 	Messages        int64   `json:"messages"`
 	Clock           int     `json:"clock"`
 	Attempts        int     `json:"attempts"`
+	DerivedRounds   int     `json:"derived_rounds,omitempty"`
 	Aborted         bool    `json:"aborted,omitempty"`
 	AbortReason     string  `json:"abort_reason,omitempty"`
 }
@@ -530,6 +568,7 @@ func summarize(b *overlay.EpochBill) epochSummary {
 		Messages:        b.Messages,
 		Clock:           b.Clock,
 		Attempts:        b.Attempts,
+		DerivedRounds:   b.DerivedRounds,
 		Aborted:         b.Aborted,
 		AbortReason:     b.AbortReason,
 	}
@@ -603,8 +642,10 @@ type epochRequest struct {
 // applyOneEpoch is the JobFunc body shared by the epoch and plan
 // endpoints: ApplyEpochCtx under the request deadline, classifying
 // the outcome for the supervisor's state machine and the error
-// mapper.
-func applyOneEpoch(ctx context.Context, sess *overlay.Session, joins, leaves []int) (any, bool, error) {
+// mapper. A committed epoch also syncs the maintained workloads —
+// inside the same supervised mutation, so workload reads are always
+// consistent with a committed epoch.
+func (ov *Overlay) applyOneEpoch(ctx context.Context, sess *overlay.Session, joins, leaves []int) (any, bool, error) {
 	bill, err := sess.ApplyEpochCtx(ctx, joins, leaves)
 	if err != nil {
 		if bill != nil && bill.Aborted {
@@ -619,6 +660,9 @@ func applyOneEpoch(ctx context.Context, sess *overlay.Session, joins, leaves []i
 		}
 		return nil, false, apiErr(http.StatusBadRequest, "bad_epoch", err.Error())
 	}
+	ov.comp.Sync()
+	ov.st.Sync()
+	ov.mis.Sync()
 	return summarize(bill), false, nil
 }
 
@@ -633,7 +677,7 @@ func (s *Server) handleApplyEpoch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	out, err := ov.sup.Do(r.Context(), func(ctx context.Context, sess *overlay.Session) (any, bool, error) {
-		return applyOneEpoch(ctx, sess, req.Joins, req.Leaves)
+		return ov.applyOneEpoch(ctx, sess, req.Joins, req.Leaves)
 	})
 	if err != nil {
 		writeError(w, err)
@@ -685,7 +729,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		for e := 0; e < plan.Churn.Epochs; e++ {
 			out, err := sup.Do(r.Context(), func(ctx context.Context, sess *overlay.Session) (any, bool, error) {
 				joins, leaves := plan.Churn.Epoch(e, sess.Members(), sess.NextID())
-				return applyOneEpoch(ctx, sess, joins, leaves)
+				return ov.applyOneEpoch(ctx, sess, joins, leaves)
 			})
 			if err != nil {
 				// Typed error with partial progress: the committed
@@ -735,6 +779,101 @@ func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"path": path, "hops": len(path) - 1})
+}
+
+// handleDerived serves GET /v1/overlays/{id}/derived?view=NAME: the
+// named Section 1.4 derived view for the session's current committed
+// epoch, as global-identifier edge pairs, paged. Reads come from the
+// session's per-epoch cache, so concurrent clients polling a view
+// between epochs share one computation.
+func (s *Server) handleDerived(w http.ResponseWriter, r *http.Request) {
+	ov := s.overlayOr404(w, r)
+	if ov == nil {
+		return
+	}
+	p, aerr := parsePage(r)
+	if aerr != nil {
+		writeError(w, aerr)
+		return
+	}
+	sess := ov.sup.Session()
+	view := r.URL.Query().Get("view")
+	if view == "" {
+		view = "ring"
+	}
+	var edges [][2]int
+	switch view {
+	case "ring":
+		edges = sess.Ring()
+	case "chord":
+		edges = sess.Chord()
+	case "hypercube":
+		edges = sess.Hypercube()
+	case "debruijn":
+		edges = sess.DeBruijn()
+	default:
+		writeError(w, apiErr(http.StatusBadRequest, "bad_request",
+			fmt.Sprintf("view=%q is not ring, chord, hypercube, or debruijn", view)))
+		return
+	}
+	out := make([][2]int, 0, p.pageSize)
+	for _, i := range p.page(len(edges)) {
+		out = append(out, edges[i])
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"view": view, "epoch": sess.Epoch(), "edges": out, "total": len(edges),
+	})
+}
+
+// workloadBillInfo is the last-sync accounting block of the workloads
+// endpoint.
+type workloadBillInfo struct {
+	Epoch       int    `json:"epoch"`
+	Incremental bool   `json:"incremental"`
+	Affected    int    `json:"affected"`
+	Path        string `json:"path"`
+	Rounds      int    `json:"rounds"`
+	Messages    int64  `json:"messages"`
+}
+
+func lastWorkloadBill(bills []overlay.WorkloadBill) workloadBillInfo {
+	b := bills[len(bills)-1]
+	return workloadBillInfo{
+		Epoch:       b.Epoch,
+		Incremental: b.Incremental,
+		Affected:    b.Affected,
+		Path:        b.Path,
+		Rounds:      b.Rounds,
+		Messages:    b.Messages,
+	}
+}
+
+// handleWorkloads serves GET /v1/overlays/{id}/workloads: the current
+// results and last-sync bills of the three maintained hybrid
+// workloads.
+func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	ov := s.overlayOr404(w, r)
+	if ov == nil {
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"epoch":   ov.comp.Epoch(),
+		"members": len(ov.comp.Members()),
+		"edges":   len(ov.comp.GraphEdges()),
+		"components": map[string]any{
+			"count":     ov.comp.NumComponents(),
+			"last_sync": lastWorkloadBill(ov.comp.Bills()),
+		},
+		"spanning_tree": map[string]any{
+			"roots":        ov.st.Roots(),
+			"forest_edges": len(ov.st.Forest()),
+			"last_sync":    lastWorkloadBill(ov.st.Bills()),
+		},
+		"mis": map[string]any{
+			"size":      len(ov.mis.Set()),
+			"last_sync": lastWorkloadBill(ov.mis.Bills()),
+		},
+	})
 }
 
 // injectRequest is the debug fault-hook body (Options.Debug only).

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"reflect"
@@ -271,11 +272,33 @@ func TestPagedListing(t *testing.T) {
 		t.Fatalf("partial page: %+v", page)
 	}
 
-	ae := mustStatus(t, do(t, s, "GET", "/v1/overlays/"+id+"/nodes?pageSize=0", nil, nil), http.StatusBadRequest)
-	if ae.Code != "bad_request" {
-		t.Fatalf("pageSize=0: %+v", ae)
+	for _, bad := range []struct{ name, query string }{
+		{"pageSize_zero", "pageSize=0"},
+		{"pageSize_huge", "pageSize=10001"},
+		{"current_zero", "current=0"},
+		{"current_negative", "current=-3"},
+		{"order_unknown", "order=sideways"},
+		// (current-1)*pageSize would overflow int and wrap negative;
+		// parsePage must reject it as a 400, not slice garbage.
+		{"window_overflow", "pageSize=10000&current=9223372036854775807"},
+		{"window_overflow_edge", fmt.Sprintf("pageSize=2&current=%d", math.MaxInt/2+2)},
+	} {
+		t.Run(bad.name, func(t *testing.T) {
+			ae := mustStatus(t, do(t, s, "GET", "/v1/overlays/"+id+"/nodes?"+bad.query, nil, nil), http.StatusBadRequest)
+			if ae.Code != "bad_request" {
+				t.Fatalf("%s: %+v", bad.query, ae)
+			}
+		})
 	}
-	mustStatus(t, do(t, s, "GET", "/v1/overlays/"+id+"/nodes?order=sideways", nil, nil), http.StatusBadRequest)
+	// The largest window that still fits must not trip the guard.
+	var hugePage struct {
+		Nodes []int `json:"nodes"`
+		Total int   `json:"total"`
+	}
+	mustStatus(t, do(t, s, "GET", fmt.Sprintf("/v1/overlays/%s/nodes?pageSize=2&current=%d", id, math.MaxInt/2), nil, &hugePage), http.StatusOK)
+	if hugePage.Total != 30 || len(hugePage.Nodes) != 0 {
+		t.Fatalf("max in-range window: %+v", hugePage)
+	}
 
 	// The overlays listing speaks the same contract.
 	createOverlay(t, s, 12, nil)
@@ -287,6 +310,120 @@ func TestPagedListing(t *testing.T) {
 	if list.Total != 2 || len(list.Overlays) != 1 || list.Overlays[0].Founded != 12 {
 		t.Fatalf("overlay listing: %+v", list)
 	}
+}
+
+// --- derived views and workloads over the wire -------------------------
+
+func TestDerivedViewEndpoint(t *testing.T) {
+	s := newServer(t, Options{})
+	id := createOverlay(t, s, 24, nil)
+
+	var page struct {
+		View  string   `json:"view"`
+		Epoch int      `json:"epoch"`
+		Edges [][2]int `json:"edges"`
+		Total int      `json:"total"`
+	}
+	// Every named view pages; the default is the ring.
+	for _, view := range []string{"", "ring", "chord", "hypercube", "debruijn"} {
+		url := "/v1/overlays/" + id + "/derived?pageSize=5"
+		want := view
+		if view != "" {
+			url += "&view=" + view
+		} else {
+			want = "ring"
+		}
+		mustStatus(t, do(t, s, "GET", url, nil, &page), http.StatusOK)
+		if page.View != want || page.Total == 0 || len(page.Edges) != 5 {
+			t.Fatalf("view %q: %+v", view, page)
+		}
+	}
+	// The ring on k members has exactly k edges, paged consistently.
+	mustStatus(t, do(t, s, "GET", "/v1/overlays/"+id+"/derived?view=ring&pageSize=100", nil, &page), http.StatusOK)
+	if page.Total != 24 || len(page.Edges) != 24 {
+		t.Fatalf("ring totals: %+v", page)
+	}
+
+	ae := mustStatus(t, do(t, s, "GET", "/v1/overlays/"+id+"/derived?view=torus", nil, nil), http.StatusBadRequest)
+	if ae.Code != "bad_request" {
+		t.Fatalf("unknown view: %+v", ae)
+	}
+
+	// After an epoch the served view reflects the new membership.
+	mustStatus(t, do(t, s, "POST", "/v1/overlays/"+id+"/epochs",
+		map[string]any{"joins": []int{24, 25}, "leaves": []int{3}}, nil), http.StatusOK)
+	mustStatus(t, do(t, s, "GET", "/v1/overlays/"+id+"/derived?view=ring&pageSize=100", nil, &page), http.StatusOK)
+	if page.Epoch != 1 || page.Total != 25 {
+		t.Fatalf("post-epoch ring: %+v", page)
+	}
+	for _, e := range page.Edges {
+		if e[0] == 3 || e[1] == 3 {
+			t.Fatalf("departed node 3 still appears in the served ring: %v", e)
+		}
+	}
+}
+
+func TestWorkloadsEndpoint(t *testing.T) {
+	s := newServer(t, Options{})
+	id := createOverlay(t, s, 24, nil)
+
+	type syncBlock struct {
+		LastSync workloadBillInfo `json:"last_sync"`
+	}
+	var resp struct {
+		Epoch      int `json:"epoch"`
+		Members    int `json:"members"`
+		Edges      int `json:"edges"`
+		Components struct {
+			Count int `json:"count"`
+			syncBlock
+		} `json:"components"`
+		SpanningTree struct {
+			Roots       []int `json:"roots"`
+			ForestEdges int   `json:"forest_edges"`
+			syncBlock
+		} `json:"spanning_tree"`
+		MIS struct {
+			Size int `json:"size"`
+			syncBlock
+		} `json:"mis"`
+	}
+	mustStatus(t, do(t, s, "GET", "/v1/overlays/"+id+"/workloads", nil, &resp), http.StatusOK)
+	if resp.Members != 24 || resp.Epoch != 0 {
+		t.Fatalf("fresh workloads: %+v", resp)
+	}
+	// The seed graph is the session ring: connected, so one component,
+	// a spanning tree over all members, and a scratch opening bill.
+	if resp.Components.Count != 1 || len(resp.SpanningTree.Roots) != 1 || resp.SpanningTree.ForestEdges != 23 {
+		t.Fatalf("seed-graph results: %+v", resp)
+	}
+	if resp.MIS.Size == 0 || resp.Components.LastSync.Path != "workload/scratch" {
+		t.Fatalf("seed-graph bills: %+v", resp)
+	}
+
+	// Epochs applied through the API sync the workloads in the same
+	// supervised mutation; a small churn epoch must bill incrementally.
+	mustStatus(t, do(t, s, "POST", "/v1/overlays/"+id+"/epochs",
+		map[string]any{"joins": []int{24}, "leaves": []int{5}}, nil), http.StatusOK)
+	mustStatus(t, do(t, s, "GET", "/v1/overlays/"+id+"/workloads", nil, &resp), http.StatusOK)
+	if resp.Epoch != 1 || resp.Members != 24 {
+		t.Fatalf("post-epoch workloads: %+v", resp)
+	}
+	for name, b := range map[string]workloadBillInfo{
+		"components":    resp.Components.LastSync,
+		"spanning_tree": resp.SpanningTree.LastSync,
+		"mis":           resp.MIS.LastSync,
+	} {
+		if b.Epoch != 1 || !b.Incremental || b.Path != "workload/incremental" {
+			t.Fatalf("%s last sync: %+v", name, b)
+		}
+		if b.Affected < 1 || b.Affected > resp.Members {
+			t.Fatalf("%s affected out of range: %+v", name, b)
+		}
+	}
+
+	mustStatus(t, do(t, s, "GET", "/v1/overlays/nope/workloads", nil, nil), http.StatusNotFound)
+	mustStatus(t, do(t, s, "GET", "/v1/overlays/nope/derived", nil, nil), http.StatusNotFound)
 }
 
 // --- epochs and plans over the wire ------------------------------------
@@ -556,7 +693,7 @@ func TestDrainCheckpointsAll(t *testing.T) {
 	applied := make(chan error, 1)
 	go func() {
 		_, err := sup0.Do(context.Background(), func(ctx context.Context, sess *overlay.Session) (any, bool, error) {
-			return applyOneEpoch(ctx, sess, []int{101}, nil)
+			return s.Overlays()[0].applyOneEpoch(ctx, sess, []int{101}, nil)
 		})
 		applied <- err
 	}()

@@ -1,0 +1,291 @@
+package overlay
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// openMaintained opens the three workloads over a session with a
+// fixed contact seed.
+func openMaintained(t *testing.T, sess *Session) (*MaintainedComponents, *MaintainedSpanningTree, *MaintainedMIS) {
+	t.Helper()
+	opt := &MaintainedOptions{Seed: 99}
+	comp, err := OpenMaintainedComponents(sess, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := OpenMaintainedSpanningTree(sess, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mis, err := OpenMaintainedMIS(sess, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return comp, st, mis
+}
+
+// labelsOracle recomputes min-identifier component labels by
+// union-find over the workload graph.
+func labelsOracle(members []int, edges [][2]int) map[int]int {
+	parent := map[int]int{}
+	for _, id := range members {
+		parent[id] = id
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, e := range edges {
+		a, b := find(e[0]), find(e[1])
+		if a > b {
+			a, b = b, a
+		}
+		if a != b {
+			parent[b] = a
+		}
+	}
+	out := map[int]int{}
+	for _, id := range members {
+		out[id] = find(id)
+	}
+	return out
+}
+
+// forestOracle recomputes the canonical BFS forest from scratch.
+func forestOracle(members []int, edges [][2]int) [][2]int {
+	adj := map[int][]int{}
+	for _, e := range edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	for id := range adj {
+		sort.Ints(adj[id])
+	}
+	seen := map[int]bool{}
+	var out [][2]int
+	for _, root := range members {
+		if seen[root] {
+			continue
+		}
+		seen[root] = true
+		queue := []int{root}
+		for h := 0; h < len(queue); h++ {
+			u := queue[h]
+			for _, nb := range adj[u] {
+				if seen[nb] {
+					continue
+				}
+				seen[nb] = true
+				if u < nb {
+					out = append(out, [2]int{u, nb})
+				} else {
+					out = append(out, [2]int{nb, u})
+				}
+				queue = append(queue, nb)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// checkMaintainedOracles compares every workload result against its
+// from-scratch oracle over the current workload graph.
+func checkMaintainedOracles(t *testing.T, tag string, comp *MaintainedComponents, st *MaintainedSpanningTree, mis *MaintainedMIS) {
+	t.Helper()
+	members := comp.Members()
+	edges := comp.GraphEdges()
+	if !reflect.DeepEqual(edges, st.GraphEdges()) || !reflect.DeepEqual(edges, mis.GraphEdges()) {
+		t.Fatalf("%s: workload graphs diverged", tag)
+	}
+
+	want := labelsOracle(members, edges)
+	if got := comp.Labels(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("%s: component labels diverge from the union-find oracle", tag)
+	}
+
+	if got, wantF := st.Forest(), forestOracle(members, edges); !reflect.DeepEqual(got, wantF) {
+		t.Fatalf("%s: spanning forest diverges from the from-scratch oracle", tag)
+	}
+
+	// Lexicographic fixpoint: v in the set iff no smaller neighbor is.
+	adj := map[int][]int{}
+	for _, e := range edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	in := map[int]bool{}
+	for _, id := range mis.Set() {
+		in[id] = true
+	}
+	for _, v := range members {
+		want := true
+		for _, nb := range adj[v] {
+			if nb < v && in[nb] {
+				want = false
+				break
+			}
+		}
+		if in[v] != want {
+			t.Fatalf("%s: MIS membership of %d violates the lexicographic fixpoint", tag, v)
+		}
+	}
+}
+
+func TestMaintainedOracleUnderChurn(t *testing.T) {
+	sess, _ := openLineSession(t, 128, nil)
+	comp, st, mis := openMaintained(t, sess)
+	checkMaintainedOracles(t, "open", comp, st, mis)
+
+	plan := &ChurnPlan{Seed: 11, Epochs: 10, JoinFrac: 0.05, LeaveFrac: 0.05}
+	for e := 0; e < plan.Epochs; e++ {
+		joins, leaves := plan.Epoch(e, sess.Members(), sess.NextID())
+		bill, err := sess.ApplyEpoch(joins, leaves)
+		if err != nil {
+			t.Fatalf("epoch %d: %v", e, err)
+		}
+		for name, w := range map[string]interface {
+			Sync() WorkloadBill
+			ScratchBill() WorkloadBill
+		}{"components": comp, "spanning-tree": st, "mis": mis} {
+			b := w.Sync()
+			if bill.Rebuilt {
+				if b.Incremental {
+					t.Fatalf("epoch %d %s: rebuild epoch synced incrementally", e, name)
+				}
+				continue
+			}
+			if !b.Incremental {
+				t.Fatalf("epoch %d %s: patch epoch synced from scratch", e, name)
+			}
+			sb := w.ScratchBill()
+			if b.Rounds >= sb.Rounds {
+				t.Fatalf("epoch %d %s: incremental %d rounds vs scratch %d — not strictly cheaper", e, name, b.Rounds, sb.Rounds)
+			}
+			if b.Messages >= sb.Messages {
+				t.Fatalf("epoch %d %s: incremental %d msgs vs scratch %d — not strictly cheaper", e, name, b.Messages, sb.Messages)
+			}
+		}
+		checkMaintainedOracles(t, fmt.Sprintf("epoch %d", e), comp, st, mis)
+	}
+	if comp.Epoch() != sess.Epoch() {
+		t.Fatalf("workload synced to epoch %d, session at %d", comp.Epoch(), sess.Epoch())
+	}
+}
+
+func TestMaintainedRebuildTakesScratchPath(t *testing.T) {
+	sess, _ := openLineSession(t, 96, nil)
+	comp, st, mis := openMaintained(t, sess)
+	var leaves []int
+	for _, id := range sess.Members()[:40] {
+		leaves = append(leaves, id)
+	}
+	bill, err := sess.ApplyEpoch(nil, leaves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bill.Rebuilt {
+		t.Fatalf("expected a rebuild epoch, got %s", bill.Path)
+	}
+	for name, b := range map[string]WorkloadBill{
+		"components": comp.Sync(), "spanning-tree": st.Sync(), "mis": mis.Sync(),
+	} {
+		if b.Incremental || b.Path != "workload/scratch" {
+			t.Fatalf("%s: rebuild epoch billed %q incremental=%v", name, b.Path, b.Incremental)
+		}
+		if b.Affected != len(sess.Members()) {
+			t.Fatalf("%s: scratch sync affected %d of %d members", name, b.Affected, len(sess.Members()))
+		}
+	}
+	checkMaintainedOracles(t, "after rebuild", comp, st, mis)
+}
+
+func TestMaintainedRollbackResync(t *testing.T) {
+	sess, _ := openLineSession(t, 64, nil)
+	comp, st, mis := openMaintained(t, sess)
+	cp := sess.Checkpoint()
+	next := sess.NextID()
+	if _, err := sess.ApplyEpoch([]int{next, next + 1}, []int{5, 9}); err != nil {
+		t.Fatal(err)
+	}
+	comp.Sync()
+	st.Sync()
+	mis.Sync()
+	if err := sess.Restore(cp); err != nil {
+		t.Fatal(err)
+	}
+	// The session rolled back behind the workload snapshot: the next
+	// sync must resync from scratch and the results must be
+	// oracle-exact again — with the restored leavers re-attached as
+	// joiners of the workload graph.
+	for name, b := range map[string]WorkloadBill{
+		"components": comp.Sync(), "spanning-tree": st.Sync(), "mis": mis.Sync(),
+	} {
+		if b.Incremental {
+			t.Fatalf("%s: post-rollback sync was incremental", name)
+		}
+	}
+	if !reflect.DeepEqual(comp.Members(), sess.Members()) {
+		t.Fatalf("post-rollback workload members %v != session members %v", comp.Members(), sess.Members())
+	}
+	checkMaintainedOracles(t, "after rollback", comp, st, mis)
+}
+
+func TestMaintainedDeterminism(t *testing.T) {
+	fingerprint := func() string {
+		sess, _ := openLineSession(t, 128, nil)
+		comp, st, mis := openMaintained(t, sess)
+		plan := &ChurnPlan{Seed: 13, Epochs: 5, JoinFrac: 0.04, LeaveFrac: 0.04}
+		var fp string
+		for e := 0; e < plan.Epochs; e++ {
+			joins, leaves := plan.Epoch(e, sess.Members(), sess.NextID())
+			if _, err := sess.ApplyEpoch(joins, leaves); err != nil {
+				t.Fatal(err)
+			}
+			fp += fmt.Sprintf("%+v|%+v|%+v|", comp.Sync(), st.Sync(), mis.Sync())
+		}
+		labels := comp.Labels()
+		keys := make([]int, 0, len(labels))
+		for k := range labels {
+			keys = append(keys, k)
+		}
+		sort.Ints(keys)
+		for _, k := range keys {
+			fp += fmt.Sprintf("%d:%d,", k, labels[k])
+		}
+		return fp + fmt.Sprintf("%v|%v|%v", st.Forest(), st.Roots(), mis.Set())
+	}
+	if fingerprint() != fingerprint() {
+		t.Fatal("maintained workloads are not deterministic across identical runs")
+	}
+}
+
+func TestMaintainedOpenValidation(t *testing.T) {
+	if _, err := OpenMaintainedComponents(nil, nil); err == nil {
+		t.Fatal("nil session accepted")
+	}
+	sess, _ := openLineSession(t, 16, nil)
+	if _, err := OpenMaintainedMIS(sess, &MaintainedOptions{Contacts: -1}); err == nil {
+		t.Fatal("negative contact count accepted")
+	}
+	comp, err := OpenMaintainedComponents(sess, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bills := comp.Bills()
+	if len(bills) != 1 || bills[0].Incremental || bills[0].Path != "workload/scratch" {
+		t.Fatalf("open bill wrong: %+v", bills)
+	}
+}

@@ -120,6 +120,17 @@ type EpochBill struct {
 	// alongside its error; aborted bills are never appended to Bills.
 	Aborted     bool
 	AbortReason string
+	// DerivedRounds charges the Section 1.4 derived-overlay
+	// re-establishment for the committed epoch: after any repair every
+	// rank changed hands, so the Ring/Chord/Hypercube/DeBruijn views
+	// must be re-announced — ⌈log₂ k⌉+1 rounds of rank-arithmetic
+	// neighbor discovery over the fresh tree. The charge is itemized on
+	// the bill but deliberately kept out of Bill.Rounds and the session
+	// clock: the repair protocol's attempt bills must keep summing to
+	// Bill.Rounds (the ladder-accounting invariant), and the derived
+	// views are established lazily — a session nobody reads views from
+	// never actually runs the re-establishment.
+	DerivedRounds int
 }
 
 // Session is a live overlay under maintenance. All exported methods
@@ -167,6 +178,15 @@ type Session struct {
 	clock  *sim.Clock
 	nextID int
 	bills  []EpochBill
+
+	// derived is the per-epoch derived-overlay cache: view name →
+	// global-identifier edge list, computed once per committed epoch
+	// and invalidated whenever the tree changes (epoch commit, abort
+	// rollback, Restore). derivedMu guards the map so concurrent
+	// readers (who hold mu only shared) can fill it; invalidation
+	// happens under mu held exclusively, which excludes every reader.
+	derivedMu sync.Mutex
+	derived   map[string][][2]int
 
 	// departed records every identifier that was once part of this
 	// session's world and is gone: id → the epoch it left or crashed
@@ -307,16 +327,68 @@ func (s *Session) Bills() []EpochBill {
 
 // Chord returns the current finger-ring edges as global identifier
 // pairs — the routing substrate RouteLookup greedily descends and the
-// knowledge graph an epoch rebuild starts from.
+// knowledge graph an epoch rebuild starts from. Like the other derived
+// views it is served from the per-epoch cache: the first read after an
+// epoch computes the O(k log k) edge list, every further read until
+// the next epoch returns the same slice. Callers must not mutate it.
 func (s *Session) Chord() [][2]int {
+	return s.derivedView("chord", overlays.Chord)
+}
+
+// Ring returns the rank ring (rank r ↔ r+1 mod k) as global
+// identifier pairs, from the per-epoch derived-view cache. Callers
+// must not mutate the returned slice.
+func (s *Session) Ring() [][2]int {
+	return s.derivedView("ring", overlays.Ring)
+}
+
+// Hypercube returns the (possibly incomplete) hypercube over ranks as
+// global identifier pairs, from the per-epoch derived-view cache.
+// Callers must not mutate the returned slice.
+func (s *Session) Hypercube() [][2]int {
+	return s.derivedView("hypercube", overlays.Hypercube)
+}
+
+// DeBruijn returns the binary De Bruijn overlay over ranks as global
+// identifier pairs, from the per-epoch derived-view cache. Callers
+// must not mutate the returned slice.
+func (s *Session) DeBruijn() [][2]int {
+	return s.derivedView("debruijn", overlays.DeBruijn)
+}
+
+// derivedView serves one Section 1.4 derived overlay from the
+// per-epoch cache: on a miss the view is computed from the current
+// tree's rank arithmetic and mapped into global identifiers, then kept
+// until the next tree change invalidates the cache. Readers share mu,
+// so cache fills interleave with lookups; derivedMu serializes
+// concurrent fills of the same epoch's map. The returned slice is
+// shared by every caller until the next epoch — treat it as read-only,
+// exactly like Tree().
+func (s *Session) derivedView(name string, gen func([]int) *graphx.Graph) [][2]int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	local := overlays.Chord(s.tree.NodeAt).Edges()
+	s.derivedMu.Lock()
+	defer s.derivedMu.Unlock()
+	if edges, ok := s.derived[name]; ok {
+		return edges
+	}
+	local := gen(s.tree.NodeAt).Edges()
 	out := make([][2]int, len(local))
 	for i, e := range local {
 		out[i] = [2]int{s.members[e[0]], s.members[e[1]]}
 	}
+	if s.derived == nil {
+		s.derived = make(map[string][][2]int, 4)
+	}
+	s.derived[name] = out
 	return out
+}
+
+// invalidateDerivedLocked drops the derived-view cache; the caller
+// holds mu exclusively (which excludes every derivedView reader, so
+// touching the map without derivedMu is safe).
+func (s *Session) invalidateDerivedLocked() {
+	s.derived = nil
 }
 
 // ErrDeparted reports a lookup endpoint that was once part of the
@@ -474,6 +546,7 @@ func (s *Session) restoreLocked(cp *Checkpoint) error {
 		departed[id] = e
 	}
 	s.departed = departed
+	s.invalidateDerivedLocked()
 	return nil
 }
 
@@ -583,6 +656,12 @@ func (s *Session) applyEpochLocked(joins, leaves []int) (*EpochBill, error) {
 	bill.Members = len(s.members)
 	s.clock.Advance(bill.Rounds)
 	bill.Clock = s.clock.Round()
+	// Section 1.4 re-establishment: bill the O(log k) rounds the
+	// derived overlays cost to re-announce over the repaired tree. The
+	// charge is a separate line item, not folded into Bill.Rounds or
+	// the clock (see EpochBill.DerivedRounds).
+	bill.DerivedRounds = sim.LogBound(len(s.members)) + 1
+	bill.Itemized += fmt.Sprintf("%-28s %5d rounds  (charged, off the epoch clock)\n", "derived re-establishment", bill.DerivedRounds)
 	s.noteDepartures(epoch, cp.members, joins)
 	if len(joins) > 0 {
 		if last := joins[len(joins)-1]; last >= s.nextID {
@@ -590,6 +669,7 @@ func (s *Session) applyEpochLocked(joins, leaves []int) (*EpochBill, error) {
 		}
 	}
 	s.bills = append(s.bills, *bill)
+	s.invalidateDerivedLocked()
 	return bill, nil
 }
 
