@@ -49,23 +49,48 @@ import (
 	"overlay/internal/scenario"
 )
 
+// cliFlags holds every overlaycli flag, registered through
+// registerFlags so the usage strings are testable (the flag-help drift
+// test asserts they keep naming the valid values and grammars).
+type cliFlags struct {
+	topo     *string
+	n        *int
+	seed     *uint64
+	msgLvl   *bool
+	capFac   *int
+	derived  *bool
+	faults   *string
+	churn    *string
+	planSpec *string
+	acctName *string
+	retries  *int
+	workl    *bool
+}
+
+func registerFlags(fs *flag.FlagSet) *cliFlags {
+	return &cliFlags{
+		topo:     fs.String("topology", "line", "input topology: line|ring|tree|grid"),
+		n:        fs.Int("n", 1024, "number of nodes"),
+		seed:     fs.Uint64("seed", 1, "run seed"),
+		msgLvl:   fs.Bool("message-level", false, "run the real distributed protocol on the NCC0 engine"),
+		capFac:   fs.Int("cap", 0, "NCC0 capacity factor κ (per-round cap κ·log n; 0 = uncapped)"),
+		derived:  fs.Bool("derived", false, "also print derived overlay sizes"),
+		faults:   fs.String("faults", "", "fault schedule, e.g. 'drop=0.01,delay=0.05,delaymax=3,crash=17@40,crashfrac=0.1@100,cut=0-99@30-60,seed=9' (implies -message-level)"),
+		churn:    fs.String("churn", "", "churn epoch schedule, e.g. 'epochs=10,join=0.02,leave=0.02,seed=5,rebuild=0.25'"),
+		planSpec: fs.String("plan", "", "unified fault+churn plan (overlay.ParsePlan grammar); replaces -faults and -churn"),
+		acctName: fs.String("accounting", "charged", "patch-epoch accounting: charged|measured (measured implies -message-level)"),
+		retries:  fs.Int("retries", 0, "epoch recovery ladder: retry a defeated epoch up to this many extra patch and rebuild attempts before rolling back"),
+		workl:    fs.Bool("workloads", false, "with -churn: keep the maintained hybrid workloads (components, spanning forest, MIS) open across the epochs and print each sync's bill against the from-scratch price"),
+	}
+}
+
 func main() {
 	log.SetFlags(0)
-	var (
-		topo     = flag.String("topology", "line", "input topology: line|ring|tree|grid")
-		n        = flag.Int("n", 1024, "number of nodes")
-		seed     = flag.Uint64("seed", 1, "run seed")
-		msgLvl   = flag.Bool("message-level", false, "run the real distributed protocol on the NCC0 engine")
-		capFac   = flag.Int("cap", 0, "NCC0 capacity factor κ (per-round cap κ·log n; 0 = uncapped)")
-		derived  = flag.Bool("derived", false, "also print derived overlay sizes")
-		faults   = flag.String("faults", "", "fault schedule, e.g. 'drop=0.01,delay=0.05,delaymax=3,crash=17@40,crashfrac=0.1@100,cut=0-99@30-60,seed=9' (implies -message-level)")
-		churn    = flag.String("churn", "", "churn epoch schedule, e.g. 'epochs=10,join=0.02,leave=0.02,seed=5,rebuild=0.25'")
-		planSpec = flag.String("plan", "", "unified fault+churn plan (overlay.ParsePlan grammar); replaces -faults and -churn")
-		acctName = flag.String("accounting", "charged", "patch-epoch accounting: charged|measured (measured implies -message-level)")
-		retries  = flag.Int("retries", 0, "epoch recovery ladder: retry a defeated epoch up to this many extra patch and rebuild attempts before rolling back")
-		workl    = flag.Bool("workloads", false, "with -churn: keep the maintained hybrid workloads (components, spanning forest, MIS) open across the epochs and print each sync's bill against the from-scratch price")
-	)
+	fl := registerFlags(flag.CommandLine)
 	flag.Parse()
+	topo, n, seed, msgLvl := fl.topo, fl.n, fl.seed, fl.msgLvl
+	capFac, derived, faults, churn := fl.capFac, fl.derived, fl.faults, fl.churn
+	planSpec, acctName, retries, workl := fl.planSpec, fl.acctName, fl.retries, fl.workl
 	if *n < 1 {
 		log.Fatal("-n must be >= 1")
 	}

@@ -155,6 +155,7 @@ func (m *Multi) IsSymmetric() bool {
 			counts[[2]int{u, int(v)}]++
 		}
 	}
+	//lint:ordered boolean symmetry verdict; the same answer falls out in any witness order
 	for key, c := range counts {
 		if counts[[2]int{key[1], key[0]}] != c {
 			return false

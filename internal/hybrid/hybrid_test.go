@@ -170,6 +170,38 @@ func TestSpanningTreeTiny(t *testing.T) {
 	}
 }
 
+// TestSpannerDeterministicAdjacency regression-tests the edge
+// selection's sorted drain: same graph, same seed must give the same
+// spanner edges in the same adjacency order, because downstream
+// traversals (BFS parent selection, delegation chains) tie-break on
+// that order. Before the sorted drain, the selection iterated the
+// per-node source map directly and the adjacency order varied run to
+// run within one process.
+func TestSpannerDeterministicAdjacency(t *testing.T) {
+	g := topology.ErdosRenyi(200, 0.08, rng.New(11)).Undirected()
+	a := Spanner(g, g.N, 0, rng.New(42))
+	b := Spanner(g, g.N, 0, rng.New(42))
+	for v := 0; v < g.N; v++ {
+		av, bv := a.Spanner.Out[v], b.Spanner.Out[v]
+		if len(av) != len(bv) {
+			t.Fatalf("node %d: spanner out-degree %d vs %d across runs", v, len(av), len(bv))
+		}
+		for i := range av {
+			if av[i] != bv[i] {
+				t.Fatalf("node %d: adjacency order differs at slot %d (%d vs %d)", v, i, av[i], bv[i])
+			}
+		}
+	}
+	if len(a.DelegationCenter) != len(b.DelegationCenter) {
+		t.Fatalf("delegation records differ: %d vs %d", len(a.DelegationCenter), len(b.DelegationCenter))
+	}
+	for e, c := range a.DelegationCenter {
+		if b.DelegationCenter[e] != c {
+			t.Fatalf("delegation center of %v differs: %d vs %d", e, c, b.DelegationCenter[e])
+		}
+	}
+}
+
 func TestSpanningTreeDeterministic(t *testing.T) {
 	g := topology.Grid(6, 6)
 	a, err := SpanningTree(g, 21)

@@ -143,6 +143,7 @@ func MIS(g *graphx.Digraph, seed uint64) (*MISResult, error) {
 		}
 	}
 	res.Components = len(members)
+	//lint:ordered max aggregation over component sizes
 	for _, nodes := range members {
 		if len(nodes) > res.MaxComponent {
 			res.MaxComponent = len(nodes)
@@ -160,8 +161,10 @@ func MIS(g *graphx.Digraph, seed uint64) (*MISResult, error) {
 		k = 1
 	}
 	maxFinish := 0
+	//lint:ordered components are vertex-disjoint with per-component seeded streams (keyed by nodes[0]); writes never overlap and maxFinish is a max
 	for _, nodes := range members {
 		adopted, finish := metivierBest(sub, nodes, k, src.Split(uint64(0xa11c+nodes[0])))
+		//lint:ordered disjoint per-vertex writes into a flat array
 		for v, in := range adopted {
 			if in {
 				res.InMIS[v] = true

@@ -143,7 +143,18 @@ func Spanner(g *graphx.Graph, mBound, lowDeg int, src *rng.Source) *SpannerResul
 			continue
 		}
 		mv := best[v][top[v]].val
-		for _, info := range best[v] {
+		// Sorted drain: AddEdge order becomes the spanner's adjacency
+		// order, which downstream traversals (BFS parent selection,
+		// delegation chains) tie-break on — iterating the map directly
+		// made the spanner's neighbor order vary run to run.
+		sources := make([]int, 0, len(best[v]))
+		//lint:ordered source keys are collected then sorted before use
+		for u := range best[v] {
+			sources = append(sources, u)
+		}
+		sort.Ints(sources)
+		for _, u := range sources {
+			info := best[v][u]
 			if info.val >= mv-1 && info.pred != v && !outSet[v][info.pred] {
 				outSet[v][info.pred] = true
 				res.Spanner.AddEdge(v, info.pred)
@@ -160,6 +171,7 @@ func Spanner(g *graphx.Graph, mBound, lowDeg int, src *rng.Source) *SpannerResul
 	// selected itself, so deg_H = O(outdeg_S) = O(log n) w.h.p.
 	incoming := make([][]int, n)
 	for v := 0; v < n; v++ {
+		//lint:ordered every incoming list is sort.Ints-ed before the delegation scan reads it
 		for w := range outSet[v] {
 			incoming[w] = append(incoming[w], v)
 		}

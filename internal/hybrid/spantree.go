@@ -83,8 +83,11 @@ func SpanningTree(g *graphx.Digraph, seed uint64) (*STResult, error) {
 				paths[key] = ev.Paths[k]
 			}
 		}
+		// Sorted drain: the replacement itself is set-union and
+		// order-insensitive, but a missing walk aborts on the first
+		// offending key, and that witness must not depend on map order.
 		next := make(map[[2]int]bool, len(need)*2)
-		for key := range need {
+		for _, key := range sortedEdgeKeys(need) {
 			path, ok := paths[key]
 			if !ok {
 				return nil, fmt.Errorf("hybrid: no recorded walk for evolved edge %v at level %d", key, i)
@@ -115,17 +118,7 @@ func SpanningTree(g *graphx.Digraph, seed uint64) (*STResult, error) {
 	}
 	// Deterministic processing order: the repaired graph's adjacency
 	// order feeds BFS parent selection.
-	keys := make([][2]int, 0, len(need))
-	for key := range need {
-		keys = append(keys, key)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i][0] != keys[j][0] {
-			return keys[i][0] < keys[j][0]
-		}
-		return keys[i][1] < keys[j][1]
-	})
-	for _, key := range keys {
+	for _, key := range sortedEdgeKeys(need) {
 		if und.HasEdge(key[0], key[1]) {
 			addEdge(key[0], key[1])
 			continue
@@ -162,4 +155,23 @@ func canon(a, b int) [2]int {
 		a, b = b, a
 	}
 	return [2]int{a, b}
+}
+
+// sortedEdgeKeys drains an edge set in ascending (a, b) order, so map
+// iteration order never reaches anything order-sensitive: the repaired
+// graph's adjacency order feeds BFS parent selection, and the unwind's
+// missing-walk error must name a deterministic witness.
+func sortedEdgeKeys(set map[[2]int]bool) [][2]int {
+	keys := make([][2]int, 0, len(set))
+	//lint:ordered keys are collected then sorted before any use
+	for key := range set {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	return keys
 }

@@ -1,0 +1,10 @@
+package lint
+
+import "testing"
+
+// TestDeterminismGolden holds the determinism analyzer against its
+// corpus: every forbidden construct fires in the engine-scope package
+// and the same constructs pass in the exempt cmd package.
+func TestDeterminismGolden(t *testing.T) {
+	runGolden(t, Determinism, "overlay/internal/sim/dtest", "overlay/cmd/dtest")
+}

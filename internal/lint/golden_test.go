@@ -1,0 +1,182 @@
+package lint
+
+// The golden harness is a stdlib reimplementation of the
+// golang.org/x/tools analysistest convention: corpora live under
+// testdata/src/<import path>, every import resolves against stubs in
+// the same tree (never the real standard library), and expected
+// findings are `// want` markers on the flagged line. Each analyzer's
+// _test.go file loads its corpus packages — at least one in-scope
+// package where every diagnostic fires and one exempt package where
+// the same constructs pass — through runGolden.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// goldenLoader loads corpus packages from testdata/src, one directory
+// per import path, type-checking them from source. It doubles as the
+// types.Importer, so a corpus package named "time" or "sim" shadows
+// the real one for everything in the corpus tree.
+type goldenLoader struct {
+	root string
+	fset *token.FileSet
+	pkgs map[string]*Package
+}
+
+func newGoldenLoader() *goldenLoader {
+	return &goldenLoader{
+		root: filepath.Join("testdata", "src"),
+		fset: token.NewFileSet(),
+		pkgs: map[string]*Package{},
+	}
+}
+
+func (l *goldenLoader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	p, err := l.loadPkg(path)
+	if err != nil {
+		return nil, err
+	}
+	return p.Types, nil
+}
+
+func (l *goldenLoader) loadPkg(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(l.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("golden package %s: %v", path, err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("golden package %s: no .go files in %s", path, dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	tpkg, info, err := check(l.fset, path, files, l)
+	if err != nil {
+		return nil, err
+	}
+	p := &Package{PkgPath: path, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// wantLine matches a marker comment; wantArg pulls out its quoted
+// regexes (backtick-raw or double-quoted, analysistest-style).
+var (
+	wantLine = regexp.MustCompile(`^//\s*want\s+(.+)$`)
+	wantArg  = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+)
+
+type goldenKey struct {
+	file string
+	line int
+}
+
+// runGolden loads the corpus packages, applies one analyzer, and holds
+// its findings against the `// want` markers: every finding must be
+// expected by a marker on its line and every marker must match a
+// finding, so both false positives and false negatives fail the test.
+func runGolden(t *testing.T, a *Analyzer, paths ...string) {
+	t.Helper()
+	l := newGoldenLoader()
+	var pkgs []*Package
+	for _, path := range paths {
+		p, err := l.loadPkg(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	diags, err := Run(pkgs, []*Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wants := map[goldenKey][]*regexp.Regexp{}
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantLine.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := l.fset.Position(c.Pos())
+					key := goldenKey{file: pos.Filename, line: pos.Line}
+					for _, arg := range wantArg.FindAllString(m[1], -1) {
+						var expr string
+						if strings.HasPrefix(arg, "`") {
+							expr = strings.Trim(arg, "`")
+						} else {
+							expr, err = strconv.Unquote(arg)
+							if err != nil {
+								t.Fatalf("%s: bad want argument %s: %v", pos, arg, err)
+							}
+						}
+						re, err := regexp.Compile(expr)
+						if err != nil {
+							t.Fatalf("%s: bad want regexp %q: %v", pos, expr, err)
+						}
+						wants[key] = append(wants[key], re)
+					}
+				}
+			}
+		}
+	}
+
+	matched := map[goldenKey][]bool{}
+	for _, d := range diags {
+		key := goldenKey{file: d.Pos.Filename, line: d.Pos.Line}
+		res := wants[key]
+		if matched[key] == nil && len(res) > 0 {
+			matched[key] = make([]bool, len(res))
+		}
+		found := false
+		for i, re := range res {
+			if !matched[key][i] && re.MatchString(d.Message) {
+				matched[key][i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s", d.Pos, d.Message)
+		}
+	}
+	for key, res := range wants {
+		for i, re := range res {
+			if matched[key] == nil || !matched[key][i] {
+				t.Errorf("%s:%d: no diagnostic matching %q", key.file, key.line, re)
+			}
+		}
+	}
+}

@@ -1,0 +1,11 @@
+package lint
+
+import "testing"
+
+// TestHotPathGolden holds the hotpath analyzer against its corpus: an
+// annotated function where every forbidden pattern fires, the same
+// body unannotated (exempt), and the allocation-free spellings that
+// pass under the annotation.
+func TestHotPathGolden(t *testing.T) {
+	runGolden(t, HotPath, "overlay/internal/sim/htest")
+}

@@ -1,0 +1,211 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed, and type-checked module package.
+type Package struct {
+	PkgPath string
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader reads.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Standard   bool
+	Export     string
+	GoFiles    []string
+	Imports    []string
+	DepOnly    bool
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+}
+
+// Load lists the patterns with the go command and returns every module
+// package, parsed with comments and fully type-checked. Module
+// packages are checked from source (the analyzers need their ASTs and
+// type info); out-of-module dependencies — the standard library, here —
+// are imported from the compiler's export data, which `go list -export`
+// materializes in the build cache, so loading needs no network and no
+// third-party machinery.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+
+	var (
+		modulePkgs []*listPkg
+		exportFile = map[string]string{}
+	)
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		lp := &listPkg{}
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("go list %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if lp.Export != "" {
+			exportFile[lp.ImportPath] = lp.Export
+		}
+		if !lp.Standard && lp.Module != nil && len(lp.GoFiles) > 0 {
+			modulePkgs = append(modulePkgs, lp)
+		}
+	}
+
+	// Topological order over the module-internal import graph, so every
+	// module dependency is checked from source before its importers.
+	byPath := make(map[string]*listPkg, len(modulePkgs))
+	for _, lp := range modulePkgs {
+		byPath[lp.ImportPath] = lp
+	}
+	var order []*listPkg
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(lp *listPkg) error
+	visit = func(lp *listPkg) error {
+		switch state[lp.ImportPath] {
+		case 1:
+			return fmt.Errorf("import cycle through %s", lp.ImportPath)
+		case 2:
+			return nil
+		}
+		state[lp.ImportPath] = 1
+		for _, imp := range lp.Imports {
+			if dep, ok := byPath[imp]; ok {
+				if err := visit(dep); err != nil {
+					return err
+				}
+			}
+		}
+		state[lp.ImportPath] = 2
+		order = append(order, lp)
+		return nil
+	}
+	sort.Slice(modulePkgs, func(i, j int) bool {
+		return modulePkgs[i].ImportPath < modulePkgs[j].ImportPath
+	})
+	for _, lp := range modulePkgs {
+		if err := visit(lp); err != nil {
+			return nil, err
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := &moduleImporter{
+		checked: map[string]*types.Package{},
+		gc: importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+			f, ok := exportFile[path]
+			if !ok {
+				return nil, fmt.Errorf("no export data for %q", path)
+			}
+			return os.Open(f)
+		}),
+	}
+
+	var pkgs []*Package
+	for _, lp := range order {
+		files := make([]*ast.File, 0, len(lp.GoFiles))
+		for _, name := range lp.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		tpkg, info, err := check(fset, lp.ImportPath, files, imp)
+		if err != nil {
+			return nil, err
+		}
+		imp.checked[lp.ImportPath] = tpkg
+		pkgs = append(pkgs, &Package{
+			PkgPath: lp.ImportPath,
+			Dir:     lp.Dir,
+			Fset:    fset,
+			Files:   files,
+			Types:   tpkg,
+			Info:    info,
+		})
+	}
+	return pkgs, nil
+}
+
+// moduleImporter resolves module packages to their source-checked
+// types and everything else through compiler export data.
+type moduleImporter struct {
+	checked map[string]*types.Package
+	gc      types.Importer
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := m.checked[path]; ok {
+		return pkg, nil
+	}
+	return m.gc.Import(path)
+}
+
+// check type-checks one package's files, collecting the full Info the
+// analyzers consume. Type errors are fatal: analysis over ill-typed
+// code reports garbage.
+func check(fset *token.FileSet, path string, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, error) {
+	var errs []string
+	cfg := &types.Config{
+		Importer: imp,
+		Error: func(err error) {
+			errs = append(errs, err.Error())
+		},
+	}
+	info := NewInfo()
+	tpkg, _ := cfg.Check(path, fset, files, info)
+	if len(errs) > 0 {
+		const max = 10
+		if len(errs) > max {
+			errs = append(errs[:max], fmt.Sprintf("... and %d more", len(errs)-max))
+		}
+		return nil, nil, fmt.Errorf("type errors in %s:\n  %s", path, strings.Join(errs, "\n  "))
+	}
+	return tpkg, info, nil
+}
+
+// NewInfo allocates a types.Info with every map the analyzers read.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Instances:  map[*ast.Ident]types.Instance{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}

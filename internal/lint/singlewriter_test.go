@@ -1,0 +1,12 @@
+package lint
+
+import "testing"
+
+// TestSingleWriterGolden holds the singlewriter analyzer against its
+// corpus: out-of-file Session field writes in the root package, and
+// out-of-license mutator calls in the service package, with the legal
+// spellings (writer files, worker methods, JobFunc literals, factored
+// job bodies) passing alongside.
+func TestSingleWriterGolden(t *testing.T) {
+	runGolden(t, SingleWriter, "overlay", "overlay/internal/service")
+}

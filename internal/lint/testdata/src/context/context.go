@@ -1,0 +1,10 @@
+// Package context is a corpus stub shadowing the real context: the
+// singlewriter analyzer recognizes context.Context by package path, so
+// the stub only needs the name.
+package context
+
+// Context is the slice of the real interface the corpus needs.
+type Context interface{ Err() error }
+
+// TODO returns a placeholder context.
+func TODO() Context { return nil }

@@ -1,0 +1,5 @@
+// Package fmt is a corpus stub shadowing the real fmt.
+package fmt
+
+// Sprintf formats into a string.
+func Sprintf(format string, args ...any) string { _ = args; return format }

@@ -1,0 +1,5 @@
+// Package rand is a corpus stub shadowing math/rand.
+package rand
+
+// Intn returns a pseudo-random int in [0, n).
+func Intn(n int) int { return n - 1 }

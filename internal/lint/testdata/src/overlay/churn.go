@@ -1,0 +1,6 @@
+package overlay
+
+// advance is churn.go's legal write: the file is on the writer list.
+func (s *Session) advance() { s.epoch++ }
+
+var _ = (*Session).advance

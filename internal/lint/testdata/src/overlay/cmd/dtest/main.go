@@ -1,0 +1,20 @@
+// Package main mirrors the determinism corpus outside engine scope:
+// cmd packages are exempt by configuration, so nothing here is
+// flagged.
+package main
+
+import (
+	"math/rand"
+	"time"
+)
+
+func main() {
+	m := map[int]int{1: 1}
+	total := rand.Intn(6)
+	for _, v := range m {
+		total += v
+	}
+	start := time.Now()
+	_ = time.Since(start)
+	_ = total
+}

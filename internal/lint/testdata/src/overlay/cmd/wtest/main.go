@@ -1,0 +1,13 @@
+// Package main mirrors the wiredisc corpus outside engine scope:
+// harness payloads are exempt, so Encode without Decode is legal here.
+package main
+
+import "overlay/internal/sim"
+
+// DebugProbe encodes but never decodes; out of scope, not flagged.
+type DebugProbe struct{ X uint64 }
+
+// Encode writes p into w without registering a kind.
+func (p DebugProbe) Encode(w *sim.Wire) { w.W[0] = p.X }
+
+func main() { _ = DebugProbe{} }

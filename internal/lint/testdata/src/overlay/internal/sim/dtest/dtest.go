@@ -1,0 +1,53 @@
+// Package dtest is the determinism analyzer's positive corpus: it
+// lives under overlay/internal/sim, so every construct the analyzer
+// forbids must be flagged here.
+package dtest
+
+import (
+	"math/rand" // want `import of math/rand in engine package`
+	"time"
+)
+
+func clocks() time.Duration {
+	start := time.Now()      // want `time.Now in engine package`
+	return time.Since(start) // want `time.Since in engine package`
+}
+
+func dice() int { return rand.Intn(6) }
+
+func drain(m map[int]int) (sum int) {
+	for _, v := range m { // want `range over map in engine package`
+		sum += v
+	}
+
+	//lint:ordered
+	for _, v := range m { // want `//lint:ordered needs a reason`
+		sum += v
+	}
+
+	// A justified annotation and a slice range are both exempt.
+	//lint:ordered commutative sum
+	for _, v := range m {
+		sum += v
+	}
+	for i := range []int{1, 2, 3} {
+		sum += i
+	}
+	return sum
+}
+
+func race(a, b chan int) int {
+	select { // want `select with 2 communication cases`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+func single(a chan int) int {
+	select {
+	case v := <-a:
+		return v
+	}
+}

@@ -1,0 +1,59 @@
+// Package htest is the hotpath analyzer's corpus: hot holds one
+// instance of every forbidden pattern, cold repeats them without the
+// annotation, and flat shows the allocation-free spellings that pass.
+package htest
+
+import "fmt"
+
+type boxer interface{ box() }
+
+type val int
+
+func (v val) box() {}
+
+// hot is the positive corpus.
+//
+//overlay:hotpath
+func hot(names []string, v val, n int) string {
+	msg := fmt.Sprintf("n=%d", n) // want `fmt\.Sprintf in hotpath function hot`
+	msg = msg + "!"               // want `string concatenation in hotpath function hot`
+	msg += "?"                    // want `string \+= in hotpath function hot`
+	var out []string
+	for _, name := range names {
+		out = append(out, name) // want `append to out in a loop in hotpath function hot`
+	}
+	cb := func() int { return n } // want `closure in hotpath function hot captures n`
+	_ = cb
+	_ = boxer(v) // want `conversion to interface type boxer in hotpath function hot boxes its operand`
+	_ = out
+	return msg
+}
+
+// cold has no annotation: the same patterns pass off the hot path.
+func cold(names []string, v val, n int) string {
+	msg := fmt.Sprintf("n=%d", n)
+	msg = msg + "!"
+	var out []string
+	for _, name := range names {
+		out = append(out, name)
+	}
+	cb := func() int { return n }
+	_ = cb
+	_ = boxer(v)
+	_ = out
+	return msg
+}
+
+// flat shows the allocation-free spellings the analyzer accepts.
+//
+//overlay:hotpath
+func flat(scratch []string, n int) int {
+	// Invoked on the spot: captures stay on the stack.
+	total := func() int { return n * 2 }()
+	// Preallocated: growth never reallocates.
+	out := make([]string, 0, len(scratch))
+	for _, s := range scratch {
+		out = append(out, s)
+	}
+	return total + len(out)
+}

@@ -1,0 +1,26 @@
+// Package sim is the corpus stub for the engine's message plane. The
+// analyzers recognize the sim package by name (exactly so stubs like
+// this one can stand in for it), so the stub carries just the
+// Wire/Payload/Send surface the wiredisc corpus exercises.
+package sim
+
+// Wire is the fixed-width message frame.
+type Wire struct {
+	From  uint64
+	Kind  uint16
+	Units int32
+	W     [4]uint64
+}
+
+// Payload is the encode side of the wire contract.
+type Payload interface{ Encode(w *Wire) }
+
+// Ctx is a node's per-round context.
+type Ctx struct{}
+
+// Send encodes p and queues it.
+func Send[P Payload](c *Ctx, to uint64, p P) {
+	var w Wire
+	p.Encode(&w)
+	_, _ = c, to
+}

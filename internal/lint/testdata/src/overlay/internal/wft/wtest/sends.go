@@ -1,0 +1,15 @@
+package wtest
+
+import "overlay/internal/sim"
+
+// AnyPayload is the boxed-payload shape the retired shim used.
+type AnyPayload interface{ Encode(w *sim.Wire) }
+
+func SendAny(c *sim.Ctx, to uint64, p AnyPayload) { // want `SendAny declared`
+	sim.Send[AnyPayload](c, to, p) // want `sim\.Send instantiated at interface type AnyPayload`
+}
+
+// SendGood instantiates Send at a concrete payload type: no finding.
+func SendGood(c *sim.Ctx, to uint64, p Good) {
+	sim.Send(c, to, p)
+}

@@ -1,0 +1,84 @@
+// Package wtest is the wiredisc analyzer's positive corpus: payload
+// declaration violations, kind collisions, and boxed send paths.
+package wtest
+
+import "overlay/internal/sim"
+
+const (
+	KindGood     uint16 = 1
+	KindDupA     uint16 = 2
+	KindDupB     uint16 = 2
+	KindNoDecode uint16 = 3
+	KindBadField uint16 = 4
+)
+
+// Good round-trips under its own kind: no findings.
+type Good struct{ X uint64 }
+
+// Encode writes p into w.
+func (p Good) Encode(w *sim.Wire) {
+	w.Kind = KindGood
+	w.W[0] = p.X
+}
+
+// Decode restores p from w.
+func (p *Good) Decode(w sim.Wire) { p.X = w.W[0] }
+
+type NoDecode struct{ X uint64 } // want `payload NoDecode declares Encode\(\*sim\.Wire\) but no matching Decode`
+
+// Encode writes p into w; the missing Decode is the finding.
+func (p NoDecode) Encode(w *sim.Wire) {
+	w.Kind = KindNoDecode
+	w.W[0] = p.X
+}
+
+type BadField struct { // want `payload BadField has interface-typed field Val`
+	Val any
+}
+
+// Encode registers BadField under its kind.
+func (p BadField) Encode(w *sim.Wire) { w.Kind = KindBadField }
+
+// Decode is a no-op.
+func (p *BadField) Decode(w sim.Wire) {}
+
+// NoKind's Encode never registers a kind.
+type NoKind struct{ X uint64 }
+
+func (p NoKind) Encode(w *sim.Wire) { w.W[0] = p.X } // want `payload NoKind's Encode never sets w\.Kind`
+
+// Decode restores p from w.
+func (p *NoKind) Decode(w sim.Wire) { p.X = w.W[0] }
+
+// NonConstKind registers a computed kind.
+type NonConstKind struct{ X uint64 }
+
+func pick() uint16 { return 9 }
+
+// Encode sets Kind from a call, not a named constant.
+func (p NonConstKind) Encode(w *sim.Wire) {
+	w.Kind = pick() // want `payload NonConstKind's Encode sets Kind from a non-constant expression`
+}
+
+// Decode is a no-op.
+func (p *NonConstKind) Decode(w sim.Wire) {}
+
+// DupA and DupB collide on kind value 2.
+type DupA struct{}
+
+// Encode registers DupA first (payloads are scanned in name order).
+func (p DupA) Encode(w *sim.Wire) { w.Kind = KindDupA }
+
+// Decode is a no-op.
+func (p *DupA) Decode(w sim.Wire) {}
+
+// DupB reuses DupA's kind value.
+type DupB struct{}
+
+// Encode collides with DupA.
+func (p DupB) Encode(w *sim.Wire) {
+	w.Kind = KindDupB // want `payload DupB registers Kind KindDupB \(= 2\), already used by payload DupA`
+}
+
+// Decode is a no-op.
+func (p *DupB) Decode(w sim.Wire) {}

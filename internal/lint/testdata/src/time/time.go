@@ -1,0 +1,15 @@
+// Package time is a corpus stub shadowing the real standard library
+// package, analysistest-style: only the surface the corpora touch.
+package time
+
+// Time is an instant.
+type Time struct{ ns int64 }
+
+// Duration is elapsed nanoseconds.
+type Duration int64
+
+// Now reads the wall clock.
+func Now() Time { return Time{} }
+
+// Since returns the time elapsed since t.
+func Since(t Time) Duration { return Duration(t.ns) }

@@ -1,0 +1,256 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+)
+
+// WireDisc proves the wire-format discipline of the message plane:
+// every payload type that declares Encode(*sim.Wire) also declares the
+// matching Decode(sim.Wire), Encode registers the payload under a
+// distinct named Kind constant (receivers dispatch on Wire.Kind, so
+// two payloads sharing a kind silently misparse each other), payload
+// structs carry no interface-typed fields, and no sim.Send call is
+// instantiated at an interface type — the boxed SendAny shim was
+// retired in PR 6 and must not creep back in any spelling.
+var WireDisc = &Analyzer{
+	Name: "wiredisc",
+	Doc:  "every Encode(*sim.Wire) payload has Decode(sim.Wire) and a distinct registered Kind; nothing interface-typed reaches a send path",
+	Run:  runWireDisc,
+}
+
+func runWireDisc(pass *Pass) error {
+	if !engineScope(pass.PkgPath) {
+		return nil
+	}
+	checkPayloadDecls(pass)
+	checkSendSites(pass)
+	return nil
+}
+
+// payloadInfo is one Encode-declaring type and its registered kind.
+type payloadInfo struct {
+	name     *types.TypeName
+	kindName string
+	kindVal  constant.Value
+	kindPos  ast.Node
+}
+
+func checkPayloadDecls(pass *Pass) {
+	scope := pass.Pkg.Scope()
+	var payloads []*payloadInfo
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		enc := methodNamed(named, "Encode")
+		if enc == nil || !isEncodeSig(enc) {
+			continue
+		}
+		p := &payloadInfo{name: tn}
+		payloads = append(payloads, p)
+
+		dec := methodNamed(named, "Decode")
+		if dec == nil || !isDecodeSig(dec) {
+			pass.Reportf(tn.Pos(), "payload %s declares Encode(*sim.Wire) but no matching Decode(sim.Wire): every wire payload must round-trip", tn.Name())
+		}
+
+		if iface := interfaceField(named); iface != "" {
+			pass.Reportf(tn.Pos(), "payload %s has interface-typed field %s: payloads must be boxing-free plain data encoded into Wire words", tn.Name(), iface)
+		}
+
+		body := methodBody(pass, named, "Encode")
+		if body == nil {
+			continue
+		}
+		kindName, kindVal, pos := kindAssignment(pass, body)
+		switch {
+		case pos == nil:
+			pass.Reportf(enc.Pos(), "payload %s's Encode never sets w.Kind: receivers dispatch on Wire.Kind, so an unregistered payload is undeliverable", tn.Name())
+		case kindVal == nil:
+			pass.Reportf(pos.Pos(), "payload %s's Encode sets Kind from a non-constant expression: kinds must be declared named constants so the dispatch table is auditable", tn.Name())
+		default:
+			p.kindName, p.kindVal, p.kindPos = kindName, kindVal, pos
+		}
+	}
+
+	// Distinctness: two payloads registered under the same kind value
+	// silently decode each other's bytes.
+	sort.Slice(payloads, func(i, j int) bool { return payloads[i].name.Name() < payloads[j].name.Name() })
+	byVal := map[string]*payloadInfo{}
+	for _, p := range payloads {
+		if p.kindVal == nil {
+			continue
+		}
+		key := p.kindVal.ExactString()
+		if prev, ok := byVal[key]; ok {
+			pass.Reportf(p.kindPos.Pos(), "payload %s registers Kind %s (= %s), already used by payload %s (%s): kinds must be distinct within a protocol", p.name.Name(), p.kindName, key, prev.name.Name(), prev.kindName)
+			continue
+		}
+		byVal[key] = p
+	}
+}
+
+// checkSendSites flags interface-typed payloads entering the send path
+// and any resurrection of the retired SendAny shim.
+func checkSendSites(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Name.Name == "SendAny" {
+					pass.Reportf(n.Pos(), "SendAny declared: the boxed any-payload shim was retired; payloads implement Encode/Decode and go through sim.Send")
+				}
+			case *ast.CallExpr:
+				ident := sendIdent(n)
+				if ident == nil {
+					return true
+				}
+				obj := pass.Info.Uses[ident]
+				if obj == nil || obj.Name() != "Send" || !isSimPackage(obj.Pkg()) {
+					return true
+				}
+				inst, ok := pass.Info.Instances[ident]
+				if !ok || inst.TypeArgs == nil || inst.TypeArgs.Len() == 0 {
+					return true
+				}
+				arg := inst.TypeArgs.At(0)
+				if types.IsInterface(arg) {
+					pass.Reportf(n.Pos(), "sim.Send instantiated at interface type %s: an interface-typed payload boxes on every send; pass the concrete payload type", types.TypeString(arg, types.RelativeTo(pass.Pkg)))
+				}
+			}
+			return true
+		})
+	}
+}
+
+// sendIdent extracts the callee identifier of a (possibly explicitly
+// instantiated) sim.Send call.
+func sendIdent(call *ast.CallExpr) *ast.Ident {
+	fun := ast.Unparen(call.Fun)
+	if ix, ok := fun.(*ast.IndexExpr); ok {
+		fun = ast.Unparen(ix.X)
+	}
+	if ix, ok := fun.(*ast.IndexListExpr); ok {
+		fun = ast.Unparen(ix.X)
+	}
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		return fun
+	case *ast.SelectorExpr:
+		return fun.Sel
+	}
+	return nil
+}
+
+// methodNamed finds a method in T or *T's method set by name.
+func methodNamed(named *types.Named, name string) *types.Func {
+	for i := 0; i < named.NumMethods(); i++ {
+		if m := named.Method(i); m.Name() == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// isEncodeSig reports sig is func(*sim.Wire) with no results.
+func isEncodeSig(fn *types.Func) bool {
+	sig := fn.Type().(*types.Signature)
+	return sig.Params().Len() == 1 && sig.Results().Len() == 0 &&
+		isWireType(sig.Params().At(0).Type(), true)
+}
+
+// isDecodeSig reports sig is func(sim.Wire) with no results.
+func isDecodeSig(fn *types.Func) bool {
+	sig := fn.Type().(*types.Signature)
+	return sig.Params().Len() == 1 && sig.Results().Len() == 0 &&
+		isWireType(sig.Params().At(0).Type(), false)
+}
+
+// interfaceField returns the name of an interface-typed field of the
+// payload struct, or "".
+func interfaceField(named *types.Named) string {
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return ""
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if types.IsInterface(f.Type()) {
+			return f.Name()
+		}
+	}
+	return ""
+}
+
+// methodBody finds the declared body of the named method of the type.
+func methodBody(pass *Pass, named *types.Named, name string) *ast.BlockStmt {
+	want := methodNamed(named, name)
+	if want == nil {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Name.Name != name {
+				continue
+			}
+			if pass.Info.Defs[fd.Name] == want {
+				return fd.Body
+			}
+		}
+	}
+	return nil
+}
+
+// kindAssignment scans an Encode body for `w.Kind = rhs` and resolves
+// rhs to a declared constant. It returns the constant's name and value
+// when rhs is one, a nil value with a non-nil node when the assignment
+// exists but is not a named constant, and a nil node when Kind is
+// never assigned.
+func kindAssignment(pass *Pass, body *ast.BlockStmt) (string, constant.Value, ast.Node) {
+	var (
+		name string
+		val  constant.Value
+		node ast.Node
+	)
+	ast.Inspect(body, func(n ast.Node) bool {
+		asn, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range asn.Lhs {
+			sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Kind" {
+				continue
+			}
+			if !isWireType(pass.Info.TypeOf(sel.X), false) && !isWireType(pass.Info.TypeOf(sel.X), true) {
+				continue
+			}
+			node = asn
+			if i >= len(asn.Rhs) {
+				continue
+			}
+			rhs := ast.Unparen(asn.Rhs[i])
+			var obj types.Object
+			switch rhs := rhs.(type) {
+			case *ast.Ident:
+				obj = pass.Info.Uses[rhs]
+			case *ast.SelectorExpr:
+				obj = pass.Info.Uses[rhs.Sel]
+			}
+			if c, ok := obj.(*types.Const); ok {
+				name, val = c.Name(), c.Val()
+			}
+		}
+		return true
+	})
+	return name, val, node
+}

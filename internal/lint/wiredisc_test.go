@@ -1,0 +1,11 @@
+package lint
+
+import "testing"
+
+// TestWireDiscGolden holds the wiredisc analyzer against its corpus:
+// declaration violations, kind collisions, and boxed sends fire in the
+// engine-scope package; the exempt cmd package's Encode-only payload
+// passes.
+func TestWireDiscGolden(t *testing.T) {
+	runGolden(t, WireDisc, "overlay/internal/wft/wtest", "overlay/cmd/wtest")
+}

@@ -223,6 +223,8 @@ func probThreshold(p float64) uint64 {
 }
 
 // dead reports whether node i is crashed at round r.
+//
+//overlay:hotpath
 func (a *advState) dead(i int32, r int32) bool {
 	return a.hasCrash && a.crashRound[i] <= r
 }
@@ -234,6 +236,8 @@ func (a *advState) deadFromStart(i int32) bool {
 
 // cut reports whether a message from s to d is severed by a partition
 // active at round r.
+//
+//overlay:hotpath
 func (a *advState) cut(s, d int32, r int32) bool {
 	for k := range a.parts {
 		p := &a.parts[k]
@@ -260,6 +264,8 @@ func advMix(z uint64) uint64 {
 // layout computes the same answer, which is the whole determinism
 // contract of the fault plane. delay is 0 (deliver now) or the number
 // of rounds to hold the message back.
+//
+//overlay:hotpath
 func (a *advState) fate(r, i int32, k int) (drop bool, delay int32) {
 	if a.dropT == 0 && a.delayT == 0 {
 		return false, 0

@@ -304,6 +304,8 @@ func (r *routeSorter) Swap(i, j int) {
 // is the hottest function in message-level runs (one call per Send),
 // hand-rolled because the generic slices.BinarySearch measured ~3x
 // slower here (≈30% of total CPU in BuildTreeMessageLevel profiles).
+//
+//overlay:hotpath
 func (e *Engine) lookup(id ids.ID) (int32, bool) {
 	lo, hi := 0, len(e.routeIDs)
 	for lo < hi {
@@ -356,6 +358,8 @@ func (e *Engine) Metrics() *Metrics { return &e.metrics }
 
 // inboxOf returns node i's inbox for the current round: a slice of its
 // delivery shard's arena, capped so appends cannot clobber neighbours.
+//
+//overlay:hotpath
 func (e *Engine) inboxOf(i int32) []Wire {
 	cnt := e.inCnt[i]
 	if cnt == 0 {
@@ -635,6 +639,8 @@ func (e *Engine) deliver() {
 // the receive cap and receiver-side metrics. Per-destination counts
 // from the previous round are zeroed via the shard's old touched list,
 // so the work is proportional to traffic rather than to N.
+//
+//overlay:hotpath
 func (e *Engine) deliverShard(sc *shardState, run []int32, lo, hi int32) {
 	e.resetShard(sc)
 
@@ -676,6 +682,8 @@ func (e *Engine) deliverShard(sc *shardState, run []int32, lo, hi int32) {
 // resetShard clears the previous round's per-shard delivery state. The
 // arena's wires are pointer-free, so truncation alone releases nothing
 // to the GC and costs nothing.
+//
+//overlay:hotpath
 func (e *Engine) resetShard(sc *shardState) {
 	for _, j := range sc.touched {
 		e.inCnt[j] = 0
@@ -692,6 +700,8 @@ func (e *Engine) resetShard(sc *shardState) {
 // layoutArena assigns per-destination offsets (segments in
 // first-arrival order of the touched list — contiguity is all inboxOf
 // needs) and sizes the arena.
+//
+//overlay:hotpath
 func (e *Engine) layoutArena(sc *shardState, total int32) {
 	off := int32(0)
 	for _, j := range sc.touched {
@@ -709,6 +719,8 @@ func (e *Engine) layoutArena(sc *shardState, total int32) {
 // applyRecvCaps is the final delivery pass shared by the fast and
 // fault paths: receive-cap enforcement, receiver-side metrics, and the
 // wake list for halted destinations.
+//
+//overlay:hotpath
 func (e *Engine) applyRecvCaps(sc *shardState) {
 	for _, j := range sc.touched {
 		seg := sc.arena[e.inOff[j] : e.inOff[j]+e.inCnt[j]]
@@ -741,6 +753,8 @@ func (e *Engine) applyRecvCaps(sc *shardState) {
 // and scatter passes evaluate the same pure fate function, so they
 // agree without storing per-message decisions, and no pass consults an
 // rng stream — the fault plane never perturbs protocol randomness.
+//
+//overlay:hotpath
 func (e *Engine) deliverShardFaulty(sc *shardState, run []int32, lo, hi, r int32) {
 	adv := e.adv
 	e.resetShard(sc)
@@ -835,6 +849,8 @@ func (e *Engine) deliverShardFaulty(sc *shardState, run []int32, lo, hi, r int32
 // compactHeld removes holdback entries that were delivered (or dropped
 // dead) at round r, preserving queue order. heldWire is pointer-free,
 // so the stale tail pins nothing.
+//
+//overlay:hotpath
 func (sc *shardState) compactHeld(r int32) {
 	kept := 0
 	for k := range sc.held {

@@ -48,6 +48,8 @@ type Decoder interface {
 // the outbox slot (a stack-local Wire would be forced to the heap by
 // the indirect Encode call), so a send costs zero allocations.
 // Encode implementations must not themselves send.
+//
+//overlay:hotpath
 func Send[P Payload](c *Ctx, to ids.ID, p P) {
 	j, ok := c.engine.lookup(to)
 	if !ok {
@@ -72,6 +74,8 @@ func Send[P Payload](c *Ctx, to ids.ID, p P) {
 // zero-cost forward (the walk tokens of CreateExpander do this).
 // Sending to an unknown identifier is a programming error in this
 // closed-world simulation and panics.
+//
+//overlay:hotpath
 func (c *Ctx) SendWire(to ids.ID, w Wire) {
 	if w.Units <= 0 {
 		w.Units = 1

@@ -258,6 +258,7 @@ func (c *maintainedCore) advance() (removed, dirty []int, scratch bool) {
 	c.members = nowMembers
 	c.epoch = nowEpoch
 	dirty = make([]int, 0, len(dirtySet))
+	//lint:ordered dirty ids are collected then sorted before return
 	for id := range dirtySet {
 		dirty = append(dirty, id)
 	}
@@ -388,6 +389,7 @@ func (c *maintainedCore) affectedRegion(oldLabels map[int]int, dirty []int) map[
 // scanned.
 func recomputeRegion(c *maintainedCore, labels map[int]int, parent map[int]int, affected map[int]bool) (nodes, scanned int) {
 	ids := make([]int, 0, len(affected))
+	//lint:ordered affected ids are collected then sorted before the recompute walks them
 	for id := range affected {
 		ids = append(ids, id)
 	}
@@ -476,6 +478,7 @@ func (m *MaintainedComponents) Labels() map[int]int {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	out := make(map[int]int, len(m.labels))
+	//lint:ordered map-to-map copy; the result has no order
 	for id, l := range m.labels {
 		out[id] = l
 	}
@@ -487,6 +490,7 @@ func (m *MaintainedComponents) NumComponents() int {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	n := 0
+	//lint:ordered commutative count of label fixpoints
 	for id, l := range m.labels {
 		if id == l {
 			n++
@@ -681,6 +685,7 @@ func (m *MaintainedMIS) Sync() WorkloadBill {
 		}
 	}
 	affected, scanned := len(processed), 0
+	//lint:ordered commutative sum of adjacency sizes
 	for v := range processed {
 		scanned += len(m.adj[v])
 	}

@@ -506,6 +506,7 @@ func (s *Session) Checkpoint() *Checkpoint {
 // or exclusive).
 func (s *Session) checkpointLocked() *Checkpoint {
 	departed := make(map[int]int, len(s.departed))
+	//lint:ordered map-to-map copy; the checkpoint map has no order
 	for id, e := range s.departed {
 		departed[id] = e
 	}
@@ -542,6 +543,7 @@ func (s *Session) restoreLocked(cp *Checkpoint) error {
 	s.nextID = cp.nextID
 	s.bills = append([]EpochBill(nil), cp.bills...)
 	departed := make(map[int]int, len(cp.departed))
+	//lint:ordered map-to-map copy; the restored map has no order
 	for id, e := range cp.departed {
 		departed[id] = e
 	}
